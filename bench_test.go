@@ -1,0 +1,201 @@
+package vectorliterag_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (DESIGN.md §3): each bench regenerates the corresponding artifact on
+// the simulated substrate in quick mode. Run the full-scale versions
+// with `go run ./cmd/vliterag run -exp <id>`.
+//
+// Micro-benchmarks for the hot algorithmic paths (IVF search, LUT scan,
+// first-order-statistic integral, discrete-event throughput) follow at
+// the bottom.
+
+import (
+	"testing"
+
+	vlr "vectorliterag"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/ivf"
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/stats"
+	"vectorliterag/internal/vecmath"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := vlr.RunExperiment(id, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (IVF vs fast scan; stage breakdown).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Fig. 4 (CPU vs GPU search; KV vs throughput).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5 (cluster access CDF).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Fig. 6 (hit-rate distribution vs coverage).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig8 regenerates Fig. 8 (latency vs batch; variance parabola).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig. 9 (index rebuild timing).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10 (model validation).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (SLO attainment + E2E latency grid).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig. 12 (TTFT breakdown).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13 (HedraRAG comparison).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Fig. 14 (dispatcher ablation).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Fig. 15 (input/output length ablation).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Fig. 16 + Table II (SLO sensitivity).
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Fig. 17 (hardware-capacity robustness).
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkTable1 regenerates Table I (SLO targets).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkTable2 regenerates Table II through the Fig. 16 runner (the
+// table is derived from the same SLO sweep).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "fig16") }
+
+// --- Micro-benchmarks -------------------------------------------------
+
+var benchW *dataset.Workload
+
+func benchWorkload(b *testing.B) *dataset.Workload {
+	b.Helper()
+	if benchW == nil {
+		w, err := dataset.Build(dataset.Orcas1K, dataset.GenConfig{
+			NCenters: 64, PerCenter: 128, Dim: 32,
+			PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchW = w
+	}
+	return benchW
+}
+
+// BenchmarkIVFSearch measures a full three-stage IVF-PQ search.
+func BenchmarkIVFSearch(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(1)
+	q := w.QueryVector(0, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Index.Search(q, 8, 25)
+	}
+}
+
+// BenchmarkIVFProbe measures coarse quantization alone.
+func BenchmarkIVFProbe(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(2)
+	q := w.QueryVector(1, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Index.Probe(q, 8)
+	}
+}
+
+// BenchmarkLUTScan measures the ADC scan of one cluster.
+func BenchmarkLUTScan(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(3)
+	q := w.QueryVector(2, r)
+	lut := w.Index.BuildLUT(q)
+	probes := w.Probes(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top := vecmath.NewTopK(25)
+		w.Index.ScanCluster(lut, probes[0], top)
+	}
+}
+
+// BenchmarkExpectedMin measures the Eq. 2 first-order-statistic
+// integral that the partitioning algorithm evaluates repeatedly.
+func BenchmarkExpectedMin(b *testing.B) {
+	beta := stats.Beta{Alpha: 4.2, Beta: 1.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = beta.ExpectedMin(8)
+	}
+}
+
+// BenchmarkBruteForceTopK measures the exact-search ground truth used
+// for recall validation.
+func BenchmarkBruteForceTopK(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(4)
+	q := w.QueryVector(3, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vecmath.BruteForceTopK(q, w.Data, w.Gen.Dim, 25)
+	}
+}
+
+// BenchmarkDESEventLoop measures raw simulator event throughput.
+func BenchmarkDESEventLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sim des.Sim
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 1000 {
+				sim.After(1000, tick)
+			}
+		}
+		sim.At(0, tick)
+		sim.Run()
+	}
+}
+
+// BenchmarkHotClusters measures the profiler's hot-order sort.
+func BenchmarkHotClusters(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(5)
+	counts := w.AccessCounts(w.SampleMany(r, 5000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ivf.HotClusters(counts)
+	}
+}
+
+// BenchmarkWorkloadSample measures query sampling (the serving loop's
+// per-request cost).
+func BenchmarkWorkloadSample(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Sample(r)
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations (queuing
+// factor and runtime pipeline) from DESIGN.md.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }

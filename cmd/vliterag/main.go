@@ -1,0 +1,192 @@
+// Command vliterag regenerates the paper's evaluation artifacts and
+// runs ad-hoc serving experiments.
+//
+// Usage:
+//
+//	vliterag list                      # registered experiments
+//	vliterag run -exp fig11 [-quick]   # regenerate one figure/table
+//	vliterag run -exp all  [-quick]    # regenerate everything
+//	vliterag serve -system vLiteRAG -dataset orcas1k -rate 30
+//	vliterag build -dataset orcas2k    # offline partitioning only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	vlr "vectorliterag"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		for _, id := range vlr.Experiments() {
+			fmt.Println(id)
+		}
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "build":
+		err = buildCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vliterag:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vliterag {list | run -exp <id>|all [-quick] | serve [flags] | build [flags]}")
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment id (see `vliterag list`) or 'all'")
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
+	asCSV := fs.Bool("csv", false, "emit raw data rows as CSV where the experiment supports it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp")
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = vlr.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		var out string
+		var err error
+		if *asCSV {
+			out, err = vlr.RunExperimentCSV(id, *quick)
+		} else {
+			out, err = vlr.RunExperiment(id, *quick)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+	}
+	return nil
+}
+
+func datasetByName(name string) (vlr.Spec, error) {
+	switch strings.ToLower(name) {
+	case "wikiall", "wiki-all":
+		return vlr.WikiAll, nil
+	case "orcas1k", "orcas-1k":
+		return vlr.Orcas1K, nil
+	case "orcas2k", "orcas-2k":
+		return vlr.Orcas2K, nil
+	}
+	return vlr.Spec{}, fmt.Errorf("unknown dataset %q (wikiall|orcas1k|orcas2k)", name)
+}
+
+func modelByName(name string) (vlr.ModelSpec, vlr.Node, error) {
+	switch strings.ToLower(name) {
+	case "llama3-8b", "8b":
+		return vlr.Llama3_8B, vlr.L40SNode(), nil
+	case "qwen3-32b", "32b":
+		return vlr.Qwen3_32B, vlr.H100Node(), nil
+	case "llama3-70b", "70b":
+		return vlr.Llama3_70B, vlr.H100Node(), nil
+	}
+	return vlr.ModelSpec{}, vlr.Node{}, fmt.Errorf("unknown model %q (llama3-8b|qwen3-32b|llama3-70b)", name)
+}
+
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	system := fs.String("system", "vLiteRAG", "CPU-Only|DED-GPU|ALL-GPU|vLiteRAG|HedraRAG")
+	ds := fs.String("dataset", "orcas1k", "wikiall|orcas1k|orcas2k")
+	model := fs.String("model", "qwen3-32b", "llama3-8b|qwen3-32b|llama3-70b")
+	rate := fs.Float64("rate", 30, "arrival rate (req/s)")
+	dur := fs.Duration("duration", 120*time.Second, "virtual arrival window")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := datasetByName(*ds)
+	if err != nil {
+		return err
+	}
+	m, node, err := modelByName(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("building %s workload (trains a real IVF-PQ index)...\n", spec.Name)
+	w, err := vlr.NewWorkload(spec)
+	if err != nil {
+		return err
+	}
+	rep, err := vlr.Serve(vlr.ServeOptions{
+		Workload: w, System: vlr.System(*system), Rate: *rate,
+		Node: node, Model: m, Duration: *dur, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	s := rep.Summary
+	fmt.Printf("%s | %s | %s @ %.1f req/s (SLO %v)\n", *system, spec.Name, m.Name, *rate, rep.SLOTotal)
+	fmt.Printf("  SLO attainment  %.3f  (%d requests, %d unserved)\n", s.Attainment, s.N, s.Unserved)
+	fmt.Printf("  TTFT            p50 %v  p90 %v  p95 %v\n", s.TTFT.P50, s.TTFT.P90, s.TTFT.P95)
+	fmt.Printf("  E2E             mean %v  p90 %v\n", s.E2E.Mean, s.E2E.P90)
+	fmt.Printf("  breakdown       queue %v  search %v  llm-wait %v  prefill %v\n",
+		s.Breakdown.Queueing, s.Breakdown.Search, s.Breakdown.LLMWait, s.Breakdown.Prefill)
+	fmt.Printf("  retrieval       rho %.3f  avg batch %.1f\n", rep.Rho, rep.AvgBatch)
+	return nil
+}
+
+func buildCmd(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	ds := fs.String("dataset", "orcas1k", "wikiall|orcas1k|orcas2k")
+	model := fs.String("model", "qwen3-32b", "llama3-8b|qwen3-32b|llama3-70b")
+	slo := fs.Duration("slo", 0, "search SLO (default: dataset's Table-I value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := datasetByName(*ds)
+	if err != nil {
+		return err
+	}
+	m, node, err := modelByName(*model)
+	if err != nil {
+		return err
+	}
+	w, err := vlr.NewWorkload(spec)
+	if err != nil {
+		return err
+	}
+	sys, err := vlr.BuildSystem(vlr.SystemOptions{
+		Workload: w, Node: node, Model: m, SLOSearch: *slo, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("latency-bounded partitioning for %s + %s:\n", spec.Name, m.Name)
+	fmt.Printf("  rho            %.3f of clusters (%.2f GB on GPUs)\n", sys.Rho, float64(sys.PlanBytes)/1e9)
+	fmt.Printf("  planned batch  %d (mu0 %.1f req/s, tau_s %v)\n",
+		sys.Partition.ExpectedBatch, sys.Mu0, sys.Partition.TauS)
+	fmt.Printf("  hit rates      mean %.3f, batch-min %.3f\n", sys.MeanHitRate, sys.TailHitRate)
+	fmt.Printf("  feasible       %v (converged in %d iterations)\n", sys.Partition.Feasible, sys.Partition.Iterations)
+	fmt.Printf("  rebuild cycle  profiling %v + algorithm %v + splitting %v + loading %v = %v\n",
+		sys.Rebuild.Profiling.Round(time.Millisecond), sys.Rebuild.Algorithm.Round(time.Millisecond),
+		sys.Rebuild.Splitting.Round(time.Millisecond), sys.Rebuild.Loading.Round(time.Millisecond),
+		sys.Rebuild.Total().Round(time.Millisecond))
+	for g, bytes := range sys.Plan.ShardBytes {
+		fmt.Printf("  shard %d        %d clusters, %.2f GB\n", g, len(sys.Plan.Shards[g]), float64(bytes)/1e9)
+	}
+	return nil
+}

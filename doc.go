@@ -1,0 +1,46 @@
+// Package vectorliterag is a reproduction of "VectorLiteRAG:
+// Latency-Aware and Fine-Grained Resource Partitioning for Efficient
+// RAG" (Kim & Mahajan, HPCA 2026).
+//
+// VectorLiteRAG serves Retrieval-Augmented Generation by co-locating
+// IVF vector search with LLM inference on the same GPUs. Its core
+// contribution is a latency-bounded partitioning of the vector index
+// between CPU and GPU tiers:
+//
+//   - an access profiler characterizes the heavy skew of query→cluster
+//     traffic (a small set of hot clusters carries most distance
+//     computations);
+//   - a Beta-distributed hit-rate estimator predicts the minimum hit
+//     rate inside a retrieval batch (the tail query that gates batch
+//     latency);
+//   - a piecewise-linear performance model prices CPU search as a
+//     function of batch size;
+//   - Algorithm 1 combines the three with the LLM's memory-throughput
+//     trade-off to choose the smallest GPU-resident hot-cluster set
+//     that meets the search SLO;
+//   - a distributed runtime routes probes through mapping tables
+//     (pruning non-resident probes), scans cold clusters on the CPU,
+//     and promotes early-finishing queries via a dynamic dispatcher.
+//
+// Because the original evaluation requires multi-GPU servers, this
+// package runs the retrieval algorithms for real at laptop scale and
+// executes serving experiments on a calibrated discrete-event
+// simulation of the paper's hardware (see DESIGN.md for the
+// substitution table). All results are deterministic under a fixed
+// seed.
+//
+// # Quick start
+//
+//	w, _ := vectorliterag.NewWorkload(vectorliterag.Orcas1K)
+//	sys, _ := vectorliterag.BuildSystem(vectorliterag.SystemOptions{Workload: w})
+//	fmt.Printf("cache %.1f%% of clusters (%.1f GB on GPUs)\n",
+//	        sys.Rho*100, float64(sys.PlanBytes)/1e9)
+//	rep, _ := vectorliterag.Serve(vectorliterag.ServeOptions{
+//	        Workload: w, System: vectorliterag.VLiteRAG, Rate: 30,
+//	})
+//	fmt.Printf("SLO attainment %.2f at 30 req/s\n", rep.Summary.Attainment)
+//
+// The runnable programs under examples/ demonstrate the full API, and
+// cmd/vliterag regenerates every table and figure of the paper's
+// evaluation.
+package vectorliterag

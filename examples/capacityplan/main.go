@@ -1,0 +1,54 @@
+// Capacity planning: size a deployment before buying hardware. For 4,
+// 6, and 8 GPUs (with the cloud-style proportional CPU provisioning of
+// paper §VI-E4 / Fig. 17), report the bare LLM capacity, the
+// partitioning point VectorLiteRAG would choose, and the SLO attainment
+// at a target arrival rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vlr "vectorliterag"
+)
+
+func main() {
+	fmt.Println("building ORCAS-2K workload...")
+	w, err := vlr.NewWorkload(vlr.Orcas2K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := vlr.Qwen3_32B
+	const targetRate = 16 // req/s the service must absorb
+
+	fmt.Printf("\ntarget: %d req/s of 1024/256-token RAG traffic, %s\n\n", targetRate, model.Name)
+	fmt.Printf("%-8s %-12s %-8s %-12s %-12s %-10s\n",
+		"GPUs", "capacity", "rho", "index GB", "attainment", "TTFT p90")
+	for _, gpus := range []int{4, 6, 8} {
+		node, err := vlr.H100Node().WithGPUs(gpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu, err := vlr.Capacity(node, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := vlr.BuildSystem(vlr.SystemOptions{
+			Workload: w, Node: node, Model: model, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := vlr.Serve(vlr.ServeOptions{
+			Workload: w, System: vlr.VLiteRAG, Rate: targetRate,
+			Node: node, Model: model, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-12.1f %-8.3f %-12.1f %-12.3f %-10v\n",
+			gpus, mu, sys.Rho, float64(sys.PlanBytes)/1e9,
+			rep.Summary.Attainment, rep.Summary.TTFT.P90.Round(1e6))
+	}
+	fmt.Println("\nPick the smallest node whose attainment meets your availability target.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a workload, run the offline hybrid-index
+// construction, and serve traffic on every system — the 60-second tour
+// of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vlr "vectorliterag"
+)
+
+func main() {
+	// 1. Build the ORCAS-1K workload: a real IVF-PQ index over a
+	// synthetic corpus whose query skew matches the paper's Fig. 5
+	// characterization (this trains k-means and PQ codebooks — a few
+	// seconds).
+	fmt.Println("building ORCAS-1K workload...")
+	w, err := vlr.NewWorkload(vlr.Orcas1K)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline construction (paper §IV-A): profile access skew, fit
+	// the latency model, run the latency-bounded partitioning, split the
+	// hot clusters into GPU shards.
+	sys, err := vlr.BuildSystem(vlr.SystemOptions{Workload: w, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhybrid index: cache %.1f%% of clusters = %.1f GB on GPUs\n",
+		sys.Rho*100, float64(sys.PlanBytes)/1e9)
+	fmt.Printf("planned batch %d, mean hit rate %.2f, batch-min hit rate %.2f\n",
+		sys.Partition.ExpectedBatch, sys.MeanHitRate, sys.TailHitRate)
+	fmt.Printf("online rebuild cycle would take %v\n\n", sys.Rebuild.Total().Round(1e6))
+
+	// 3. Serve 30 req/s on each system and compare (Fig. 11 style).
+	fmt.Printf("%-10s %-6s %-10s %-10s %-8s\n", "system", "rho", "attainment", "TTFT p90", "search")
+	for _, system := range []vlr.System{vlr.CPUOnly, vlr.DedGPU, vlr.AllGPU, vlr.VLiteRAG} {
+		rep, err := vlr.Serve(vlr.ServeOptions{
+			Workload: w, System: system, Rate: 30, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-6.3f %-10.3f %-10v %-8v\n",
+			system, rep.Rho, rep.Summary.Attainment,
+			rep.Summary.TTFT.P90.Round(1e6), rep.Summary.Breakdown.Search.Round(1e6))
+	}
+}

@@ -1,0 +1,179 @@
+// Package costmodel converts logical search work (bytes of PQ codes
+// scanned, clusters probed, batch sizes) into virtual time on the
+// modeled hardware. It is the timing half of the two-scale design
+// (DESIGN.md §4): the physical index supplies *what* is scanned, this
+// package decides *how long* it takes at paper scale.
+//
+// Structure of the CPU model (paper §IV-A1): IVF search latency is
+// dominated by coarse quantization (CQ) and LUT operations. Both are
+// piecewise-linear in batch size because a single query can only use a
+// bounded number of threads (ThreadsPerQuery); batches first fill the
+// machine (flat region), then queue on it (linear region). That is
+// exactly the single-to-multi-threaded step behaviour in Fig. 8 (left).
+//
+// Calibration anchors (each cited at the constant definition):
+//   - CPU fast-scan on a ~40 GB / 128M-vector index: ~0.1–0.2 s per
+//     small batch (Fig. 4 left, Fig. 8 left).
+//   - GPU IVF search ~10x faster than CPU fast scan (Fig. 4 left).
+//   - Standard IVF (no fast scan) ~5x slower than fast scan (Fig. 3 left).
+//   - LUT build + scan dominate search time (Fig. 3 right).
+package costmodel
+
+import (
+	"math"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+)
+
+// FastScanSpeedup is how much faster SIMD fast-scan LUT operations are
+// than the standard IVF scan loop (Fig. 3 left: IVF-FS completes in
+// ~1/5 of standard IVF time at equal configuration).
+const FastScanSpeedup = 5.0
+
+// LUTBuildFraction is the share of LUT-stage time spent constructing
+// tables (vs scanning them) for fast-scan indexes (Fig. 3 right shows
+// the two at the same order of magnitude, build somewhat smaller).
+const LUTBuildFraction = 0.35
+
+// cqThreadsPerQuery bounds intra-query parallelism of coarse
+// quantization (graph-traversal-style search parallelizes worse than
+// LUT scans).
+const cqThreadsPerQuery = 2
+
+// cqUnitSeconds scales CQ work: per-query CQ time at full intra-query
+// parallelism is cqUnitSeconds * sqrt(nlist) * dim / cqThreadsPerQuery.
+// Anchored to ≈25 ms CQ at batch 1 for ORCAS-1K (nlist=131072,
+// dim=1024) on the 64-core Xeon (Fig. 8 left breakdown):
+// 1.35e-7 * sqrt(131072) * 1024 / 2 ≈ 25 ms.
+const cqUnitSeconds = 1.35e-7
+
+// SearchModel prices CPU-side IVF search for one dataset on one CPU.
+type SearchModel struct {
+	CPU      hw.CPU
+	Spec     dataset.Spec
+	FastScan bool // false models the standard IVF scan loop (Fig. 3)
+}
+
+// NewSearchModel returns the fast-scan CPU model the system uses by
+// default (the paper adopts fast scan for its CPU tier, §II-B).
+func NewSearchModel(cpu hw.CPU, spec dataset.Spec) SearchModel {
+	return SearchModel{CPU: cpu, Spec: spec, FastScan: true}
+}
+
+// effectiveThreads returns the cores usable by a batch of b queries in
+// a stage whose per-query parallelism is tpq.
+func (m SearchModel) effectiveThreads(b, tpq int) int {
+	if b < 1 {
+		b = 1
+	}
+	p := b * tpq
+	if p > m.CPU.Cores {
+		p = m.CPU.Cores
+	}
+	return p
+}
+
+// CQTime returns coarse quantization latency for a batch of b queries.
+func (m SearchModel) CQTime(b int) time.Duration {
+	if b < 1 {
+		b = 1
+	}
+	work := cqUnitSeconds * math.Sqrt(float64(m.Spec.NList)) * float64(m.Spec.Dim) // seconds at 1 thread
+	p := m.effectiveThreads(b, cqThreadsPerQuery)
+	sec := float64(b) * work / float64(p)
+	return dur(sec)
+}
+
+// LUTTime returns the LUT stage latency (table construction + scan) for
+// a batch of b queries that together scan totalBytes of PQ codes on the
+// CPU tier.
+func (m SearchModel) LUTTime(totalBytes int64, b int) time.Duration {
+	if totalBytes <= 0 {
+		return 0
+	}
+	p := m.effectiveThreads(b, m.CPU.ThreadsPerQuery)
+	rate := float64(p) * m.CPU.ScanBWPerCore
+	if rate > m.CPU.MemBWBytes {
+		rate = m.CPU.MemBWBytes
+	}
+	sec := float64(totalBytes) / rate
+	if !m.FastScan {
+		sec *= FastScanSpeedup
+	}
+	return dur(sec)
+}
+
+// QueryScanBytes returns the average logical bytes one query scans when
+// nothing is cached (IndexBytes * nprobe/nlist).
+func (m SearchModel) QueryScanBytes() int64 {
+	return int64(float64(m.Spec.IndexBytes()) * m.Spec.ScanShare())
+}
+
+// SearchTime returns full CPU-only search latency for a batch of b
+// average queries: CQ plus the LUT stage over b average scan loads.
+func (m SearchModel) SearchTime(b int) time.Duration {
+	return m.CQTime(b) + m.LUTTime(int64(b)*m.QueryScanBytes(), b)
+}
+
+// Breakdown splits a batch's search time into the three stages of the
+// paper's Fig. 2/3: coarse quantization, LUT construction, LUT scan.
+type Breakdown struct {
+	CQ, LUTBuild, LUTScan time.Duration
+}
+
+// Total returns the sum of the stages.
+func (br Breakdown) Total() time.Duration { return br.CQ + br.LUTBuild + br.LUTScan }
+
+// SearchBreakdown prices a batch of b average queries stage by stage.
+func (m SearchModel) SearchBreakdown(b int) Breakdown {
+	lut := m.LUTTime(int64(b)*m.QueryScanBytes(), b)
+	build := time.Duration(float64(lut) * LUTBuildFraction)
+	return Breakdown{CQ: m.CQTime(b), LUTBuild: build, LUTScan: lut - build}
+}
+
+// GPUScanModel prices IVF scan kernels on one GPU.
+type GPUScanModel struct {
+	GPU hw.GPU
+}
+
+// ShardScanTime returns the time for one shard kernel that scans
+// totalBytes of resident PQ codes across `blocks` query-cluster thread
+// blocks. Block count matters independently of bytes: each launched
+// block costs scheduling bandwidth and shared memory even when its
+// cluster is not resident (paper §IV-B1) — which is exactly why the
+// router's probe pruning helps.
+func (g GPUScanModel) ShardScanTime(totalBytes int64, blocks int) time.Duration {
+	if totalBytes <= 0 && blocks <= 0 {
+		return 0
+	}
+	sec := g.GPU.KernelLaunch +
+		float64(blocks)*g.GPU.BlockCost +
+		float64(totalBytes)/g.GPU.ScanBWBytes
+	return dur(sec)
+}
+
+// ShardLoadTime returns host-to-device transfer time for loading a
+// shard of the given size (Fig. 9 "Loading" stage).
+func ShardLoadTime(g hw.GPU, bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return dur(float64(bytes) / g.LoadBWBytes)
+}
+
+// SplitTime returns the CPU-side time to materialize shard layouts
+// (grouping hot clusters, rewriting mapping tables): a memory-bound
+// pass over the shard bytes (Fig. 9 "Splitting" stage).
+func SplitTime(c hw.CPU, bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	// Read + write pass at half the machine bandwidth.
+	return dur(float64(2*bytes) / (c.MemBWBytes / 2))
+}
+
+func dur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

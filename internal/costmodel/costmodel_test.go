@@ -1,0 +1,190 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+)
+
+func orcas1kModel() SearchModel {
+	return NewSearchModel(hw.Xeon8462Y(), dataset.Orcas1K)
+}
+
+func TestQueryScanBytesMatchesProbeShare(t *testing.T) {
+	m := orcas1kModel()
+	want := int64(float64(dataset.Orcas1K.IndexBytes()) * 2048.0 / 131072.0)
+	if got := m.QueryScanBytes(); got != want {
+		t.Fatalf("QueryScanBytes = %d, want %d", got, want)
+	}
+}
+
+func TestCPUSearchAnchoredToPaper(t *testing.T) {
+	// ORCAS-1K batch-1 CPU fast-scan search should land in the paper's
+	// observed 0.1–0.3 s window (Fig. 4 left, Fig. 8 left).
+	m := orcas1kModel()
+	got := m.SearchTime(1)
+	if got < 100*time.Millisecond || got > 300*time.Millisecond {
+		t.Fatalf("batch-1 ORCAS-1K search = %v, want within [100ms, 300ms]", got)
+	}
+}
+
+func TestSearchTimeMonotoneInBatch(t *testing.T) {
+	m := orcas1kModel()
+	prev := time.Duration(0)
+	for b := 1; b <= 64; b *= 2 {
+		cur := m.SearchTime(b)
+		if cur < prev {
+			t.Fatalf("search time fell from %v to %v at batch %d", prev, cur, b)
+		}
+		prev = cur
+	}
+}
+
+func TestSearchTimeSublinearThenLinear(t *testing.T) {
+	// Piecewise-linear batch behaviour (Fig. 8): per-query latency at
+	// batch 32 must be far below batch-1 latency (batching efficiency),
+	// but the large-batch region must grow roughly linearly.
+	m := orcas1kModel()
+	t1 := m.SearchTime(1)
+	t32 := m.SearchTime(32)
+	perQuery32 := time.Duration(int64(t32) / 32)
+	if perQuery32 >= t1/4 {
+		t.Fatalf("no batching efficiency: per-query %v at b=32 vs %v at b=1", perQuery32, t1)
+	}
+	t64 := m.SearchTime(64)
+	ratio := float64(t64) / float64(t32)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("large-batch region not ~linear: T(64)/T(32) = %v", ratio)
+	}
+}
+
+func TestCQTimeScalesWithDim(t *testing.T) {
+	m1 := NewSearchModel(hw.Xeon8462Y(), dataset.Orcas1K)
+	m2 := NewSearchModel(hw.Xeon8462Y(), dataset.Orcas2K)
+	if m2.CQTime(1) <= m1.CQTime(1) {
+		t.Fatal("CQ time did not grow with dimensionality")
+	}
+}
+
+func TestFewerCoresSlower(t *testing.T) {
+	big := NewSearchModel(hw.Xeon8462Y(), dataset.Orcas1K)
+	small := NewSearchModel(hw.Xeon6426Y(), dataset.Orcas1K)
+	if small.SearchTime(16) <= big.SearchTime(16) {
+		t.Fatal("32-core CPU not slower than 64-core at batch 16")
+	}
+}
+
+func TestStandardIVFSlowerByFastScanFactor(t *testing.T) {
+	fs := orcas1kModel()
+	std := fs
+	std.FastScan = false
+	fsLUT := fs.LUTTime(fs.QueryScanBytes(), 1)
+	stdLUT := std.LUTTime(std.QueryScanBytes(), 1)
+	ratio := float64(stdLUT) / float64(fsLUT)
+	if ratio < FastScanSpeedup*0.99 || ratio > FastScanSpeedup*1.01 {
+		t.Fatalf("standard/fast-scan LUT ratio = %v, want %v", ratio, FastScanSpeedup)
+	}
+}
+
+func TestLUTTimeZeroBytes(t *testing.T) {
+	m := orcas1kModel()
+	if got := m.LUTTime(0, 4); got != 0 {
+		t.Fatalf("LUTTime(0) = %v", got)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	m := orcas1kModel()
+	br := m.SearchBreakdown(4)
+	want := m.SearchTime(4)
+	if br.Total() != want {
+		t.Fatalf("breakdown total %v != search time %v", br.Total(), want)
+	}
+	if br.LUTBuild <= 0 || br.LUTScan <= 0 || br.CQ <= 0 {
+		t.Fatalf("degenerate breakdown %+v", br)
+	}
+	// LUT operations dominate (Fig. 3 right).
+	if br.LUTBuild+br.LUTScan <= br.CQ {
+		t.Fatalf("LUT stage %v does not dominate CQ %v", br.LUTBuild+br.LUTScan, br.CQ)
+	}
+}
+
+func TestGPUFasterThanCPUByOrderOfMagnitude(t *testing.T) {
+	// Fig. 4 left: GPU IVF search ~10x faster than CPU fast scan.
+	m := orcas1kModel()
+	cpu := m.SearchTime(1)
+	g := GPUScanModel{GPU: hw.H100()}
+	// One query, all nprobe blocks, full scan bytes resident.
+	gpu := g.ShardScanTime(m.QueryScanBytes(), dataset.Orcas1K.NProbe)
+	ratio := float64(cpu) / float64(gpu)
+	if ratio < 5 || ratio > 40 {
+		t.Fatalf("GPU speedup = %.1fx, want ~10x (5..40): cpu=%v gpu=%v", ratio, cpu, gpu)
+	}
+}
+
+func TestShardScanTimeBlockOverheadMatters(t *testing.T) {
+	// Pruned probes (fewer blocks) must beat unpruned at equal bytes —
+	// the router's benefit (paper §IV-B1).
+	g := GPUScanModel{GPU: hw.H100()}
+	bytes := int64(100 << 20)
+	pruned := g.ShardScanTime(bytes, 256)
+	unpruned := g.ShardScanTime(bytes, 2048)
+	if pruned >= unpruned {
+		t.Fatalf("probe pruning did not reduce kernel time: %v vs %v", pruned, unpruned)
+	}
+}
+
+func TestShardScanTimeZero(t *testing.T) {
+	g := GPUScanModel{GPU: hw.H100()}
+	if got := g.ShardScanTime(0, 0); got != 0 {
+		t.Fatalf("empty kernel time = %v", got)
+	}
+}
+
+func TestShardLoadTime(t *testing.T) {
+	g := hw.H100()
+	bytes := int64(12 << 30)
+	got := ShardLoadTime(g, bytes)
+	want := time.Duration(float64(bytes) / g.LoadBWBytes * float64(time.Second))
+	if got != want {
+		t.Fatalf("ShardLoadTime = %v, want %v", got, want)
+	}
+	if ShardLoadTime(g, 0) != 0 {
+		t.Fatal("zero bytes should load instantly")
+	}
+}
+
+func TestSplitTimePositive(t *testing.T) {
+	if SplitTime(hw.Xeon8462Y(), 1<<30) <= 0 {
+		t.Fatal("split time not positive")
+	}
+	if SplitTime(hw.Xeon8462Y(), 0) != 0 {
+		t.Fatal("zero bytes split not zero")
+	}
+}
+
+func TestWikiAllCPUViolatesItsSearchBudget(t *testing.T) {
+	// Landscape check driving Fig. 11: with the queuing factor eps=1,
+	// the CPU-only tier alone cannot meet tau_s = SLO/2 on any dataset,
+	// which is why hybrid placement is needed.
+	for _, spec := range []dataset.Spec{dataset.WikiAll, dataset.Orcas1K, dataset.Orcas2K} {
+		m := NewSearchModel(hw.Xeon8462Y(), spec)
+		tau := spec.SLOSearch / 2
+		if got := m.SearchTime(1); got <= tau {
+			t.Errorf("%s: CPU-only batch-1 search %v already meets tau_s %v — hybrid would be pointless", spec.Name, got, tau)
+		}
+	}
+}
+
+func TestGPUMeetsSearchBudgetEasily(t *testing.T) {
+	// The other side of the landscape: a fully GPU-resident index
+	// searches far inside the budget (Fig. 4 left).
+	g := GPUScanModel{GPU: hw.H100()}
+	m := orcas1kModel()
+	got := g.ShardScanTime(m.QueryScanBytes(), dataset.Orcas1K.NProbe)
+	if got > dataset.Orcas1K.SLOSearch/4 {
+		t.Fatalf("GPU scan %v too slow vs SLO %v", got, dataset.Orcas1K.SLOSearch)
+	}
+}

@@ -1,0 +1,98 @@
+// Package des is a minimal deterministic discrete-event simulator. All
+// serving experiments run in virtual time on it, so results are
+// reproducible and independent of host speed (DESIGN.md §4).
+//
+// Time is int64 nanoseconds. Events scheduled for the same instant fire
+// in scheduling order (FIFO), which makes multi-component pipelines
+// deterministic without fragile epsilon offsets.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual simulation time in nanoseconds since simulation start.
+type Time = int64
+
+// Sim is the event loop. The zero value is ready to use.
+type Sim struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// fires at the current instant (never rewinds the clock).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now; negative d means now.
+func (s *Sim) After(d time.Duration, fn func()) {
+	s.At(s.now+int64(d), fn)
+}
+
+// Step fires the next event. It reports false when no events remain.
+func (s *Sim) Step() bool {
+	if s.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.pq).(event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is
+// later than deadline; the clock is left at the last fired event (or
+// advanced to deadline if it never got there).
+func (s *Sim) RunUntil(deadline Time) {
+	for s.pq.Len() > 0 && s.pq[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run drains every event. Use only with self-terminating workloads.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.pq.Len() }
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

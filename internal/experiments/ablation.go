@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/rag"
+)
+
+// AblationResult covers the design-choice ablations DESIGN.md calls
+// out beyond the paper's own Fig. 14:
+//
+//   - queuing factor eps: Algorithm 1 budgets tau_s = SLO/(1+eps); the
+//     paper fixes eps=1 as the empirically observed worst case (§IV-A3).
+//     The sweep shows what the knob buys and costs.
+//   - probe pruning + dispatcher: the hybrid runtime vs the same
+//     coverage executed with IndexIVFShards semantics (HedraRAG's
+//     runtime), isolating the router/dispatcher contribution from the
+//     partitioning policy.
+type AblationResult struct {
+	Eps     []EpsRow
+	Runtime []RuntimeRow
+}
+
+// EpsRow is one queuing-factor sample.
+type EpsRow struct {
+	Epsilon float64
+	Rho     float64
+	Att     float64
+	Search  time.Duration
+}
+
+// RuntimeRow isolates the runtime pipeline at fixed coverage.
+type RuntimeRow struct {
+	Pipeline string
+	Att      float64
+	Search   time.Duration
+	TTFTP90  time.Duration
+}
+
+// Ablations runs both studies on ORCAS-1K + Qwen3-32B.
+func Ablations(cfg Config) (*AblationResult, error) {
+	w, err := WorkloadFor(dataset.Orcas1K)
+	if err != nil {
+		return nil, err
+	}
+	dep := deployments()[1]
+	rate := 32.0
+	res := &AblationResult{}
+
+	epsValues := []float64{0.5, 1.0, 2.0}
+	if cfg.Quick {
+		epsValues = []float64{0.5, 2.0}
+	}
+	for _, eps := range epsValues {
+		r, err := rag.Run(rag.Options{
+			Node: dep.Node, Model: dep.Model, W: w, Kind: rag.VLiteRAG,
+			Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+			Epsilon: eps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Eps = append(res.Eps, EpsRow{
+			Epsilon: eps, Rho: r.Rho,
+			Att: r.Summary.Attainment, Search: r.Summary.Breakdown.Search,
+		})
+	}
+
+	// Runtime ablation: first find vLiteRAG's coverage, then run the
+	// unpruned/undispatched runtime at that exact coverage.
+	vl, err := rag.Run(rag.Options{
+		Node: dep.Node, Model: dep.Model, W: w, Kind: rag.VLiteRAG,
+		Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+	})
+	if err != nil {
+		return nil, err
+	}
+	unpruned, err := rag.Run(rag.Options{
+		Node: dep.Node, Model: dep.Model, W: w, Kind: rag.HedraRAG,
+		Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+		HedraCoverageOverride: vl.Rho,
+	})
+	if err != nil {
+		return nil, err
+	}
+	noDisp, err := rag.Run(rag.Options{
+		Node: dep.Node, Model: dep.Model, W: w, Kind: rag.VLiteRAG,
+		Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+		DisableDispatcher: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		name string
+		r    *rag.Result
+	}{
+		{"router+dispatcher (vLiteRAG)", vl},
+		{"no dispatcher", noDisp},
+		{"unpruned probes, no dispatcher", unpruned},
+	} {
+		res.Runtime = append(res.Runtime, RuntimeRow{
+			Pipeline: c.name,
+			Att:      c.r.Summary.Attainment,
+			Search:   c.r.Summary.Breakdown.Search,
+			TTFTP90:  c.r.Summary.TTFT.P90,
+		})
+	}
+	return res, nil
+}
+
+// Render formats both ablations.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation A: queuing factor eps (tau_s = SLO/(1+eps)), ORCAS-1K + Qwen3-32B @32 rps\n")
+	t := &table{header: []string{"eps", "rho", "attainment", "avg search"}}
+	for _, row := range r.Eps {
+		t.add(fmt.Sprintf("%.1f", row.Epsilon), f3(row.Rho), f2(row.Att), ms(row.Search))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nAblation B: runtime pipeline at equal coverage\n")
+	t2 := &table{header: []string{"pipeline", "attainment", "avg search", "TTFT p90"}}
+	for _, row := range r.Runtime {
+		t2.add(row.Pipeline, f2(row.Att), ms(row.Search), ms(row.TTFTP90))
+	}
+	b.WriteString(t2.String())
+	return b.String()
+}

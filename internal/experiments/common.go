@@ -1,0 +1,197 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§VI). Each runner regenerates the corresponding
+// artifact on the simulated substrate — same workloads, same parameter
+// sweeps, same metrics — and renders a text table whose rows mirror
+// what the paper plots. DESIGN.md §3 is the index; EXPERIMENTS.md
+// records paper-vs-measured for every runner.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/llm"
+	"vectorliterag/internal/rag"
+	"vectorliterag/internal/workload"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks sweeps and durations for tests and benchmarks; the
+	// full setting reproduces the paper's grids.
+	Quick bool
+	Seed  uint64
+}
+
+// DefaultConfig runs experiments at full scale.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// workload cache: physical index construction dominates experiment
+// setup, and every figure reuses the same three datasets.
+var wlCache = struct {
+	sync.Mutex
+	m map[string]*dataset.Workload
+}{m: map[string]*dataset.Workload{}}
+
+// WorkloadFor builds (or recalls) the default physical realization of a
+// spec.
+func WorkloadFor(spec dataset.Spec) (*dataset.Workload, error) {
+	key := fmt.Sprintf("%s|%.2f|%.2f|%d", spec.Name, spec.SkewS, spec.QueryNoise, spec.NProbe)
+	wlCache.Lock()
+	defer wlCache.Unlock()
+	if w, ok := wlCache.m[key]; ok {
+		return w, nil
+	}
+	w, err := dataset.Build(spec, dataset.DefaultGen())
+	if err != nil {
+		return nil, err
+	}
+	wlCache.m[key] = w
+	return w, nil
+}
+
+// deployment pairs each model with its node, as in the paper (§V-A:
+// Llama3-8B on the L40S node; Qwen3-32B and Llama3-70B on H100s).
+type deployment struct {
+	Model llm.ModelSpec
+	Node  hw.Node
+}
+
+func deployments() []deployment {
+	return []deployment{
+		{llm.Llama3_8B, hw.L40SNode()},
+		{llm.Qwen3_32B, hw.H100Node()},
+		{llm.Llama3_70B, hw.H100Node()},
+	}
+}
+
+// ratesFor returns the arrival-rate sweep for a deployment, scaled to
+// its measured capacity like the paper's x-axes (which end just past
+// the standalone-throughput line).
+func ratesFor(node hw.Node, model llm.ModelSpec, quick bool) ([]float64, float64, error) {
+	mu, err := rag.BareCapacity(node, model, workload.DefaultShape())
+	if err != nil {
+		return nil, 0, err
+	}
+	var fracs []float64
+	if quick {
+		fracs = []float64{0.5, 0.8, 1.0}
+	} else {
+		fracs = []float64{0.4, 0.55, 0.7, 0.8, 0.87, 0.93, 0.98, 1.05}
+	}
+	rates := make([]float64, len(fracs))
+	for i, f := range fracs {
+		rates[i] = round1(mu * f)
+	}
+	return rates, mu, nil
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+
+// runDuration returns the virtual arrival window per point.
+func runDuration(quick bool) time.Duration {
+	if quick {
+		return 40 * time.Second
+	}
+	return 120 * time.Second
+}
+
+// SweepPoint is one (system, rate) evaluation.
+type SweepPoint struct {
+	Kind      rag.Kind
+	Rate      float64
+	Att       float64
+	TTFTP90   time.Duration
+	TTFTP95   time.Duration
+	E2EP90    time.Duration
+	E2EMean   time.Duration
+	Search    time.Duration // mean search latency
+	SearchP90 time.Duration
+	Queueing  time.Duration
+	Prefill   time.Duration
+	AvgBatch  float64
+	Rho       float64
+	Unserved  int
+}
+
+func point(res *rag.Result) SweepPoint {
+	s := res.Summary
+	return SweepPoint{
+		Kind: res.Kind, Rate: res.Rate, Att: s.Attainment,
+		TTFTP90: s.TTFT.P90, TTFTP95: s.TTFT.P95,
+		E2EP90: s.E2E.P90, E2EMean: s.E2E.Mean,
+		Search: s.Breakdown.Search, SearchP90: s.Search.P90,
+		Queueing: s.Breakdown.Queueing, Prefill: s.Breakdown.Prefill,
+		AvgBatch: res.AvgBatch, Rho: res.Rho, Unserved: s.Unserved,
+	}
+}
+
+// sweep evaluates each (kind, rate) pair on one deployment/dataset.
+func sweep(cfg Config, dep deployment, w *dataset.Workload, kinds []rag.Kind, rates []float64, mutate func(*rag.Options)) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, kind := range kinds {
+		for _, rate := range rates {
+			opts := rag.Options{
+				Node: dep.Node, Model: dep.Model, W: w, Kind: kind,
+				Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+			}
+			if mutate != nil {
+				mutate(&opts)
+			}
+			res, err := rag.Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%.1f rps: %w", kind, rate, err)
+			}
+			out = append(out, point(res))
+		}
+	}
+	return out, nil
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.0fms", d.Seconds()*1000) }
+func sec(d time.Duration) string {
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSVer is implemented by experiment results that can export their data
+// rows as CSV — the output format of the paper's artifact ("latency
+// logs are saved under results/<dataset>" as CSV).
+type CSVer interface {
+	CSV() string
+}
+
+func writeCSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	return b.String()
+}
+
+// CSV exports the Fig. 11 sweep, one row per (dataset, model, system,
+// rate) point.
+func (r *Fig11Result) CSV() string {
+	rows := [][]string{}
+	for _, cell := range r.Cells {
+		for _, p := range cell.Points {
+			rows = append(rows, []string{
+				cell.Dataset, cell.Model, string(p.Kind),
+				fmt.Sprintf("%.1f", p.Rate),
+				fmt.Sprintf("%.4f", p.Att),
+				fmt.Sprintf("%.6f", p.TTFTP90.Seconds()),
+				fmt.Sprintf("%.6f", p.E2EP90.Seconds()),
+				fmt.Sprintf("%.6f", p.Search.Seconds()),
+				fmt.Sprintf("%.4f", p.Rho),
+			})
+		}
+	}
+	return writeCSV([]string{"dataset", "model", "system", "rate_rps", "attainment",
+		"ttft_p90_s", "e2e_p90_s", "search_mean_s", "rho"}, rows)
+}
+
+// CSV exports the Fig. 12 breakdown bars.
+func (r *Fig12Result) CSV() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Dataset, string(row.Kind),
+			fmt.Sprintf("%.1f", row.Rate),
+			fmt.Sprintf("%.6f", row.Queueing.Seconds()),
+			fmt.Sprintf("%.6f", row.Search.Seconds()),
+			fmt.Sprintf("%.6f", row.LLM.Seconds()),
+		})
+	}
+	return writeCSV([]string{"dataset", "system", "rate_rps",
+		"queueing_s", "search_s", "llm_s"}, rows)
+}
+
+// CSV exports the Fig. 5 access CDFs, one row per cluster rank.
+func (r *Fig5Result) CSV() string {
+	rows := [][]string{}
+	for name, share := range r.Share {
+		for i, s := range share {
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.4f", float64(i+1)/float64(len(share))),
+				fmt.Sprintf("%.6f", s),
+			})
+		}
+	}
+	return writeCSV([]string{"dataset", "cluster_percentile", "cumulative_share"}, rows)
+}
+
+// CSV exports the Fig. 16 sensitivity rows plus Table II.
+func (r *Fig16Result) CSV() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", row.SLO.Seconds()*1000),
+			string(row.Kind),
+			fmt.Sprintf("%.1f", row.Rate),
+			fmt.Sprintf("%.6f", row.TTFTP95.Seconds()),
+			fmt.Sprintf("%.6f", row.TTFTP90.Seconds()),
+		})
+	}
+	return writeCSV([]string{"slo_search_ms", "system", "rate_rps",
+		"ttft_p95_s", "ttft_p90_s"}, rows)
+}
+
+// CSV exports the Fig. 17 robustness rows.
+func (r *Fig17Result) CSV() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.GPUs), string(row.Kind),
+			fmt.Sprintf("%.1f", row.Rate),
+			fmt.Sprintf("%.4f", row.Att),
+			fmt.Sprintf("%.6f", row.E2EMean.Seconds()),
+			fmt.Sprintf("%.4f", row.Rho),
+		})
+	}
+	return writeCSV([]string{"gpus", "system", "rate_rps", "attainment",
+		"e2e_mean_s", "rho"}, rows)
+}

@@ -1,0 +1,343 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/rag"
+)
+
+func quick() Config { return Config{Quick: true, Seed: 1} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the evaluation must be registered
+	// (DESIGN.md §3).
+	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations"}
+	reg := Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Names()), len(want))
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, norm := range r.Normalized {
+		// Fast scan must be ~5x faster (Fig. 3 left shows ~0.2 normalized)
+		// though CQ dilutes the ratio slightly.
+		if norm < 0.15 || norm > 0.4 {
+			t.Errorf("batch %d: normalized fast-scan latency %.2f outside [0.15,0.4]", b, norm)
+		}
+	}
+	for b, br := range r.Breakdown {
+		if br.LUTBuild+br.LUTScan <= br.CQ {
+			t.Errorf("batch %d: LUT stage does not dominate (Fig. 3 right)", b)
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r.CPUSearch) / float64(r.GPUSearch)
+	if speedup < 4 || speedup > 40 {
+		t.Errorf("GPU speedup %.1fx outside the paper's ~10x order", speedup)
+	}
+	// Throughput must grow with KV space and normalize to 1.
+	last := r.Throughput[len(r.Throughput)-1]
+	if last != 1.0 {
+		t.Errorf("throughput not normalized: %v", last)
+	}
+	if r.Throughput[0] >= last {
+		t.Errorf("tiny KV not slower: %v", r.Throughput)
+	}
+}
+
+func TestFig5SkewTargets(t *testing.T) {
+	r, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiki := r.Top20[dataset.WikiAll.Name]
+	orcas := r.Top20[dataset.Orcas1K.Name]
+	if wiki < 0.5 || wiki > 0.72 {
+		t.Errorf("Wiki-All top-20%% share %.3f vs paper ~0.59", wiki)
+	}
+	if orcas < 0.85 {
+		t.Errorf("ORCAS top-20%% share %.3f vs paper ~0.93", orcas)
+	}
+	if orcas <= wiki {
+		t.Error("ORCAS must be more skewed than Wiki-All")
+	}
+}
+
+func TestFig6CoverageImprovesHitRate(t *testing.T) {
+	r, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, byCov := range r.Dist {
+		if !(byCov[0.05].Mean < byCov[0.10].Mean && byCov[0.10].Mean < byCov[0.20].Mean) {
+			t.Errorf("%s: mean hit rate not increasing with coverage: %v %v %v",
+				name, byCov[0.05].Mean, byCov[0.10].Mean, byCov[0.20].Mean)
+		}
+		// Tail queries persist (the violin's lower tail, Takeaway 3).
+		if byCov[0.20].Min > 0.6 {
+			t.Errorf("%s: no long-tail queries at 20%% coverage (min=%.2f)", name, byCov[0.20].Min)
+		}
+	}
+}
+
+func TestFig8Curves(t *testing.T) {
+	r, err := Fig8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Search); i++ {
+		if r.Search[i] < r.Search[i-1] {
+			t.Error("search latency not monotone in batch")
+		}
+	}
+	// Variance model tracks empirical within 3x wherever both defined.
+	for i := range r.Means {
+		if r.EmpVar[i] <= 0 {
+			continue
+		}
+		ratio := r.ModelVar[i] / r.EmpVar[i]
+		if ratio > 4 || ratio < 0.25 {
+			t.Errorf("variance model off at mean %.2f: model %.4f vs empirical %.4f",
+				r.Means[i], r.ModelVar[i], r.EmpVar[i])
+		}
+	}
+}
+
+func TestFig9WithinEnvelope(t *testing.T) {
+	r, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("expected 6 bars, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Timing.Total() <= 0 || row.Timing.Total().Seconds() > 120 {
+			t.Errorf("%s @%v: rebuild %v outside the paper's <1min envelope",
+				row.Dataset, row.SLO, row.Timing.Total())
+		}
+	}
+}
+
+func TestFig10ModelTracksMeasurement(t *testing.T) {
+	r, err := Fig10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevPred := map[string]float64{}
+	for _, row := range r.Rows {
+		// Tail hit rate: the Beta estimator tracks the replayed truth in
+		// level and trend. Our synthetic per-query hit-rate distribution
+		// has a heavier low tail than a Beta with the parabolic variance,
+		// so the prediction sits above the measurement at large batches —
+		// the paper's Fig. 10 shows the same direction of offset. Bound
+		// the absolute gap and require the predicted curve to decline
+		// with batch size like the measured one.
+		if diff := row.PredTailHit - row.MeasTailHit; diff > 0.35 || diff < -0.15 {
+			t.Errorf("%s b=%d: tail hit pred %.3f vs meas %.3f",
+				row.Dataset, row.Batch, row.PredTailHit, row.MeasTailHit)
+		}
+		if prev, ok := prevPred[row.Dataset]; ok && row.PredTailHit > prev+1e-9 {
+			t.Errorf("%s b=%d: predicted tail hit rose with batch", row.Dataset, row.Batch)
+		}
+		prevPred[row.Dataset] = row.PredTailHit
+		// Latency: within 2.5x (the paper also reports a visible offset,
+		// Fig. 10 left).
+		ratio := float64(row.PredLatency) / float64(row.MeasLatency)
+		if ratio > 2.5 || ratio < 0.4 {
+			t.Errorf("%s b=%d: latency pred %v vs meas %v",
+				row.Dataset, row.Batch, row.PredLatency, row.MeasLatency)
+		}
+	}
+}
+
+func TestFig11QuickHeadline(t *testing.T) {
+	r, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	cell := r.Cells[0]
+	vl := cell.MaxAttainedRate(rag.VLiteRAG, 0.5)
+	cpu := cell.MaxAttainedRate(rag.CPUOnly, 0.5)
+	if vl <= cpu {
+		t.Errorf("vLiteRAG SLO-bound rate %.1f not above CPU-only %.1f", vl, cpu)
+	}
+	if !strings.Contains(r.Render(), "vLiteRAG") {
+		t.Error("render missing system rows")
+	}
+}
+
+func TestFig12BreakdownSane(t *testing.T) {
+	r, err := Fig12(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Search <= 0 || row.LLM <= 0 {
+			t.Errorf("%s %s: degenerate breakdown %+v", row.Dataset, row.Kind, row)
+		}
+	}
+	// CPU-only search segment must dominate vLiteRAG's at equal rate.
+	var cpuSearch, vlSearch float64
+	for _, row := range r.Rows {
+		if row.Dataset == dataset.Orcas1K.Name && row.Rate == 32 {
+			switch row.Kind {
+			case rag.CPUOnly:
+				cpuSearch = row.Search.Seconds()
+			case rag.VLiteRAG:
+				vlSearch = row.Search.Seconds()
+			}
+		}
+	}
+	if cpuSearch <= vlSearch {
+		t.Errorf("CPU-only search %.3fs not above vLiteRAG %.3fs", cpuSearch, vlSearch)
+	}
+}
+
+func TestFig13HedraCachesMore(t *testing.T) {
+	r, err := Fig13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §VI-D contrast: HedraRAG over-caches relative to the
+	// latency-bounded point (paper: 0.73 vs 0.315).
+	if r.HedraRho <= r.VLiteRho {
+		t.Errorf("hedra rho %.3f not above vLiteRAG rho %.3f", r.HedraRho, r.VLiteRho)
+	}
+}
+
+func TestFig14DispatcherHelps(t *testing.T) {
+	r, err := Fig14(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := map[float64]Fig14Row{}
+	off := map[float64]Fig14Row{}
+	for _, row := range r.Rows {
+		if row.Dispatcher {
+			on[row.Rate] = row
+		} else {
+			off[row.Rate] = row
+		}
+	}
+	for rate, o := range on {
+		f := off[rate]
+		if o.AvgSearch > f.AvgSearch {
+			t.Errorf("rate %.0f: dispatcher hurt avg search (%v vs %v)", rate, o.AvgSearch, f.AvgSearch)
+		}
+	}
+}
+
+func TestFig16TableIIMonotone(t *testing.T) {
+	r, err := Fig16(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table) < 2 {
+		t.Fatal("Table II empty")
+	}
+	// Stricter SLO (earlier row) allocates at least as much index memory
+	// and leaves less KV (paper Table II).
+	for i := 1; i < len(r.Table); i++ {
+		if r.Table[i-1].IndexGB < r.Table[i].IndexGB-0.01 {
+			t.Errorf("index memory not decreasing with relaxed SLO: %+v", r.Table)
+		}
+		if r.Table[i-1].KVCacheGB > r.Table[i].KVCacheGB+0.01 {
+			t.Errorf("KV cache not increasing with relaxed SLO: %+v", r.Table)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SearchSLOs) != 3 || len(r.GenSLOs) != 3 {
+		t.Fatalf("incomplete Table I: %+v", r)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Wiki-All") || !strings.Contains(out, "Qwen3-32B") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger eps -> tighter budget -> more coverage -> faster search.
+	first, last := r.Eps[0], r.Eps[len(r.Eps)-1]
+	if last.Rho < first.Rho {
+		t.Errorf("coverage fell as eps grew: %v -> %v", first.Rho, last.Rho)
+	}
+	if last.Search > first.Search {
+		t.Errorf("search slower at higher coverage: %v -> %v", first.Search, last.Search)
+	}
+	// The full runtime must not lose to its ablated variants on search.
+	full := r.Runtime[0]
+	for _, row := range r.Runtime[1:] {
+		if full.Search > row.Search {
+			t.Errorf("full pipeline slower than %q: %v vs %v", row.Pipeline, full.Search, row.Search)
+		}
+	}
+	if !strings.Contains(r.Render(), "Ablation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	f11, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f11.CSV()
+	if !strings.HasPrefix(out, "dataset,model,system,rate_rps") {
+		t.Fatalf("fig11 CSV header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	lines := strings.Count(out, "\n")
+	if want := len(f11.Cells[0].Points)*len(f11.Cells) + 1; lines != want {
+		t.Fatalf("fig11 CSV has %d lines, want %d", lines, want)
+	}
+	f5, err := Fig5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f5.CSV(), "cluster_percentile") {
+		t.Fatal("fig5 CSV header missing")
+	}
+	// Every CSVer must parse back as CSV (no unescaped commas).
+	for _, c := range []CSVer{f11, f5} {
+		for i, line := range strings.Split(strings.TrimSpace(c.CSV()), "\n") {
+			if line == "" {
+				t.Fatalf("empty CSV line %d", i)
+			}
+		}
+	}
+}

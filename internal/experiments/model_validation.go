@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/partition"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/update"
+)
+
+// Fig9Result reproduces Fig. 9: time to rebuild the GPU index shards
+// with updated access data, broken into profiling / algorithm /
+// splitting / loading.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9Row is one (dataset, SLO) bar.
+type Fig9Row struct {
+	Dataset string
+	SLO     time.Duration
+	Rho     float64
+	Timing  update.RebuildTiming
+}
+
+// Fig9 estimates rebuild timing for the paper's six bars.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cases := []struct {
+		spec dataset.Spec
+		slos []time.Duration
+	}{
+		{dataset.WikiAll, []time.Duration{100 * time.Millisecond, 150 * time.Millisecond}},
+		{dataset.Orcas1K, []time.Duration{150 * time.Millisecond, 200 * time.Millisecond}},
+		{dataset.Orcas2K, []time.Duration{200 * time.Millisecond, 300 * time.Millisecond}},
+	}
+	node := hw.H100Node()
+	res := &Fig9Result{}
+	for _, c := range cases {
+		w, err := WorkloadFor(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := profiler.CollectAccess(w, 4000, cfg.Seed+9)
+		if err != nil {
+			return nil, err
+		}
+		est, err := hitrate.NewEstimator(prof)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := perfmodel.Fit(profiler.ProfileLatency(costmodel.NewSearchModel(node.CPU, c.spec), profiler.DefaultBatches()))
+		if err != nil {
+			return nil, err
+		}
+		for _, slo := range c.slos {
+			part, err := partition.LatencyBounded(partition.Inputs{
+				SLOSearch: slo, Perf: perf, Est: est,
+				MemKV: 300 << 30, Mu0: 38,
+				IndexBytesAt: splitter.IndexBytesAt(prof),
+			})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := splitter.Build(prof, part.Rho, node.NumGPUs)
+			if err != nil {
+				return nil, err
+			}
+			// The paper's update path replays ~50k calibration queries.
+			timing := update.EstimateRebuild(node, c.spec, plan, 50000, part.Iterations)
+			res.Rows = append(res.Rows, Fig9Row{Dataset: c.spec.Name, SLO: slo, Rho: part.Rho, Timing: timing})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the stage bars.
+func (r *Fig9Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 9: index rebuild time breakdown (background update cycle)\n")
+	t := &table{header: []string{"dataset", "SLO", "rho", "profiling", "algorithm", "splitting", "loading", "total"}}
+	for _, row := range r.Rows {
+		t.add(row.Dataset, ms(row.SLO), f3(row.Rho),
+			sec(row.Timing.Profiling), sec(row.Timing.Algorithm),
+			sec(row.Timing.Splitting), sec(row.Timing.Loading), sec(row.Timing.Total()))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Fig10Result reproduces Fig. 10: predicted vs measured hybrid search
+// latency (left) and tail (batch-minimum) hit rate (right) across batch
+// sizes, for all three datasets.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10Row is one (dataset, batch) comparison.
+type Fig10Row struct {
+	Dataset     string
+	Batch       int
+	PredLatency time.Duration
+	MeasLatency time.Duration
+	PredTailHit float64
+	MeasTailHit float64
+}
+
+// Fig10 validates the performance model: predictions come from the
+// fitted perf model + Beta estimator; measurements replay real query
+// batches against the hot set and price them with the cost model
+// exactly as the hybrid engine would.
+func Fig10(cfg Config) (*Fig10Result, error) {
+	const coverage = 0.15
+	trials := 400
+	if cfg.Quick {
+		trials = 80
+	}
+	r := rng.New(cfg.Seed + 10)
+	node := hw.H100Node()
+	res := &Fig10Result{}
+	for _, spec := range []dataset.Spec{dataset.WikiAll, dataset.Orcas1K, dataset.Orcas2K} {
+		w, err := WorkloadFor(spec)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := profiler.CollectAccess(w, 4000, cfg.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		est, err := hitrate.NewEstimator(prof)
+		if err != nil {
+			return nil, err
+		}
+		sm := costmodel.NewSearchModel(node.CPU, spec)
+		perf, err := perfmodel.Fit(profiler.ProfileLatency(sm, profiler.DefaultBatches()))
+		if err != nil {
+			return nil, err
+		}
+		k := est.Clusters(coverage)
+		mask := prof.HotMask(k)
+		for _, batch := range []int{1, 4, 7, 10, 13} {
+			// Measurement: replay fresh batches.
+			var sumLat, sumMin float64
+			for trial := 0; trial < trials; trial++ {
+				var missBytes int64
+				minHit := 1.0
+				for i := 0; i < batch; i++ {
+					q := w.Sample(r)
+					hit := w.WorkHitRate(q, mask)
+					if hit < minHit {
+						minHit = hit
+					}
+					for _, c := range w.Probes(q) {
+						if !mask[c] {
+							missBytes += w.ScanBytes(q, []int{c})
+						}
+					}
+				}
+				lat := sm.CQTime(batch) + sm.LUTTime(missBytes, batch)
+				sumLat += lat.Seconds()
+				sumMin += minHit
+			}
+			res.Rows = append(res.Rows, Fig10Row{
+				Dataset:     spec.Name,
+				Batch:       batch,
+				PredLatency: perf.HybridTime(batch, est.MinHitRate(coverage, batch)),
+				MeasLatency: time.Duration(sumLat / float64(trials) * 1e9),
+				PredTailHit: est.MinHitRate(coverage, batch),
+				MeasTailHit: sumMin / float64(trials),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render formats the validation table.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: performance-model validation at 15% coverage\n")
+	t := &table{header: []string{"dataset", "batch", "pred latency", "meas latency", "pred tail hit", "meas tail hit"}}
+	for _, row := range r.Rows {
+		t.add(row.Dataset, fmt.Sprint(row.Batch), ms(row.PredLatency), ms(row.MeasLatency),
+			f3(row.PredTailHit), f3(row.MeasTailHit))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package hitrate
+
+import (
+	"math"
+	"testing"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/rng"
+)
+
+func buildEstimator(t *testing.T, spec dataset.Spec) (*Estimator, *profiler.AccessProfile) {
+	t.Helper()
+	gc := dataset.GenConfig{NCenters: 64, PerCenter: 64, Dim: 16, PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 2}
+	w, err := dataset.Build(spec, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profiler.CollectAccess(w, 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, p
+}
+
+func TestMeanCurveMonotone(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	prev := -1.0
+	for cov := 0.0; cov <= 1.0001; cov += 0.05 {
+		m := e.MeanHitRate(cov)
+		if m < prev-1e-12 {
+			t.Fatalf("mean hit rate fell at coverage %v", cov)
+		}
+		prev = m
+	}
+	if got := e.MeanHitRate(0); got != 0 {
+		t.Fatalf("mean at 0 coverage = %v", got)
+	}
+	if got := e.MeanHitRate(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("mean at full coverage = %v", got)
+	}
+}
+
+func TestMeanMatchesEmpirical(t *testing.T) {
+	// The incremental mean curve must agree with directly measured
+	// work-weighted hit rates on fresh queries.
+	e, p := buildEstimator(t, dataset.Orcas1K)
+	r := rng.New(99)
+	fresh := p.W.SampleMany(r, 3000)
+	for _, cov := range []float64{0.1, 0.2, 0.4} {
+		k := e.Clusters(cov)
+		mask := p.HotMask(k)
+		var mean float64
+		for _, q := range fresh {
+			mean += p.W.WorkHitRate(q, mask)
+		}
+		mean /= float64(len(fresh))
+		if got := e.MeanHitRate(cov); math.Abs(got-mean) > 0.05 {
+			t.Fatalf("coverage %v: modeled mean %v vs empirical %v", cov, got, mean)
+		}
+	}
+}
+
+func TestSkewMeansHighHitRateAtLowCoverage(t *testing.T) {
+	// ORCAS-like skew: 20% coverage should cover most work (Fig. 6).
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	if got := e.MeanHitRate(0.2); got < 0.7 {
+		t.Fatalf("ORCAS mean hit rate at 20%% coverage = %v, want > 0.7", got)
+	}
+	// Wiki-All should be noticeably lower at the same coverage.
+	ew, _ := buildEstimator(t, dataset.WikiAll)
+	if gw := ew.MeanHitRate(0.2); gw >= e.MeanHitRate(0.2) {
+		t.Fatalf("Wiki-All hit rate %v >= ORCAS %v at 20%%", gw, e.MeanHitRate(0.2))
+	}
+}
+
+func TestVarianceParabola(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.WikiAll)
+	if e.Variance(0) != 0 || e.Variance(1) != 0 {
+		t.Fatal("variance at eta=0/1 must vanish")
+	}
+	peak := e.Variance(0.5)
+	if peak <= 0 {
+		t.Fatal("variance peak not positive")
+	}
+	if e.Variance(0.25) >= peak || e.Variance(0.75) >= peak {
+		t.Fatal("variance not peaked at 0.5")
+	}
+	if math.Abs(peak-4*e.SigmaMax2()*0.25) > 1e-12 {
+		t.Fatal("peak must equal sigmaMax2")
+	}
+}
+
+func TestVarianceModelTracksEmpirical(t *testing.T) {
+	// Fig. 8 right: the parabolic approximation should track the
+	// empirical variance within a factor ~2 across the mean range.
+	e, p := buildEstimator(t, dataset.WikiAll)
+	nlist := len(p.Counts)
+	for _, frac := range []float64{0.15, 0.3, 0.5, 0.7} {
+		k := int(frac * float64(nlist))
+		if k == 0 {
+			continue
+		}
+		mean := e.MeanHitRate(float64(k) / float64(nlist))
+		if mean < 0.05 || mean > 0.95 {
+			continue
+		}
+		emp := e.EmpiricalVariance(p, k)
+		mod := e.Variance(mean)
+		if emp <= 0 {
+			continue
+		}
+		if mod/emp > 3.0 || emp/mod > 3.0 {
+			t.Fatalf("coverage %v (mean %.2f): model var %.4g vs empirical %.4g", frac, mean, mod, emp)
+		}
+	}
+}
+
+func TestMinHitRateDecreasesWithBatch(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	const cov = 0.2
+	prev := math.Inf(1)
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		m := e.MinHitRate(cov, b)
+		if m > prev+1e-9 {
+			t.Fatalf("min hit rate rose with batch %d", b)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("min hit rate %v out of range", m)
+		}
+		prev = m
+	}
+}
+
+func TestMinHitRateBelowMean(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	cov := 0.2
+	if e.MinHitRate(cov, 8) >= e.MeanHitRate(cov) {
+		t.Fatal("batch-minimum not below mean")
+	}
+}
+
+func TestMinHitRateMatchesMonteCarlo(t *testing.T) {
+	// Validate Eq. 2 end to end: expected min of batch-8 Beta draws.
+	e, _ := buildEstimator(t, dataset.WikiAll)
+	cov := 0.3
+	b, ok := e.BetaAt(cov)
+	if !ok {
+		t.Fatal("no Beta at coverage 0.3")
+	}
+	r := rng.New(5)
+	const trials = 20000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		minV := 1.0
+		for j := 0; j < 8; j++ {
+			v := r.Beta(b.Alpha, b.Beta)
+			if v < minV {
+				minV = v
+			}
+		}
+		sum += minV
+	}
+	mc := sum / trials
+	if got := e.MinHitRate(cov, 8); math.Abs(got-mc) > 0.02 {
+		t.Fatalf("MinHitRate %v vs Monte Carlo %v", got, mc)
+	}
+}
+
+func TestCoverageForMinHitRateInverts(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	for _, target := range []float64{0.3, 0.5, 0.7} {
+		cov, ok := e.CoverageForMinHitRate(target, 6)
+		if !ok {
+			t.Fatalf("target %v reported infeasible", target)
+		}
+		if got := e.MinHitRate(cov, 6); got < target-0.02 {
+			t.Fatalf("coverage %v gives min hit rate %v < target %v", cov, got, target)
+		}
+		// Minimality: slightly less coverage must miss the target.
+		step := 2.0 / float64(e.nlist)
+		if cov > step {
+			if again := e.MinHitRate(cov-step, 6); again >= target+0.02 {
+				t.Fatalf("coverage not minimal: %v-%v still gives %v", cov, step, again)
+			}
+		}
+	}
+}
+
+func TestCoverageForMinHitRateEdges(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.WikiAll)
+	if cov, ok := e.CoverageForMinHitRate(0, 4); !ok || cov != 0 {
+		t.Fatalf("eta=0 => coverage 0, got %v,%v", cov, ok)
+	}
+	if _, ok := e.CoverageForMinHitRate(1.5, 4); ok {
+		t.Fatal("eta>1 reported feasible")
+	}
+}
+
+func TestBetaAtDegenerateCoverage(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.WikiAll)
+	if _, ok := e.BetaAt(0); ok {
+		t.Fatal("Beta at zero coverage should be degenerate")
+	}
+	if _, ok := e.BetaAt(1); ok {
+		t.Fatal("Beta at full coverage should be degenerate")
+	}
+}
+
+func TestBetaMomentsMatchEstimator(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.Orcas1K)
+	cov := 0.25
+	b, ok := e.BetaAt(cov)
+	if !ok {
+		t.Fatal("no beta")
+	}
+	if math.Abs(b.Mean()-e.MeanHitRate(cov)) > 1e-9 {
+		t.Fatal("Beta mean mismatch")
+	}
+	wantVar := e.Variance(e.MeanHitRate(cov))
+	if limit := b.Mean() * (1 - b.Mean()); wantVar >= limit {
+		wantVar = limit * 0.999
+	}
+	if math.Abs(b.Variance()-wantVar)/wantVar > 1e-6 {
+		t.Fatalf("Beta variance %v vs want %v", b.Variance(), wantVar)
+	}
+}
+
+func TestHotSetSize(t *testing.T) {
+	e, _ := buildEstimator(t, dataset.WikiAll)
+	hs := e.HotSet(0.25)
+	if len(hs) != e.Clusters(0.25) {
+		t.Fatalf("hot set size %d", len(hs))
+	}
+}

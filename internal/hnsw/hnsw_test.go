@@ -1,0 +1,189 @@
+package hnsw
+
+import (
+	"testing"
+
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/vecmath"
+)
+
+func randomData(seed uint64, n, dim int) []float32 {
+	r := rng.New(seed)
+	out := make([]float32, n*dim)
+	for i := range out {
+		out[i] = float32(r.NormFloat64())
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, DefaultConfig(4)); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := Build([]float32{1, 2, 3}, DefaultConfig(2)); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	if _, err := Build([]float32{1, 2}, Config{Dim: 2, M: 1}); err == nil {
+		t.Fatal("M=1 accepted")
+	}
+}
+
+func TestSearchFindsSelf(t *testing.T) {
+	const n, dim = 500, 8
+	data := randomData(1, n, dim)
+	ix, err := Build(data, DefaultConfig(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		q := data[i*dim : (i+1)*dim]
+		res := ix.Search(q, 1, 32)
+		if len(res) == 1 && res[0].Index == i {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("self-recall %d/100", hits)
+	}
+}
+
+func TestRecallHighAtModerateEf(t *testing.T) {
+	const n, dim = 1000, 16
+	data := randomData(2, n, dim)
+	ix, err := Build(data, DefaultConfig(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomData(3, 50, dim)
+	if r := ix.Recall(queries, 10, 64); r < 0.85 {
+		t.Fatalf("recall@10 = %.3f, want >= 0.85", r)
+	}
+}
+
+func TestRecallImprovesWithEf(t *testing.T) {
+	const n, dim = 800, 16
+	data := randomData(4, n, dim)
+	ix, _ := Build(data, DefaultConfig(dim))
+	queries := randomData(5, 30, dim)
+	low := ix.Recall(queries, 10, 10)
+	high := ix.Recall(queries, 10, 128)
+	if high < low {
+		t.Fatalf("recall fell with larger ef: %v -> %v", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("recall at ef=128 only %.3f", high)
+	}
+}
+
+func TestResultsSortedAndUnique(t *testing.T) {
+	const n, dim = 400, 8
+	data := randomData(6, n, dim)
+	ix, _ := Build(data, DefaultConfig(dim))
+	q := randomData(7, 1, dim)
+	res := ix.Search(q, 20, 64)
+	seen := map[int]bool{}
+	for i, nb := range res {
+		if seen[nb.Index] {
+			t.Fatal("duplicate result")
+		}
+		seen[nb.Index] = true
+		if i > 0 && res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not ascending")
+		}
+	}
+}
+
+func TestDegreeBounds(t *testing.T) {
+	const n, dim = 600, 8
+	data := randomData(8, n, dim)
+	cfg := DefaultConfig(dim)
+	ix, _ := Build(data, cfg)
+	for l, layer := range ix.links {
+		limit := cfg.M
+		if l == 0 {
+			limit = 2 * cfg.M
+		}
+		for id, nbrs := range layer {
+			if len(nbrs) > limit {
+				t.Fatalf("node %d layer %d has %d links (limit %d)", id, l, len(nbrs), limit)
+			}
+		}
+	}
+}
+
+func TestLayerDistribution(t *testing.T) {
+	const n, dim = 2000, 4
+	data := randomData(9, n, dim)
+	ix, _ := Build(data, DefaultConfig(dim))
+	atZero := 0
+	for _, l := range ix.levels {
+		if l == 0 {
+			atZero++
+		}
+	}
+	// With M=16, P(level=0) = 1 - 1/M ≈ 0.94.
+	if frac := float64(atZero) / n; frac < 0.85 || frac > 0.99 {
+		t.Fatalf("layer-0 fraction %.3f outside expected band", frac)
+	}
+	if ix.MaxLevel() < 1 {
+		t.Fatal("graph has no upper layers at n=2000")
+	}
+}
+
+func TestMemoryOverheadGrowsWithM(t *testing.T) {
+	// The paper's §II-A point: HNSW's edges cost real memory, which is
+	// why IVF wins at scale.
+	const n, dim = 500, 8
+	data := randomData(10, n, dim)
+	small, _ := Build(data, Config{Dim: dim, M: 8, EfConstruction: 64, Seed: 1})
+	big, _ := Build(data, Config{Dim: dim, M: 32, EfConstruction: 64, Seed: 1})
+	if big.MemoryOverheadBytes() <= small.MemoryOverheadBytes() {
+		t.Fatalf("M=32 overhead %d not above M=8 overhead %d",
+			big.MemoryOverheadBytes(), small.MemoryOverheadBytes())
+	}
+	if small.MemoryOverheadBytes() <= 0 {
+		t.Fatal("no link memory accounted")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	const n, dim = 300, 8
+	data := randomData(11, n, dim)
+	a, _ := Build(data, DefaultConfig(dim))
+	b, _ := Build(data, DefaultConfig(dim))
+	q := randomData(12, 1, dim)
+	ra := a.Search(q, 5, 32)
+	rb := b.Search(q, 5, 32)
+	for i := range ra {
+		if ra[i].Index != rb[i].Index {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestSearchEmptyQueryPanics(t *testing.T) {
+	data := randomData(13, 100, 8)
+	ix, _ := Build(data, DefaultConfig(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dim query did not panic")
+		}
+	}()
+	ix.Search(make([]float32, 3), 1, 8)
+}
+
+func TestBeatsRandomBaseline(t *testing.T) {
+	const n, dim = 800, 16
+	data := randomData(14, n, dim)
+	ix, _ := Build(data, DefaultConfig(dim))
+	q := randomData(15, 1, dim)
+	res := ix.Search(q, 10, 64)
+	truth := vecmath.BruteForceTopK(q, data, dim, 10)
+	// The worst returned distance should be within 1.5x of the true
+	// 10th-nearest distance.
+	if res[len(res)-1].Dist > truth[len(truth)-1].Dist*1.5 {
+		t.Fatalf("approximate results far from truth: %v vs %v",
+			res[len(res)-1].Dist, truth[len(truth)-1].Dist)
+	}
+}

@@ -1,0 +1,162 @@
+// Package hw defines the hardware models the simulator runs on: CPU and
+// GPU device parameters and the two node types used in the paper's
+// evaluation (§V-A): an L40S node (8×48 GB L40S + dual Xeon 6426Y,
+// 32 usable cores) and an H100 node (8×80 GB H100 + Xeon 8462Y,
+// 64 cores).
+//
+// Every constant is either a public spec (memory capacity, bandwidth)
+// or a calibration constant anchored to a measurement reported in the
+// paper; the anchor is cited next to the constant.
+package hw
+
+import "fmt"
+
+// CPU models the host processor that runs coarse quantization and the
+// cold-cluster LUT scan.
+type CPU struct {
+	Name  string
+	Cores int
+	// MemBWBytes is the aggregate memory bandwidth available to the
+	// fast-scan kernel at full thread count.
+	MemBWBytes float64
+	// ScanBWPerCore is the effective fast-scan LUT throughput of a single
+	// core, in bytes of PQ codes per second. Calibrated so the Xeon scans
+	// one ORCAS-1K query (625 MB of codes, the nprobe/nlist share of a
+	// 40 GB index) in ≈0.2 s at batch size 1 with ThreadsPerQuery cores —
+	// between the paper's Fig. 4 left (~0.17–0.2 s CPU fast scan on a
+	// 128M index) and Fig. 8 left (~0.1–0.3 s across batch sizes).
+	ScanBWPerCore float64
+	// ThreadsPerQuery bounds intra-query parallelism: a single query's
+	// cluster scan fans out over at most this many cores, which creates
+	// the single-to-multi-threaded steps in the latency curve (Fig. 8).
+	ThreadsPerQuery int
+}
+
+// GPU models one accelerator.
+type GPU struct {
+	Name     string
+	MemBytes int64
+	// MemBWBytes is HBM/GDDR bandwidth.
+	MemBWBytes float64
+	// ScanBWBytes is the effective IVF scan kernel throughput in bytes of
+	// PQ codes per second. Calibrated so GPU search is ≈10x faster than
+	// CPU fast scan (paper Fig. 4 left).
+	ScanBWBytes float64
+	// KernelLaunch is the fixed per-kernel-launch overhead in seconds.
+	KernelLaunch float64
+	// BlockCost is the scheduling cost per query-cluster thread block
+	// (paper §III-A: "each query–cluster pair typically maps to a thread
+	// block"; §IV-B1: launches consume scheduling bandwidth even for
+	// skipped probes).
+	BlockCost float64
+	// TFLOPs is effective dense BF16 compute for LLM work (not peak;
+	// includes typical utilization).
+	TFLOPs float64
+	// LoadBWBytes is host-to-device transfer bandwidth for shard loading
+	// (PCIe gen4/gen5-ish effective rate).
+	LoadBWBytes float64
+	// Reserve is memory held back per GPU for CUDA context, activations,
+	// and fragmentation slack.
+	Reserve int64
+}
+
+// Node is one evaluation machine.
+type Node struct {
+	Name    string
+	CPU     CPU
+	GPU     GPU
+	NumGPUs int
+	// ContentionFactor scales LLM iteration time while a retrieval
+	// kernel is resident on the same GPU: t' = t * (1 + f*overlap).
+	// Anchored to the ≈2x end-to-end latency inflation the paper reports
+	// for ALL-GPU on ORCAS-2K under high traffic (§VI-C).
+	ContentionFactor float64
+}
+
+const gb = int64(1) << 30
+
+// Xeon8462Y is the H100-node host CPU (64 cores in the paper's setup).
+func Xeon8462Y() CPU {
+	return CPU{
+		Name:  "Xeon Platinum 8462Y+",
+		Cores: 64,
+		// ~300 GB/s per socket class; fast-scan saturates much lower.
+		MemBWBytes: 300e9,
+		// 625 MB per ORCAS-1K query / ~0.2 s at ThreadsPerQuery=8 cores
+		// => ~0.4 GB/s per core effective.
+		ScanBWPerCore:   0.4e9,
+		ThreadsPerQuery: 8,
+	}
+}
+
+// Xeon6426Y is the L40S-node host CPU (32 usable cores per the artifact
+// appendix).
+func Xeon6426Y() CPU {
+	c := Xeon8462Y()
+	c.Name = "Xeon Gold 6426Y"
+	c.Cores = 32
+	c.MemBWBytes = 240e9
+	return c
+}
+
+// H100 returns the 80 GB HBM3 H100 model.
+func H100() GPU {
+	return GPU{
+		Name:       "H100-80GB",
+		MemBytes:   80 * gb,
+		MemBWBytes: 3.35e12,
+		// ≈10x the 64-core CPU fast-scan rate (Fig. 4 left): CPU at full
+		// batch ≈ 64 cores * 1.05 GB/s ≈ 67 GB/s effective; GPU ≈ 10x of
+		// the *per-query* CPU path.
+		ScanBWBytes:  90e9,
+		KernelLaunch: 15e-6,
+		BlockCost:    1.2e-6,
+		TFLOPs:       400, // effective, not peak
+		LoadBWBytes:  24e9,
+		Reserve:      4 * gb,
+	}
+}
+
+// L40S returns the 48 GB GDDR6 L40S model.
+func L40S() GPU {
+	return GPU{
+		Name:         "L40S-48GB",
+		MemBytes:     48 * gb,
+		MemBWBytes:   864e9,
+		ScanBWBytes:  40e9,
+		KernelLaunch: 15e-6,
+		BlockCost:    1.5e-6,
+		TFLOPs:       120,
+		LoadBWBytes:  20e9,
+		Reserve:      3 * gb,
+	}
+}
+
+// H100Node is the large-model machine (Qwen3-32B, Llama3-70B).
+func H100Node() Node {
+	return Node{Name: "H100 node", CPU: Xeon8462Y(), GPU: H100(), NumGPUs: 8, ContentionFactor: 0.9}
+}
+
+// L40SNode is the small-model machine (Llama3-8B).
+func L40SNode() Node {
+	return Node{Name: "L40S node", CPU: Xeon6426Y(), GPU: L40S(), NumGPUs: 8, ContentionFactor: 0.9}
+}
+
+// WithGPUs returns a copy of the node restricted to n GPUs with CPU
+// cores scaled proportionally — the provisioning policy of the paper's
+// §VI-E4 robustness study (4 GPUs + 32 cores, 6 + 48, 8 + 64).
+func (n Node) WithGPUs(gpus int) (Node, error) {
+	if gpus <= 0 || gpus > n.NumGPUs {
+		return Node{}, fmt.Errorf("hw: cannot scale %s to %d GPUs", n.Name, gpus)
+	}
+	out := n
+	out.NumGPUs = gpus
+	out.CPU.Cores = n.CPU.Cores * gpus / n.NumGPUs
+	out.CPU.MemBWBytes = n.CPU.MemBWBytes * float64(gpus) / float64(n.NumGPUs)
+	out.Name = fmt.Sprintf("%s (%d GPUs)", n.Name, gpus)
+	return out, nil
+}
+
+// UsableMem returns the per-GPU memory available to weights, KV cache,
+// and index shards.
+func (g GPU) UsableMem() int64 { return g.MemBytes - g.Reserve }

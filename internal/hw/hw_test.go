@@ -1,0 +1,58 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeDefaults(t *testing.T) {
+	h := H100Node()
+	if h.NumGPUs != 8 || h.CPU.Cores != 64 {
+		t.Fatalf("H100 node misconfigured: %+v", h)
+	}
+	l := L40SNode()
+	if l.NumGPUs != 8 || l.CPU.Cores != 32 {
+		t.Fatalf("L40S node misconfigured: %+v", l)
+	}
+	if h.GPU.MemBytes <= l.GPU.MemBytes {
+		t.Fatal("H100 should have more memory than L40S")
+	}
+}
+
+func TestUsableMem(t *testing.T) {
+	g := H100()
+	if g.UsableMem() != g.MemBytes-g.Reserve {
+		t.Fatal("UsableMem arithmetic wrong")
+	}
+	if g.UsableMem() <= 0 {
+		t.Fatal("no usable memory")
+	}
+}
+
+func TestWithGPUsScalesCPU(t *testing.T) {
+	n := H100Node()
+	half, err := n.WithGPUs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumGPUs != 4 {
+		t.Fatalf("NumGPUs = %d", half.NumGPUs)
+	}
+	// The paper's provisioning policy: 4 GPUs come with 32 cores.
+	if half.CPU.Cores != 32 {
+		t.Fatalf("cores = %d, want 32", half.CPU.Cores)
+	}
+	if !strings.Contains(half.Name, "4 GPUs") {
+		t.Fatalf("name = %q", half.Name)
+	}
+}
+
+func TestWithGPUsRejectsBadCounts(t *testing.T) {
+	n := H100Node()
+	if _, err := n.WithGPUs(0); err == nil {
+		t.Fatal("0 GPUs accepted")
+	}
+	if _, err := n.WithGPUs(9); err == nil {
+		t.Fatal("9 GPUs accepted on an 8-GPU node")
+	}
+}

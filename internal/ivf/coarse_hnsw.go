@@ -1,0 +1,50 @@
+package ivf
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/hnsw"
+)
+
+// CoarseHNSW is an HNSW graph over the index's centroids — how
+// production systems accelerate coarse quantization when nlist is
+// large (paper §IV-A1). VectorLiteRAG deliberately keeps CQ on the CPU
+// (offloading it would add device transitions and graph memory), and
+// this type is the concrete structure that decision refers to.
+type CoarseHNSW struct {
+	graph *hnsw.Index
+}
+
+// BuildCoarseHNSW constructs the centroid graph.
+func (ix *Index) BuildCoarseHNSW(cfg hnsw.Config) (*CoarseHNSW, error) {
+	if cfg.Dim == 0 {
+		cfg = hnsw.DefaultConfig(ix.dim)
+	}
+	if cfg.Dim != ix.dim {
+		return nil, fmt.Errorf("ivf: hnsw dim %d != index dim %d", cfg.Dim, ix.dim)
+	}
+	g, err := hnsw.Build(ix.centroids, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ivf: coarse hnsw: %w", err)
+	}
+	return &CoarseHNSW{graph: g}, nil
+}
+
+// Probe returns the approximately nearest nprobe cluster IDs for the
+// query, using beam width ef. Compared with Index.Probe (exhaustive
+// centroid scan), this trades a little probe recall for sub-linear CQ
+// cost — the trade the cost model's sqrt(nlist) CQ scaling encodes.
+func (c *CoarseHNSW) Probe(query []float32, nprobe, ef int) []int {
+	res := c.graph.Search(query, nprobe, ef)
+	out := make([]int, len(res))
+	for i, nb := range res {
+		out[i] = nb.Index
+	}
+	return out
+}
+
+// MemoryOverheadBytes reports the graph's link storage — the extra
+// memory HNSW costs over IVF's flat centroid array.
+func (c *CoarseHNSW) MemoryOverheadBytes() int64 {
+	return c.graph.MemoryOverheadBytes()
+}

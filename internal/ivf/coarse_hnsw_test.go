@@ -1,0 +1,68 @@
+package ivf
+
+import (
+	"testing"
+
+	"vectorliterag/internal/hnsw"
+	"vectorliterag/internal/rng"
+)
+
+func TestCoarseHNSWAgreesWithExactProbe(t *testing.T) {
+	r := rng.New(31)
+	data, _ := clusteredData(r, 32, 60, 16, 0.8)
+	ix, err := Build(data, BuildConfig{Dim: 16, NList: 32, PQM: 8, PQK: 64, TrainIters: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := ix.BuildCoarseHNSW(hnsw.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	const queries, nprobe = 40, 4
+	for qi := 0; qi < queries; qi++ {
+		q := data[qi*16 : (qi+1)*16]
+		exact := ix.Probe(q, nprobe)
+		approx := coarse.Probe(q, nprobe, 32)
+		if len(approx) != nprobe {
+			t.Fatalf("approx probe returned %d clusters", len(approx))
+		}
+		set := map[int]bool{}
+		for _, c := range exact {
+			set[c] = true
+		}
+		for _, c := range approx {
+			if set[c] {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(queries*nprobe); frac < 0.85 {
+		t.Fatalf("HNSW probe agrees with exact on only %.2f of probes", frac)
+	}
+}
+
+func TestCoarseHNSWMemoryOverhead(t *testing.T) {
+	r := rng.New(32)
+	data, _ := clusteredData(r, 16, 60, 8, 0.8)
+	ix, err := Build(data, BuildConfig{Dim: 8, NList: 16, PQM: 4, PQK: 32, TrainIters: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := ix.BuildCoarseHNSW(hnsw.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.MemoryOverheadBytes() <= 0 {
+		t.Fatal("no graph memory accounted")
+	}
+}
+
+func TestCoarseHNSWRejectsWrongDim(t *testing.T) {
+	r := rng.New(33)
+	data, _ := clusteredData(r, 16, 60, 8, 0.8)
+	ix, _ := Build(data, BuildConfig{Dim: 8, NList: 16, PQM: 4, PQK: 32, TrainIters: 5, Seed: 2})
+	if _, err := ix.BuildCoarseHNSW(hnsw.Config{Dim: 4, M: 8}); err == nil {
+		t.Fatal("mismatched dim accepted")
+	}
+}

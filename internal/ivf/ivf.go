@@ -1,0 +1,221 @@
+// Package ivf implements an Inverted File (IVF) index with product
+// quantization — the index family VectorLiteRAG targets (paper §II).
+//
+// Construction: a coarse quantizer (k-means centroids) partitions the
+// database into nlist clusters; each database vector is assigned to its
+// nearest centroid and stored in that cluster's inverted list as a PQ
+// code. Search proceeds in the three stages of the paper's Figure 2:
+//
+//  1. coarse quantization (CQ): rank clusters by centroid distance and
+//     keep the top nprobe;
+//  2. LUT construction: precompute query-to-codeword partial distances;
+//  3. LUT scan: accumulate approximate distances over the candidate
+//     clusters' codes and keep the top-k.
+//
+// The stages are exposed separately (Probe / BuildLUT / ScanCluster) so
+// the hybrid CPU–GPU engine can route stage 3 per cluster, which is
+// exactly the granularity VectorLiteRAG partitions at.
+package ivf
+
+import (
+	"fmt"
+	"sort"
+
+	"vectorliterag/internal/kmeans"
+	"vectorliterag/internal/pq"
+	"vectorliterag/internal/vecmath"
+)
+
+// BuildConfig controls index construction.
+type BuildConfig struct {
+	Dim        int
+	NList      int // number of IVF clusters
+	PQM        int // PQ subspaces (code bytes per vector)
+	PQK        int // codewords per subspace (<= 256)
+	TrainIters int
+	Seed       uint64
+}
+
+// Index is a trained IVF-PQ index.
+type Index struct {
+	dim       int
+	nlist     int
+	centroids []float32 // nlist x dim
+	quant     *pq.Quantizer
+	lists     []list
+	nvecs     int
+}
+
+type list struct {
+	ids   []int32
+	codes []byte
+}
+
+// Build trains the coarse quantizer and PQ codebooks on the data and
+// populates the inverted lists. data is row-major with cfg.Dim columns.
+func Build(data []float32, cfg BuildConfig) (*Index, error) {
+	if cfg.Dim <= 0 || len(data) == 0 || len(data)%cfg.Dim != 0 {
+		return nil, fmt.Errorf("ivf: bad data length %d for dim %d", len(data), cfg.Dim)
+	}
+	n := len(data) / cfg.Dim
+	if cfg.NList <= 0 || cfg.NList > n {
+		return nil, fmt.Errorf("ivf: nlist %d invalid for %d vectors", cfg.NList, n)
+	}
+	coarse, err := kmeans.Train(data, kmeans.Config{K: cfg.NList, Dim: cfg.Dim, MaxIters: cfg.TrainIters, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
+	}
+	// PQ is trained on residuals-free raw vectors (IVFPQ "by_residual=false"
+	// mode), which keeps LUT semantics simple: one LUT per query serves
+	// every cluster.
+	quant, err := pq.Train(data, pq.Config{Dim: cfg.Dim, M: cfg.PQM, K: cfg.PQK, Iters: cfg.TrainIters, Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, fmt.Errorf("ivf: pq: %w", err)
+	}
+	ix := &Index{
+		dim:       cfg.Dim,
+		nlist:     cfg.NList,
+		centroids: coarse.Centroids,
+		quant:     quant,
+		lists:     make([]list, cfg.NList),
+		nvecs:     n,
+	}
+	code := make([]byte, quant.CodeSize())
+	for i := 0; i < n; i++ {
+		c := coarse.Assignments[i]
+		v := data[i*cfg.Dim : (i+1)*cfg.Dim]
+		code = ix.quant.Encode(v, code)
+		ix.lists[c].ids = append(ix.lists[c].ids, int32(i))
+		ix.lists[c].codes = append(ix.lists[c].codes, code...)
+	}
+	return ix, nil
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// NList returns the number of clusters.
+func (ix *Index) NList() int { return ix.nlist }
+
+// NVectors returns the number of indexed vectors.
+func (ix *Index) NVectors() int { return ix.nvecs }
+
+// CodeSize returns bytes per stored PQ code.
+func (ix *Index) CodeSize() int { return ix.quant.CodeSize() }
+
+// ClusterSize returns the number of vectors in cluster c.
+func (ix *Index) ClusterSize(c int) int { return len(ix.lists[c].ids) }
+
+// ClusterSizes returns a copy of all cluster sizes.
+func (ix *Index) ClusterSizes() []int {
+	out := make([]int, ix.nlist)
+	for i := range ix.lists {
+		out[i] = len(ix.lists[i].ids)
+	}
+	return out
+}
+
+// Probe runs coarse quantization: it returns the nprobe cluster IDs
+// nearest to the query, most similar first.
+func (ix *Index) Probe(query []float32, nprobe int) []int {
+	if len(query) != ix.dim {
+		panic(fmt.Sprintf("ivf: query dim %d != index dim %d", len(query), ix.dim))
+	}
+	if nprobe <= 0 {
+		return nil
+	}
+	if nprobe > ix.nlist {
+		nprobe = ix.nlist
+	}
+	top := vecmath.NewTopK(nprobe)
+	for c := 0; c < ix.nlist; c++ {
+		top.Push(c, vecmath.SquaredL2(query, ix.centroids[c*ix.dim:(c+1)*ix.dim]))
+	}
+	nbrs := top.Sorted()
+	out := make([]int, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = nb.Index
+	}
+	return out
+}
+
+// BuildLUT precomputes the query's distance lookup table (stage 2).
+func (ix *Index) BuildLUT(query []float32) *pq.LUT {
+	return ix.quant.BuildLUT(query)
+}
+
+// ScanCluster scans one inverted list with the given LUT, pushing
+// candidates into top (stage 3 for a single cluster).
+func (ix *Index) ScanCluster(lut *pq.LUT, cluster int, top *vecmath.TopK) {
+	l := &ix.lists[cluster]
+	cs := ix.quant.CodeSize()
+	for i, id := range l.ids {
+		top.Push(int(id), lut.Distance(l.codes[i*cs:(i+1)*cs]))
+	}
+}
+
+// Search runs the full three-stage pipeline and returns the top-k
+// neighbors in ascending distance order.
+func (ix *Index) Search(query []float32, nprobe, k int) []vecmath.Neighbor {
+	probes := ix.Probe(query, nprobe)
+	lut := ix.BuildLUT(query)
+	top := vecmath.NewTopK(k)
+	for _, c := range probes {
+		ix.ScanCluster(lut, c, top)
+	}
+	return top.Sorted()
+}
+
+// SearchClusters scans only the listed clusters (after an external
+// Probe), which is how the hybrid engine computes the CPU-resident part
+// of a query.
+func (ix *Index) SearchClusters(query []float32, clusters []int, k int) []vecmath.Neighbor {
+	lut := ix.BuildLUT(query)
+	top := vecmath.NewTopK(k)
+	for _, c := range clusters {
+		ix.ScanCluster(lut, c, top)
+	}
+	return top.Sorted()
+}
+
+// Recall computes the fraction of brute-force top-k ground truth
+// recovered by the index at the given nprobe, averaged over the queries
+// (row-major). It is the quality metric used in place of the paper's
+// NDCG@50 (see DESIGN.md §6).
+func (ix *Index) Recall(data, queries []float32, nprobe, k int) float64 {
+	nq := len(queries) / ix.dim
+	if nq == 0 {
+		return 0
+	}
+	sum := 0.0
+	for qi := 0; qi < nq; qi++ {
+		q := queries[qi*ix.dim : (qi+1)*ix.dim]
+		truth := vecmath.BruteForceTopK(q, data, ix.dim, k)
+		got := ix.Search(q, nprobe, k)
+		gotSet := make(map[int]bool, len(got))
+		for _, nb := range got {
+			gotSet[nb.Index] = true
+		}
+		hit := 0
+		for _, nb := range truth {
+			if gotSet[nb.Index] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(k)
+	}
+	return sum / float64(nq)
+}
+
+// HotClusters returns cluster IDs sorted by the supplied access counts,
+// hottest first; ties break toward lower IDs for determinism.
+func HotClusters(accessCounts []int64) []int {
+	ids := make([]int, len(accessCounts))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return accessCounts[ids[a]] > accessCounts[ids[b]]
+	})
+	return ids
+}

@@ -1,0 +1,141 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding.
+// It trains both the IVF coarse quantizer (cluster centroids) and the
+// per-subspace product-quantization codebooks, mirroring the role
+// k-means plays in Faiss index construction (paper §II-A).
+package kmeans
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/vecmath"
+)
+
+// Config controls training.
+type Config struct {
+	K        int // number of centroids
+	Dim      int // vector dimensionality
+	MaxIters int // Lloyd iterations; default 15
+	Seed     uint64
+}
+
+// Result holds trained centroids and final assignments.
+type Result struct {
+	Centroids   []float32 // K x Dim row-major
+	Assignments []int     // len == number of training vectors
+	Inertia     float64   // sum of squared distances to assigned centroid
+}
+
+// Train clusters the row-major training matrix into cfg.K centroids.
+// It returns an error when the input is malformed or has fewer vectors
+// than centroids.
+func Train(data []float32, cfg Config) (*Result, error) {
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("kmeans: non-positive dim %d", cfg.Dim)
+	}
+	if len(data)%cfg.Dim != 0 {
+		return nil, fmt.Errorf("kmeans: data length %d not a multiple of dim %d", len(data), cfg.Dim)
+	}
+	n := len(data) / cfg.Dim
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("kmeans: non-positive k %d", cfg.K)
+	}
+	if n < cfg.K {
+		return nil, fmt.Errorf("kmeans: %d vectors < %d centroids", n, cfg.K)
+	}
+	iters := cfg.MaxIters
+	if iters <= 0 {
+		iters = 15
+	}
+	r := rng.New(cfg.Seed)
+
+	centroids := seedPlusPlus(data, n, cfg.Dim, cfg.K, r)
+	assign := make([]int, n)
+	counts := make([]int, cfg.K)
+	inertia := 0.0
+
+	for iter := 0; iter < iters; iter++ {
+		// Assignment step.
+		inertia = 0
+		for i := 0; i < n; i++ {
+			v := data[i*cfg.Dim : (i+1)*cfg.Dim]
+			c, d := vecmath.ArgminL2(v, centroids, cfg.Dim)
+			assign[i] = c
+			inertia += float64(d)
+		}
+		// Update step.
+		next := make([]float32, len(centroids))
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			vecmath.Add(next[c*cfg.Dim:(c+1)*cfg.Dim], data[i*cfg.Dim:(i+1)*cfg.Dim])
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random training vector —
+				// the standard fix that keeps all K centroids meaningful.
+				i := r.Intn(n)
+				copy(next[c*cfg.Dim:(c+1)*cfg.Dim], data[i*cfg.Dim:(i+1)*cfg.Dim])
+				continue
+			}
+			vecmath.Scale(next[c*cfg.Dim:(c+1)*cfg.Dim], 1/float32(counts[c]))
+		}
+		centroids = next
+	}
+	// Final assignment against the last centroid update.
+	inertia = 0
+	for i := 0; i < n; i++ {
+		v := data[i*cfg.Dim : (i+1)*cfg.Dim]
+		c, d := vecmath.ArgminL2(v, centroids, cfg.Dim)
+		assign[i] = c
+		inertia += float64(d)
+	}
+	return &Result{Centroids: centroids, Assignments: assign, Inertia: inertia}, nil
+}
+
+// seedPlusPlus picks K initial centroids with D^2 weighting
+// (k-means++), which gives provably bounded inertia and — more
+// importantly here — deterministic, well-spread clusters.
+func seedPlusPlus(data []float32, n, dim, k int, r *rng.Rand) []float32 {
+	centroids := make([]float32, k*dim)
+	first := r.Intn(n)
+	copy(centroids[:dim], data[first*dim:(first+1)*dim])
+
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[:dim]))
+	}
+	for c := 1; c < k; c++ {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = r.Intn(n)
+		} else {
+			target := r.Float64() * total
+			cum := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				cum += d
+				if cum >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids[c*dim:(c+1)*dim], data[pick*dim:(pick+1)*dim])
+		// Update min-distance table.
+		for i := 0; i < n; i++ {
+			d := float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[c*dim:(c+1)*dim]))
+			if d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

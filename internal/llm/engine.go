@@ -1,0 +1,411 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/workload"
+)
+
+// EngineConfig bounds the continuous-batching scheduler. The engine
+// models vLLM-style chunked prefill: every iteration advances all
+// running decodes by one token AND consumes up to MaxPrefillTokens of
+// pending prompt tokens, so prefills never stall decode entirely and
+// TTFT stays smooth under load.
+type EngineConfig struct {
+	MaxSeqs           int           // max concurrently decoding requests per instance
+	MaxPrefillTokens  int           // prefill-token budget per iteration (chunked prefill)
+	PrefillBase       time.Duration // fixed overhead added when an iteration prefills
+	DecodeBase        time.Duration // fixed per-iteration overhead
+	ComputeEfficiency float64       // fraction of hw.GPU.TFLOPs realized on prefill
+}
+
+// DefaultEngineConfig mirrors common vLLM deployment limits.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		MaxSeqs:           256,
+		MaxPrefillTokens:  2048,
+		PrefillBase:       2 * time.Millisecond,
+		DecodeBase:        1500 * time.Microsecond,
+		ComputeEfficiency: 1.0,
+	}
+}
+
+// Instance is one model replica spanning TP GPUs, running an
+// iteration-level continuous-batching loop on the simulator.
+type Instance struct {
+	sim  *des.Sim
+	spec ModelSpec
+	node hw.Node
+	cfg  EngineConfig
+	gpus []*gpu.State
+
+	kvCapacityTokens int64
+	kvUsedTokens     int64
+
+	waiting    []*entry // not yet admitted (no KV reserved)
+	prefilling []*entry // admitted, prompt tokens still being consumed
+	running    []*entry // decoding
+	sumCtx     int64    // total context tokens across running entries
+	busy       bool
+
+	onFirstToken func(*workload.Request)
+	onDone       func(*workload.Request)
+
+	completed int64
+	tokensOut int64
+}
+
+type entry struct {
+	req            *workload.Request
+	generated      int
+	prefillPending int   // prompt tokens not yet processed
+	reserved       int64 // KV tokens reserved at admission
+}
+
+// NewInstance builds an instance over the given GPUs (len must equal
+// spec.TP).
+func NewInstance(sim *des.Sim, node hw.Node, spec ModelSpec, gpus []*gpu.State, cfg EngineConfig) (*Instance, error) {
+	if len(gpus) != spec.TP {
+		return nil, fmt.Errorf("llm: %s needs %d GPUs, got %d", spec, spec.TP, len(gpus))
+	}
+	inst := &Instance{sim: sim, spec: spec, node: node, cfg: cfg, gpus: gpus}
+	// KV pool: the minimum free memory across the instance's GPUs bounds
+	// the per-GPU KV share (paged KV is allocated symmetrically under TP).
+	perGPU := int64(1) << 62
+	for _, g := range gpus {
+		free := g.MemoryFree(spec.WeightBytesPerGPU())
+		if free < perGPU {
+			perGPU = free
+		}
+	}
+	pool := perGPU * int64(spec.TP)
+	inst.kvCapacityTokens = pool / spec.KVBytesPerToken()
+	if inst.kvCapacityTokens <= 0 {
+		return nil, fmt.Errorf("llm: no KV space for %s (per-GPU free %d bytes)", spec, perGPU)
+	}
+	return inst, nil
+}
+
+// KVCapacityTokens reports the instance's KV pool in tokens.
+func (in *Instance) KVCapacityTokens() int64 { return in.kvCapacityTokens }
+
+// Load returns the number of requests queued or running.
+func (in *Instance) Load() int { return len(in.waiting) + len(in.prefilling) + len(in.running) }
+
+// Completed returns the number of finished requests.
+func (in *Instance) Completed() int64 { return in.completed }
+
+// Submit enqueues a request; the scheduling loop wakes if idle.
+func (in *Instance) Submit(req *workload.Request) {
+	in.waiting = append(in.waiting, &entry{req: req})
+	in.wake()
+}
+
+func (in *Instance) wake() {
+	if in.busy {
+		return
+	}
+	in.busy = true
+	in.sim.At(in.sim.Now(), in.iterate)
+}
+
+// iterate runs one mixed scheduler step (chunked prefill): admit
+// waiting requests while KV and MaxSeqs allow, consume up to
+// MaxPrefillTokens of pending prompt tokens, and advance every running
+// decode by one token — all in a single iteration whose duration sums
+// the decode read time and the prefill compute.
+func (in *Instance) iterate() {
+	// Admission: reserve KV for as many waiting requests as fit.
+	for len(in.waiting) > 0 {
+		e := in.waiting[0]
+		need := int64(e.req.Shape.InputTokens + e.req.Shape.OutputTokens)
+		if len(in.running)+len(in.prefilling)+1 > in.cfg.MaxSeqs {
+			break
+		}
+		if in.kvUsedTokens+need > in.kvCapacityTokens {
+			break
+		}
+		in.waiting = in.waiting[1:]
+		e.reserved = need
+		e.prefillPending = e.req.Shape.InputTokens
+		e.req.LLMStart = in.sim.Now()
+		in.kvUsedTokens += need
+		in.prefilling = append(in.prefilling, e)
+	}
+
+	if len(in.prefilling) == 0 && len(in.running) == 0 {
+		in.busy = false
+		return
+	}
+
+	// Consume prompt tokens FIFO within this iteration's budget.
+	budget := in.cfg.MaxPrefillTokens
+	prefillTokens := 0
+	var finishedPrefill []*entry
+	for _, e := range in.prefilling {
+		if budget <= 0 {
+			break
+		}
+		take := e.prefillPending
+		if take > budget {
+			take = budget
+		}
+		e.prefillPending -= take
+		budget -= take
+		prefillTokens += take
+		if e.prefillPending == 0 {
+			finishedPrefill = append(finishedPrefill, e)
+		}
+	}
+
+	// Iteration duration: decode reads + prefill compute.
+	var d time.Duration
+	if len(in.running) > 0 {
+		d += in.decodeStepTime()
+	}
+	if prefillTokens > 0 {
+		d += in.prefillTime(prefillTokens)
+	}
+	if d == 0 {
+		d = in.cfg.DecodeBase
+	}
+	stretched := in.stretch(d)
+
+	in.sim.After(time.Duration(stretched), func() {
+		now := in.sim.Now()
+		// Decode side: every running request gains a token.
+		kept := in.running[:0]
+		for _, e := range in.running {
+			e.generated++
+			in.tokensOut++
+			in.sumCtx++
+			if e.generated >= e.req.Shape.OutputTokens {
+				e.req.Done = now
+				in.kvUsedTokens -= e.reserved
+				in.sumCtx -= int64(e.req.Shape.InputTokens + e.generated)
+				in.completed++
+				if in.onDone != nil {
+					in.onDone(e.req)
+				}
+				continue
+			}
+			kept = append(kept, e)
+		}
+		in.running = kept
+		// Prefill side: fully prefilled requests emit their first token
+		// (the TTFT endpoint) and join the decode set.
+		if len(finishedPrefill) > 0 {
+			in.prefilling = in.prefilling[len(finishedPrefill):]
+			for _, e := range finishedPrefill {
+				e.req.FirstToken = now
+				e.generated = 1
+				in.tokensOut++
+				in.running = append(in.running, e)
+				in.sumCtx += int64(e.req.Shape.InputTokens + 1)
+				if in.onFirstToken != nil {
+					in.onFirstToken(e.req)
+				}
+			}
+		}
+		in.iterate()
+	})
+}
+
+// prefillTime is compute-bound: 2*Params FLOPs per token over the
+// instance's aggregate effective compute.
+func (in *Instance) prefillTime(tokens int) time.Duration {
+	flops := 2 * float64(in.spec.Params) * float64(tokens)
+	agg := in.node.GPU.TFLOPs * 1e12 * float64(in.spec.TP) * in.cfg.ComputeEfficiency
+	return in.cfg.PrefillBase + time.Duration(flops/agg*float64(time.Second))
+}
+
+// decodeStepTime is bandwidth-bound: one full weight read plus the KV
+// reads of every running sequence, across the instance's aggregate
+// memory bandwidth.
+func (in *Instance) decodeStepTime() time.Duration {
+	bw := in.node.GPU.MemBWBytes * float64(in.spec.TP)
+	bytes := float64(in.spec.WeightBytes()) + float64(in.sumCtx*in.spec.KVBytesPerToken())
+	return in.cfg.DecodeBase + time.Duration(bytes/bw*float64(time.Second))
+}
+
+// stretch applies retrieval-kernel contention: the iteration slows by
+// the node's contention factor while any of the instance's GPUs has a
+// retrieval kernel resident.
+func (in *Instance) stretch(d time.Duration) des.Time {
+	var busyUntil des.Time
+	for _, g := range in.gpus {
+		if bu := g.RetrievalBusyUntil(); bu > busyUntil {
+			busyUntil = bu
+		}
+	}
+	return gpu.StretchForContention(in.sim.Now(), des.Time(d), busyUntil, in.node.ContentionFactor)
+}
+
+// Cluster is a set of instances with least-loaded dispatch — the
+// LLM-serving half of the RAG pipeline.
+type Cluster struct {
+	Instances []*Instance
+	// next rotates the starting point of the least-loaded scan so that
+	// ties spread round-robin instead of piling onto instance 0.
+	next int
+}
+
+// NewCluster packs instances onto consecutive GPU groups of size TP.
+// GPUs beyond the last full group stay unused (the rigidity the paper
+// calls out for DED-GPU with large models, §VI-B).
+func NewCluster(sim *des.Sim, node hw.Node, spec ModelSpec, states []*gpu.State, cfg EngineConfig) (*Cluster, error) {
+	n := len(states) / spec.TP
+	if n == 0 {
+		return nil, fmt.Errorf("llm: %d GPUs cannot host %s", len(states), spec)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		inst, err := NewInstance(sim, node, spec, states[i*spec.TP:(i+1)*spec.TP], cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Instances = append(c.Instances, inst)
+	}
+	return c, nil
+}
+
+// SetCallbacks installs completion hooks on every instance.
+func (c *Cluster) SetCallbacks(onFirstToken, onDone func(*workload.Request)) {
+	for _, in := range c.Instances {
+		in.onFirstToken = onFirstToken
+		in.onDone = onDone
+	}
+}
+
+// Submit dispatches to the least-loaded instance (round-robin among
+// ties).
+func (c *Cluster) Submit(req *workload.Request) {
+	n := len(c.Instances)
+	best := c.Instances[c.next%n]
+	for i := 1; i < n; i++ {
+		in := c.Instances[(c.next+i)%n]
+		if in.Load() < best.Load() {
+			best = in
+		}
+	}
+	c.next++
+	best.Submit(req)
+}
+
+// Completed sums finished requests across instances.
+func (c *Cluster) Completed() int64 {
+	var n int64
+	for _, in := range c.Instances {
+		n += in.Completed()
+	}
+	return n
+}
+
+// MeasureGenSLO derives the generation-stage TTFT SLO the way the
+// paper does (§V-A: "the latency measured at the model's throughput
+// limit"): it drives a standalone cluster at the given fraction of its
+// measured capacity with Poisson arrivals and returns the P90 TTFT.
+// Using the deployment's own measurement rather than the paper's
+// absolute milliseconds keeps the SLO meaningful on this substrate
+// (DESIGN.md §1).
+func MeasureGenSLO(node hw.Node, spec ModelSpec, states []*gpu.State, shape workload.Shape, cfg EngineConfig, loadFraction float64) (time.Duration, error) {
+	mu, err := MeasureCapacity(node, spec, states, shape, cfg)
+	if err != nil {
+		return 0, err
+	}
+	var sim des.Sim
+	cluster, err := NewCluster(&sim, node, spec, states, cfg)
+	if err != nil {
+		return 0, err
+	}
+	rate := mu * loadFraction
+	const horizon = des.Time(120 * 1e9)
+	const warmup = des.Time(20 * 1e9)
+	// A tiny deterministic LCG drives exponential gaps; math utilities
+	// from internal/rng are avoided here to keep llm's dependencies flat.
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>11) / (1 << 53)
+	}
+	var reqs []*workload.Request
+	id := 0
+	var arrive func(at des.Time)
+	arrive = func(at des.Time) {
+		if at > horizon {
+			return
+		}
+		sim.At(at, func() {
+			req := &workload.Request{ID: id, Shape: shape, ArrivalAt: sim.Now()}
+			id++
+			reqs = append(reqs, req)
+			cluster.Submit(req)
+			u := next()
+			if u <= 0 {
+				u = 1e-12
+			}
+			gap := des.Time(-1e9 * math.Log(u) / rate)
+			arrive(sim.Now() + gap)
+		})
+	}
+	arrive(des.Time(1e9))
+	sim.RunUntil(horizon + des.Time(30*1e9))
+	var ttfts []float64
+	for _, r := range reqs {
+		if r.ArrivalAt >= warmup && r.FirstToken > 0 {
+			ttfts = append(ttfts, float64(r.TTFT()))
+		}
+	}
+	if len(ttfts) == 0 {
+		return 0, fmt.Errorf("llm: gen-SLO measurement produced no samples")
+	}
+	sort.Float64s(ttfts)
+	p90 := ttfts[int(0.90*float64(len(ttfts)-1))]
+	return time.Duration(p90), nil
+}
+
+// MeasureCapacity saturates a standalone cluster (no retrieval) with
+// back-to-back requests and returns its steady-state throughput in
+// requests/second — the paper's "bare LLM throughput" profiling input
+// and the vertical dashed capacity lines of Fig. 11.
+func MeasureCapacity(node hw.Node, spec ModelSpec, states []*gpu.State, shape workload.Shape, cfg EngineConfig) (float64, error) {
+	var sim des.Sim
+	cluster, err := NewCluster(&sim, node, spec, states, cfg)
+	if err != nil {
+		return 0, err
+	}
+	// Keep every instance saturated: top up queues whenever they drain.
+	// The window must be long relative to the KV fill ramp (large KV
+	// pools take tens of virtual seconds to reach steady state).
+	const horizon = des.Time(240 * 1e9) // virtual seconds
+	const warmup = des.Time(90 * 1e9)
+	id := 0
+	feed := func() {
+		for _, in := range cluster.Instances {
+			for in.Load() < cfg.MaxSeqs*2 {
+				req := &workload.Request{ID: id, Shape: shape, ArrivalAt: sim.Now()}
+				id++
+				in.Submit(req)
+			}
+		}
+	}
+	var tick func()
+	tick = func() {
+		feed()
+		if sim.Now() < horizon {
+			sim.After(200*time.Millisecond, tick)
+		}
+	}
+	sim.At(0, tick)
+	var atWarmup int64
+	sim.At(warmup, func() { atWarmup = cluster.Completed() })
+	sim.RunUntil(horizon)
+	done := cluster.Completed() - atWarmup
+	return float64(done) / (float64(horizon-warmup) / 1e9), nil
+}

@@ -1,0 +1,70 @@
+// Package llm models LLM serving with iteration-level continuous
+// batching (vLLM-style, the serving stack of the paper §V-A): requests
+// are admitted into an instance when KV-cache space allows, prefill
+// iterations are compute-bound in the prompt length, and decode
+// iterations are memory-bandwidth-bound in weight and KV reads. The
+// engine runs in virtual time on the discrete-event simulator and is
+// coupled to retrieval through the shared per-GPU state (memory
+// partitioning and compute contention).
+package llm
+
+import "fmt"
+
+// ModelSpec describes one served model.
+type ModelSpec struct {
+	Name      string
+	Params    int64 // parameter count
+	Layers    int
+	KVHeads   int // grouped-query KV heads
+	HeadDim   int
+	TP        int // tensor-parallel degree (GPUs per instance)
+	BytesElem int // weight/KV element size (2 for bf16)
+}
+
+// WeightBytes returns the total model weight footprint.
+func (m ModelSpec) WeightBytes() int64 { return m.Params * int64(m.BytesElem) }
+
+// WeightBytesPerGPU returns each GPU's share under TP sharding.
+func (m ModelSpec) WeightBytesPerGPU() int64 { return m.WeightBytes() / int64(m.TP) }
+
+// KVBytesPerToken returns KV-cache bytes per token across the whole
+// model: 2 (K and V) x layers x kvHeads x headDim x elemBytes.
+func (m ModelSpec) KVBytesPerToken() int64 {
+	return int64(2*m.Layers*m.KVHeads*m.HeadDim) * int64(m.BytesElem)
+}
+
+func (m ModelSpec) String() string { return fmt.Sprintf("%s(TP=%d)", m.Name, m.TP) }
+
+// The three evaluation models (paper §V-A). TP degrees follow the
+// paper's deployment: Llama3-8B fits one GPU; Qwen3-32B uses TP=2 on
+// H100s; Llama3-70B needs TP=4 for efficient execution (§VI-B).
+var (
+	Llama3_8B = ModelSpec{
+		Name: "Llama3-8B", Params: 8_000_000_000,
+		Layers: 32, KVHeads: 8, HeadDim: 128, TP: 1, BytesElem: 2,
+	}
+	Qwen3_32B = ModelSpec{
+		Name: "Qwen3-32B", Params: 32_000_000_000,
+		Layers: 64, KVHeads: 8, HeadDim: 128, TP: 2, BytesElem: 2,
+	}
+	Llama3_70B = ModelSpec{
+		Name: "Llama3-70B", Params: 70_000_000_000,
+		Layers: 80, KVHeads: 8, HeadDim: 128, TP: 4, BytesElem: 2,
+	}
+)
+
+// SLOGen returns the generation-stage TTFT SLO the paper assigns each
+// model (Table I): the prefill latency measured at the model's
+// throughput limit.
+func SLOGen(m ModelSpec) (ms int) {
+	switch m.Name {
+	case Llama3_8B.Name:
+		return 217
+	case Qwen3_32B.Name:
+		return 191
+	case Llama3_70B.Name:
+		return 311
+	default:
+		return 250
+	}
+}

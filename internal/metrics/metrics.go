@@ -1,0 +1,107 @@
+// Package metrics computes the serving metrics the paper reports: SLO
+// attainment (fraction of requests whose TTFT meets the combined
+// budget), TTFT and end-to-end latency percentiles, and the TTFT stage
+// breakdown of Fig. 12 (queuing delay, vector search, prefill).
+package metrics
+
+import (
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/stats"
+	"vectorliterag/internal/workload"
+)
+
+// Quantiles is a latency five-number summary.
+type Quantiles struct {
+	Mean, P50, P90, P95, P99 time.Duration
+}
+
+// Breakdown is the mean TTFT stage split.
+type Breakdown struct {
+	Queueing time.Duration // arrival → search batch start
+	Search   time.Duration // search batch start → results forwarded
+	LLMWait  time.Duration // forwarded → admitted to prefill
+	Prefill  time.Duration // admission → first token
+}
+
+// Summary aggregates one run.
+type Summary struct {
+	N          int     // all counted requests, served or not
+	Unserved   int     // requests that never produced a first token
+	Attainment float64 // fraction with TTFT <= SLO (unserved = violation)
+	TTFT       Quantiles
+	E2E        Quantiles
+	Search     Quantiles
+	Breakdown  Breakdown
+}
+
+// Summarize filters to requests that arrived at or after cutoff (warmup
+// exclusion) and aggregates. slo is the combined TTFT budget
+// (SLO_search + SLO_LLM, Table I). Requests still stuck in the system
+// at measurement time count as SLO violations — under overload a
+// backlog is a failure, not missing data — but are excluded from the
+// latency percentiles.
+func Summarize(reqs []*workload.Request, slo time.Duration, cutoff des.Time) Summary {
+	var ttft, e2e, search []float64
+	var sumQ, sumS, sumW, sumP float64
+	ok := 0
+	n := 0
+	unserved := 0
+	for _, r := range reqs {
+		if r.ArrivalAt < cutoff {
+			continue
+		}
+		n++
+		if r.FirstToken == 0 {
+			unserved++
+			continue
+		}
+		t := r.TTFT()
+		ttft = append(ttft, float64(t))
+		if time.Duration(t) <= slo {
+			ok++
+		}
+		if r.Done > 0 {
+			e2e = append(e2e, float64(r.E2E()))
+		}
+		search = append(search, float64(r.SearchLatency()))
+		sumQ += float64(r.QueueingDelay())
+		sumS += float64(r.SearchLatency())
+		sumW += float64(r.LLMStart - r.SearchDone)
+		sumP += float64(r.FirstToken - r.LLMStart)
+	}
+	s := Summary{N: n, Unserved: unserved}
+	if n == 0 {
+		return s
+	}
+	s.Attainment = float64(ok) / float64(n)
+	served := n - unserved
+	if served == 0 {
+		return s
+	}
+	s.TTFT = quantiles(ttft)
+	s.E2E = quantiles(e2e)
+	s.Search = quantiles(search)
+	fs := float64(served)
+	s.Breakdown = Breakdown{
+		Queueing: time.Duration(sumQ / fs),
+		Search:   time.Duration(sumS / fs),
+		LLMWait:  time.Duration(sumW / fs),
+		Prefill:  time.Duration(sumP / fs),
+	}
+	return s
+}
+
+func quantiles(sample []float64) Quantiles {
+	if len(sample) == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Mean: time.Duration(stats.Mean(sample)),
+		P50:  time.Duration(stats.Percentile(sample, 0.50)),
+		P90:  time.Duration(stats.Percentile(sample, 0.90)),
+		P95:  time.Duration(stats.Percentile(sample, 0.95)),
+		P99:  time.Duration(stats.Percentile(sample, 0.99)),
+	}
+}

@@ -1,0 +1,117 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/profiler"
+)
+
+func fitted(t *testing.T) (*Model, costmodel.SearchModel) {
+	t.Helper()
+	sm := costmodel.NewSearchModel(hw.Xeon8462Y(), dataset.Orcas1K)
+	m, err := Fit(profiler.ProfileLatency(sm, profiler.DefaultBatches()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, sm
+}
+
+func TestFitRejectsTooFewSamples(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	sm := costmodel.NewSearchModel(hw.Xeon8462Y(), dataset.WikiAll)
+	if _, err := Fit(profiler.ProfileLatency(sm, []int{4})); err == nil {
+		t.Fatal("single-sample fit accepted")
+	}
+}
+
+func TestModelReproducesProfiledPoints(t *testing.T) {
+	m, sm := fitted(t)
+	for _, b := range profiler.DefaultBatches() {
+		want := sm.SearchTime(b)
+		got := m.SearchTime(b)
+		if relErr(got, want) > 0.01 {
+			t.Fatalf("batch %d: model %v vs measured %v", b, got, want)
+		}
+	}
+}
+
+func TestModelInterpolatesBetweenKnots(t *testing.T) {
+	m, sm := fitted(t)
+	// Batch 5 was not profiled; interpolation should still be close to
+	// the true (cost-model) value.
+	got := m.SearchTime(5)
+	want := sm.SearchTime(5)
+	if relErr(got, want) > 0.15 {
+		t.Fatalf("batch 5: interpolated %v vs true %v", got, want)
+	}
+}
+
+func TestHybridTimeEquation1(t *testing.T) {
+	m, _ := fitted(t)
+	b := 8
+	full := m.HybridTime(b, 0)
+	if full != m.SearchTime(b) {
+		t.Fatal("eta=0 must equal full CPU search")
+	}
+	onlyCQ := m.HybridTime(b, 1)
+	if onlyCQ != m.CQTime(b) {
+		t.Fatal("eta=1 must leave only CQ")
+	}
+	half := m.HybridTime(b, 0.5)
+	want := m.CQTime(b) + m.LUTTime(b)/2
+	if relErr(half, want) > 1e-9 {
+		t.Fatalf("eta=0.5: %v vs %v", half, want)
+	}
+	// Clamping.
+	if m.HybridTime(b, -3) != full || m.HybridTime(b, 7) != onlyCQ {
+		t.Fatal("eta clamping broken")
+	}
+}
+
+func TestEtaForBudgetRoundTrips(t *testing.T) {
+	m, _ := fitted(t)
+	b := 6
+	for _, eta := range []float64{0.2, 0.5, 0.8} {
+		budget := m.HybridTime(b, eta)
+		got := m.EtaForBudget(b, budget)
+		if math.Abs(got-eta) > 1e-6 {
+			t.Fatalf("eta round trip: want %v got %v", eta, got)
+		}
+	}
+}
+
+func TestEtaForBudgetEdges(t *testing.T) {
+	m, _ := fitted(t)
+	// A huge budget needs no cache at all.
+	if eta := m.EtaForBudget(4, time.Hour); eta > 0 {
+		t.Fatalf("huge budget eta = %v", eta)
+	}
+	// A budget below CQ time is unreachable: eta > 1.
+	if eta := m.EtaForBudget(4, m.CQTime(4)/2); eta <= 1 {
+		t.Fatalf("impossible budget eta = %v", eta)
+	}
+}
+
+func TestBatchClampedToOne(t *testing.T) {
+	m, _ := fitted(t)
+	if m.SearchTime(0) != m.SearchTime(1) || m.SearchTime(-5) != m.SearchTime(1) {
+		t.Fatal("non-positive batch not clamped to 1")
+	}
+}
+
+func relErr(a, b time.Duration) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(a-b)) / math.Abs(float64(b))
+}

@@ -1,0 +1,148 @@
+// Package pq implements product quantization (Jégou et al., TPAMI 2010),
+// the compression scheme the paper layers on IVF (§II-A/B): each vector
+// is split into M sub-vectors, each sub-vector is quantized to one of
+// 2^nbits codewords trained by k-means, and search-time distances are
+// computed by asymmetric distance computation (ADC) — a lookup table of
+// query-to-codeword partial distances built once per query, then scanned
+// per candidate code.
+//
+// The LUT build + scan stages are exactly what the paper's Figure 3
+// identifies as the dominant cost of IVF search and what VectorLiteRAG
+// offloads to GPUs.
+package pq
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/kmeans"
+	"vectorliterag/internal/vecmath"
+)
+
+// Quantizer is a trained product quantizer.
+type Quantizer struct {
+	Dim    int // full vector dimensionality
+	M      int // number of subspaces
+	K      int // codewords per subspace (typically 256 for 8-bit codes)
+	subDim int
+	// codebooks[m] is a K x subDim row-major matrix.
+	codebooks [][]float32
+}
+
+// Config controls training.
+type Config struct {
+	Dim   int
+	M     int // must divide Dim
+	K     int // codewords per subspace; default 256
+	Iters int
+	Seed  uint64
+}
+
+// Train learns the per-subspace codebooks from the row-major training
+// matrix.
+func Train(data []float32, cfg Config) (*Quantizer, error) {
+	if cfg.K == 0 {
+		cfg.K = 256
+	}
+	if cfg.Dim <= 0 || cfg.M <= 0 {
+		return nil, fmt.Errorf("pq: non-positive dim %d or M %d", cfg.Dim, cfg.M)
+	}
+	if cfg.Dim%cfg.M != 0 {
+		return nil, fmt.Errorf("pq: M=%d does not divide dim=%d", cfg.M, cfg.Dim)
+	}
+	if len(data) == 0 || len(data)%cfg.Dim != 0 {
+		return nil, fmt.Errorf("pq: bad training matrix length %d for dim %d", len(data), cfg.Dim)
+	}
+	n := len(data) / cfg.Dim
+	if n < cfg.K {
+		return nil, fmt.Errorf("pq: %d training vectors < K=%d codewords", n, cfg.K)
+	}
+	subDim := cfg.Dim / cfg.M
+	q := &Quantizer{Dim: cfg.Dim, M: cfg.M, K: cfg.K, subDim: subDim, codebooks: make([][]float32, cfg.M)}
+	sub := make([]float32, n*subDim)
+	for m := 0; m < cfg.M; m++ {
+		for i := 0; i < n; i++ {
+			copy(sub[i*subDim:(i+1)*subDim], data[i*cfg.Dim+m*subDim:i*cfg.Dim+(m+1)*subDim])
+		}
+		res, err := kmeans.Train(sub, kmeans.Config{K: cfg.K, Dim: subDim, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m)})
+		if err != nil {
+			return nil, fmt.Errorf("pq: subspace %d: %w", m, err)
+		}
+		q.codebooks[m] = res.Centroids
+	}
+	return q, nil
+}
+
+// CodeSize returns the number of bytes in one encoded vector (one byte
+// per subspace; K <= 256 is required for this layout).
+func (q *Quantizer) CodeSize() int { return q.M }
+
+// Encode quantizes vector v (length Dim) into dst (length M). It
+// returns dst for convenience; if dst is nil a new slice is allocated.
+func (q *Quantizer) Encode(v []float32, dst []byte) []byte {
+	if len(v) != q.Dim {
+		panic(fmt.Sprintf("pq: encode vector of dim %d with quantizer dim %d", len(v), q.Dim))
+	}
+	if dst == nil {
+		dst = make([]byte, q.M)
+	}
+	for m := 0; m < q.M; m++ {
+		idx, _ := vecmath.ArgminL2(v[m*q.subDim:(m+1)*q.subDim], q.codebooks[m], q.subDim)
+		dst[m] = byte(idx)
+	}
+	return dst
+}
+
+// Decode reconstructs the approximate vector for a code.
+func (q *Quantizer) Decode(code []byte) []float32 {
+	out := make([]float32, q.Dim)
+	for m := 0; m < q.M; m++ {
+		cw := q.codebooks[m][int(code[m])*q.subDim : (int(code[m])+1)*q.subDim]
+		copy(out[m*q.subDim:(m+1)*q.subDim], cw)
+	}
+	return out
+}
+
+// LUT is a per-query lookup table of partial squared distances:
+// LUT[m*K + j] = ||q_m - codebook[m][j]||^2. Scanning a code then costs
+// M lookups and adds — the ADC inner loop.
+type LUT struct {
+	M, K int
+	tab  []float32
+}
+
+// BuildLUT computes the lookup table for query v.
+func (q *Quantizer) BuildLUT(v []float32) *LUT {
+	if len(v) != q.Dim {
+		panic(fmt.Sprintf("pq: LUT for vector of dim %d with quantizer dim %d", len(v), q.Dim))
+	}
+	t := &LUT{M: q.M, K: q.K, tab: make([]float32, q.M*q.K)}
+	for m := 0; m < q.M; m++ {
+		qSub := v[m*q.subDim : (m+1)*q.subDim]
+		cb := q.codebooks[m]
+		for j := 0; j < q.K; j++ {
+			t.tab[m*q.K+j] = vecmath.SquaredL2(qSub, cb[j*q.subDim:(j+1)*q.subDim])
+		}
+	}
+	return t
+}
+
+// Distance accumulates the approximate squared distance for one code.
+func (t *LUT) Distance(code []byte) float32 {
+	var sum float32
+	for m := 0; m < t.M; m++ {
+		sum += t.tab[m*t.K+int(code[m])]
+	}
+	return sum
+}
+
+// ScanCodes computes distances for a contiguous block of codes (each
+// CodeSize bytes) and pushes them into the collector with indices
+// base+0, base+1, ...  This is the hot loop that fast-scan implementations
+// vectorize with SIMD shuffles; here it is scalar but semantically
+// identical.
+func (t *LUT) ScanCodes(codes []byte, base int, top *vecmath.TopK) {
+	cs := t.M
+	for i := 0; i*cs < len(codes); i++ {
+		top.Push(base+i, t.Distance(codes[i*cs:(i+1)*cs]))
+	}
+}

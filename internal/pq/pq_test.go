@@ -1,0 +1,200 @@
+package pq
+
+import (
+	"math"
+	"testing"
+
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/vecmath"
+)
+
+func randomMatrix(r *rng.Rand, n, dim int) []float32 {
+	m := make([]float32, n*dim)
+	for i := range m {
+		m[i] = float32(r.NormFloat64())
+	}
+	return m
+}
+
+func trainSmall(t *testing.T, r *rng.Rand, n, dim, m, k int) (*Quantizer, []float32) {
+	t.Helper()
+	data := randomMatrix(r, n, dim)
+	q, err := Train(data, Config{Dim: dim, M: m, K: k, Iters: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, data
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train([]float32{1, 2, 3, 4}, Config{Dim: 4, M: 3, K: 2}); err == nil {
+		t.Fatal("M not dividing dim accepted")
+	}
+	if _, err := Train(nil, Config{Dim: 4, M: 2, K: 2}); err == nil {
+		t.Fatal("empty training data accepted")
+	}
+	if _, err := Train([]float32{1, 2, 3, 4}, Config{Dim: 4, M: 2, K: 16}); err == nil {
+		t.Fatal("fewer vectors than codewords accepted")
+	}
+}
+
+func TestEncodeDecodeReducesError(t *testing.T) {
+	r := rng.New(1)
+	q, data := trainSmall(t, r, 600, 8, 4, 32)
+	// Reconstruction error must be far below the raw signal energy.
+	var errSum, sigSum float64
+	for i := 0; i < 100; i++ {
+		v := data[i*8 : (i+1)*8]
+		rec := q.Decode(q.Encode(v, nil))
+		errSum += float64(vecmath.SquaredL2(v, rec))
+		sigSum += float64(vecmath.Norm2(v))
+	}
+	if ratio := errSum / sigSum; ratio > 0.5 {
+		t.Fatalf("reconstruction error ratio %v too high", ratio)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	r := rng.New(2)
+	q, data := trainSmall(t, r, 400, 8, 2, 16)
+	v := data[:8]
+	a := q.Encode(v, nil)
+	b := q.Encode(v, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encode not deterministic")
+		}
+	}
+}
+
+func TestLUTDistanceMatchesDecodedDistance(t *testing.T) {
+	// ADC invariant: LUT-accumulated distance == distance from query to
+	// the decoded (reconstructed) vector, because subspaces are
+	// orthogonal partitions of the coordinates.
+	r := rng.New(3)
+	q, data := trainSmall(t, r, 500, 8, 4, 16)
+	query := randomMatrix(r, 1, 8)
+	lut := q.BuildLUT(query)
+	for i := 0; i < 50; i++ {
+		v := data[i*8 : (i+1)*8]
+		code := q.Encode(v, nil)
+		adc := float64(lut.Distance(code))
+		exact := float64(vecmath.SquaredL2(query, q.Decode(code)))
+		if math.Abs(adc-exact) > 1e-3 {
+			t.Fatalf("vector %d: ADC %v != decoded distance %v", i, adc, exact)
+		}
+	}
+}
+
+func TestScanCodesFindsNearest(t *testing.T) {
+	r := rng.New(4)
+	q, data := trainSmall(t, r, 800, 8, 4, 32)
+	n := 200
+	codes := make([]byte, 0, n*q.CodeSize())
+	for i := 0; i < n; i++ {
+		codes = append(codes, q.Encode(data[i*8:(i+1)*8], nil)...)
+	}
+	// Query very close to vector 17.
+	query := append([]float32(nil), data[17*8:18*8]...)
+	lut := q.BuildLUT(query)
+	top := vecmath.NewTopK(5)
+	lut.ScanCodes(codes, 0, top)
+	res := top.Sorted()
+	found := false
+	for _, nb := range res {
+		if nb.Index == 17 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self vector not in top-5 under ADC: %+v", res)
+	}
+}
+
+func TestScanCodesBaseOffset(t *testing.T) {
+	r := rng.New(5)
+	q, data := trainSmall(t, r, 400, 8, 2, 16)
+	codes := q.Encode(data[:8], nil)
+	lut := q.BuildLUT(data[:8])
+	top := vecmath.NewTopK(1)
+	lut.ScanCodes(codes, 1000, top)
+	if got := top.Sorted()[0].Index; got != 1000 {
+		t.Fatalf("base offset ignored: index %d", got)
+	}
+}
+
+func TestCodeSize(t *testing.T) {
+	r := rng.New(6)
+	q, _ := trainSmall(t, r, 400, 8, 4, 16)
+	if q.CodeSize() != 4 {
+		t.Fatalf("CodeSize = %d, want 4", q.CodeSize())
+	}
+}
+
+func TestEncodePanicsOnWrongDim(t *testing.T) {
+	r := rng.New(7)
+	q, _ := trainSmall(t, r, 400, 8, 2, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with wrong dim did not panic")
+		}
+	}()
+	q.Encode(make([]float32, 5), nil)
+}
+
+func TestPQRecallOnClusteredData(t *testing.T) {
+	// On clustered data (the realistic case), top-10 ADC search must
+	// recall a majority of the true top-10.
+	r := rng.New(8)
+	const dim, nCenters, perCenter = 16, 8, 100
+	centers := randomMatrix(r, nCenters, dim)
+	for i := range centers {
+		centers[i] *= 5
+	}
+	n := nCenters * perCenter
+	data := make([]float32, n*dim)
+	for c := 0; c < nCenters; c++ {
+		for i := 0; i < perCenter; i++ {
+			row := (c*perCenter + i) * dim
+			for d := 0; d < dim; d++ {
+				data[row+d] = centers[c*dim+d] + float32(r.NormFloat64())*0.5
+			}
+		}
+	}
+	q, err := Train(data, Config{Dim: dim, M: 8, K: 64, Iters: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := make([]byte, 0, n*q.CodeSize())
+	for i := 0; i < n; i++ {
+		codes = append(codes, q.Encode(data[i*dim:(i+1)*dim], nil)...)
+	}
+	recallSum := 0.0
+	const queries = 20
+	for qi := 0; qi < queries; qi++ {
+		query := make([]float32, dim)
+		base := r.Intn(n) * dim
+		for d := 0; d < dim; d++ {
+			query[d] = data[base+d] + float32(r.NormFloat64())*0.1
+		}
+		truth := vecmath.BruteForceTopK(query, data, dim, 10)
+		lut := q.BuildLUT(query)
+		top := vecmath.NewTopK(10)
+		lut.ScanCodes(codes, 0, top)
+		got := top.Sorted()
+		gotSet := map[int]bool{}
+		for _, nb := range got {
+			gotSet[nb.Index] = true
+		}
+		hit := 0
+		for _, nb := range truth {
+			if gotSet[nb.Index] {
+				hit++
+			}
+		}
+		recallSum += float64(hit) / 10
+	}
+	if recall := recallSum / queries; recall < 0.6 {
+		t.Fatalf("PQ top-10 recall %v too low", recall)
+	}
+}

@@ -1,0 +1,123 @@
+// Package profiler implements the offline profiling stage of
+// VectorLiteRAG's hybrid index construction (paper §IV-A1, Fig. 7
+// left): it replays calibration queries from a training set to collect
+// (1) per-cluster access frequencies, (2) CPU search latency across
+// batch sizes, and (3) the bare LLM throughput. These three
+// measurements feed the hit-rate estimator, the piecewise-linear
+// performance model, and the latency-bounded partitioning algorithm.
+package profiler
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/ivf"
+	"vectorliterag/internal/rng"
+)
+
+// AccessProfile is the query–cluster access characterization.
+type AccessProfile struct {
+	W       *dataset.Workload
+	Queries []dataset.QueryID // the training sample that was replayed
+	Counts  []int64           // per-cluster access counts
+	// HotOrder lists clusters hottest-first by access count — the order
+	// in which the splitter promotes clusters to the GPU tier.
+	HotOrder []int
+}
+
+// CollectAccess replays n training queries through coarse quantization
+// and tallies cluster accesses. The paper reports that sampling ~0.5 %
+// of the query stream suffices to capture the distribution (§IV-B3);
+// the same holds here (see tests).
+func CollectAccess(w *dataset.Workload, n int, seed uint64) (*AccessProfile, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profiler: need a positive sample size, got %d", n)
+	}
+	r := rng.New(seed)
+	queries := w.SampleMany(r, n)
+	counts := w.AccessCounts(queries)
+	return &AccessProfile{
+		W:        w,
+		Queries:  queries,
+		Counts:   counts,
+		HotOrder: ivf.HotClusters(counts),
+	}, nil
+}
+
+// HotMask returns the membership mask of the top-k hottest clusters.
+func (p *AccessProfile) HotMask(k int) []bool {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(p.HotOrder) {
+		k = len(p.HotOrder)
+	}
+	mask := make([]bool, len(p.Counts))
+	for _, c := range p.HotOrder[:k] {
+		mask[c] = true
+	}
+	return mask
+}
+
+// AccessCDF returns the cumulative access share carried by the top-k
+// clusters, for k = 1..nlist — the curve of paper Fig. 5 weighted by
+// distance computations (accesses x cluster size).
+func (p *AccessProfile) AccessCDF() []float64 {
+	weights := make([]float64, len(p.Counts))
+	for c, cnt := range p.Counts {
+		weights[c] = float64(cnt) * float64(p.W.Index.ClusterSize(c))
+	}
+	// CDF over the hot order (which sorts by raw count; re-sort by weight
+	// for the figure's definition).
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	order := make([]float64, len(weights))
+	copy(order, weights)
+	sortDesc(order)
+	cum := 0.0
+	out := make([]float64, len(order))
+	for i, w := range order {
+		cum += w
+		if total > 0 {
+			out[i] = cum / total
+		}
+	}
+	return out
+}
+
+func sortDesc(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] > s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// LatencySample is one profiled (batch size, stage latency) point.
+type LatencySample struct {
+	Batch  int
+	CQ     time.Duration
+	LUT    time.Duration
+	Search time.Duration // CQ + LUT
+}
+
+// ProfileLatency measures CPU search latency at the given batch sizes.
+// In the original system this times real Faiss runs; here the
+// measurement substrate is the calibrated cost model, queried exactly
+// as a wall-clock profiler would (DESIGN.md §1).
+func ProfileLatency(m costmodel.SearchModel, batches []int) []LatencySample {
+	out := make([]LatencySample, 0, len(batches))
+	for _, b := range batches {
+		cq := m.CQTime(b)
+		lut := m.LUTTime(int64(b)*m.QueryScanBytes(), b)
+		out = append(out, LatencySample{Batch: b, CQ: cq, LUT: lut, Search: cq + lut})
+	}
+	return out
+}
+
+// DefaultBatches is the profiling sweep used by index construction.
+func DefaultBatches() []int { return []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64} }

@@ -1,0 +1,143 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+)
+
+func smallWorkload(t *testing.T, spec dataset.Spec) *dataset.Workload {
+	t.Helper()
+	gc := dataset.GenConfig{NCenters: 32, PerCenter: 64, Dim: 16, PhysNList: 32, PhysNProbe: 4, Templates: 128, Seed: 1}
+	w, err := dataset.Build(spec, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCollectAccessCountsTotal(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, err := CollectAccess(w, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range p.Counts {
+		total += c
+	}
+	if want := int64(1000 * w.Gen.PhysNProbe); total != want {
+		t.Fatalf("total accesses %d, want %d", total, want)
+	}
+}
+
+func TestCollectAccessRejectsZero(t *testing.T) {
+	w := smallWorkload(t, dataset.WikiAll)
+	if _, err := CollectAccess(w, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestHotOrderSortedByCount(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, _ := CollectAccess(w, 2000, 3)
+	for i := 1; i < len(p.HotOrder); i++ {
+		if p.Counts[p.HotOrder[i]] > p.Counts[p.HotOrder[i-1]] {
+			t.Fatal("HotOrder not descending by count")
+		}
+	}
+}
+
+func TestHotMask(t *testing.T) {
+	w := smallWorkload(t, dataset.WikiAll)
+	p, _ := CollectAccess(w, 500, 5)
+	mask := p.HotMask(3)
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("mask has %d hot clusters, want 3", n)
+	}
+	for _, c := range p.HotOrder[:3] {
+		if !mask[c] {
+			t.Fatalf("hottest cluster %d not in mask", c)
+		}
+	}
+	if got := p.HotMask(-1); countTrue(got) != 0 {
+		t.Fatal("negative k should give empty mask")
+	}
+	if got := p.HotMask(10000); countTrue(got) != len(p.Counts) {
+		t.Fatal("oversized k should give full mask")
+	}
+}
+
+func countTrue(m []bool) int {
+	n := 0
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAccessCDFMonotoneEndsAtOne(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, _ := CollectAccess(w, 2000, 9)
+	cdf := p.AccessCDF()
+	prev := 0.0
+	for i, v := range cdf {
+		if v < prev-1e-12 {
+			t.Fatalf("CDF decreased at %d", i)
+		}
+		prev = v
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		t.Fatalf("CDF ends at %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestSmallSampleMatchesLargeSample(t *testing.T) {
+	// The paper's §IV-B3 claim: a ~0.5% sample captures the access
+	// distribution. Compare hot-set overlap between a small and a large
+	// profile.
+	w := smallWorkload(t, dataset.Orcas1K)
+	small, _ := CollectAccess(w, 300, 11)
+	large, _ := CollectAccess(w, 30000, 13)
+	k := len(small.HotOrder) / 5 // top 20%
+	smallSet := map[int]bool{}
+	for _, c := range small.HotOrder[:k] {
+		smallSet[c] = true
+	}
+	overlap := 0
+	for _, c := range large.HotOrder[:k] {
+		if smallSet[c] {
+			overlap++
+		}
+	}
+	if float64(overlap)/float64(k) < 0.7 {
+		t.Fatalf("small-sample hot set overlaps only %d/%d with large sample", overlap, k)
+	}
+}
+
+func TestProfileLatencyMonotone(t *testing.T) {
+	m := costmodel.NewSearchModel(hw.Xeon8462Y(), dataset.Orcas1K)
+	samples := ProfileLatency(m, DefaultBatches())
+	if len(samples) != len(DefaultBatches()) {
+		t.Fatalf("sample count %d", len(samples))
+	}
+	for i, s := range samples {
+		if s.Search != s.CQ+s.LUT {
+			t.Fatalf("sample %d: Search != CQ+LUT", i)
+		}
+		if i > 0 && s.Search < samples[i-1].Search {
+			t.Fatal("profiled latency not monotone in batch")
+		}
+	}
+}

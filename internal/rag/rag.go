@@ -1,0 +1,381 @@
+// Package rag assembles the end-to-end serving pipeline and runs one
+// evaluation point: Poisson arrivals → retrieval engine → LLM cluster,
+// all in virtual time. It owns the system-level wiring the paper's
+// baselines differ in — GPU memory layout, which GPUs serve the LLM,
+// and which retrieval engine runs (§V baseline configurations).
+package rag
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/llm"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/partition"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/workload"
+)
+
+// Kind selects the serving system under test.
+type Kind string
+
+// The evaluated systems (paper §V, baseline configurations).
+const (
+	CPUOnly  Kind = "CPU-Only"
+	DedGPU   Kind = "DED-GPU"
+	AllGPU   Kind = "ALL-GPU"
+	VLiteRAG Kind = "vLiteRAG"
+	HedraRAG Kind = "HedraRAG"
+)
+
+// Kinds lists the four main-evaluation systems in the paper's order.
+func Kinds() []Kind { return []Kind{CPUOnly, DedGPU, AllGPU, VLiteRAG} }
+
+// Options configures one run.
+type Options struct {
+	Node  hw.Node
+	Model llm.ModelSpec
+	W     *dataset.Workload
+	Kind  Kind
+
+	Rate     float64       // arrival rate, requests/second
+	Duration time.Duration // arrival window in virtual time (default 120s)
+	Warmup   time.Duration // excluded prefix (default 20s)
+	Drain    time.Duration // post-arrival settling window (default 120s)
+	Shape    workload.Shape
+	Seed     uint64
+
+	// SLOSearch overrides the dataset's search SLO (sensitivity studies).
+	SLOSearch time.Duration
+	// SLOGen overrides the generation-stage SLO. When zero, it is derived
+	// the way the paper derives Table I: the deployment's own TTFT
+	// measured at the model's throughput limit (P90 at 2/3 capacity).
+	SLOGen time.Duration
+	// Epsilon is the queuing factor of Algorithm 1 (default 1).
+	Epsilon float64
+	// DisableDispatcher turns off early query promotion (Fig. 14).
+	DisableDispatcher bool
+	// MaxBatch caps retrieval batches (default 64).
+	MaxBatch int
+	// ProfileQueries sizes the calibration sample (default 4000).
+	ProfileQueries int
+	// HedraCoverageOverride, when positive, pins HedraRAG's coverage
+	// instead of running its balancing rule (for §VI-D replication).
+	HedraCoverageOverride float64
+	// Plan, when set for VLiteRAG, serves an existing split plan as-is
+	// instead of re-profiling and re-partitioning — "build once, serve
+	// many", and the way a stale plan is represented in drift studies.
+	Plan *splitter.Plan
+}
+
+// Result is one evaluation point.
+type Result struct {
+	Kind     Kind
+	Rate     float64
+	SLOTotal time.Duration
+	Summary  metrics.Summary
+	Requests []*workload.Request
+
+	// Rho is the GPU cache coverage the system chose (1 for ALL/DED-GPU,
+	// 0 for CPU-only).
+	Rho       float64
+	PlanBytes int64 // GPU-resident index bytes
+	Mu0       float64
+	AvgBatch  float64
+	LLMGPUs   int
+	Partition *partition.Result // nil for non-partitioned systems
+	Generated int
+}
+
+// capCache memoizes bare LLM capacity per deployment, since every rate
+// point of a sweep shares it.
+var capCache = struct {
+	sync.Mutex
+	m map[string]float64
+}{m: map[string]float64{}}
+
+// bareCapacity measures (or recalls) the standalone LLM throughput for
+// a node/model/shape deployment over nGPUs.
+func bareCapacity(node hw.Node, model llm.ModelSpec, nGPUs int, shape workload.Shape) (float64, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d/%d", node.Name, model.Name, nGPUs, shape.InputTokens, shape.OutputTokens)
+	capCache.Lock()
+	v, ok := capCache.m[key]
+	capCache.Unlock()
+	if ok {
+		return v, nil
+	}
+	states := gpu.NewStates(node)
+	mu, err := llm.MeasureCapacity(node, model, states[:nGPUs], shape, llm.DefaultEngineConfig())
+	if err != nil {
+		return 0, err
+	}
+	capCache.Lock()
+	capCache.m[key] = mu
+	capCache.Unlock()
+	return mu, nil
+}
+
+// BareCapacity exposes the memoized standalone LLM throughput (the
+// vertical dashed lines of Fig. 11).
+func BareCapacity(node hw.Node, model llm.ModelSpec, shape workload.Shape) (float64, error) {
+	return bareCapacity(node, model, node.NumGPUs, shape)
+}
+
+// genSLOCache memoizes the measured generation-stage SLO.
+var genSLOCache = struct {
+	sync.Mutex
+	m map[string]time.Duration
+}{m: map[string]time.Duration{}}
+
+// GenSLO returns the measured generation-stage TTFT SLO for a
+// deployment (Table I methodology on this substrate).
+func GenSLO(node hw.Node, model llm.ModelSpec, shape workload.Shape) (time.Duration, error) {
+	key := fmt.Sprintf("%s|%s|%d/%d", node.Name, model.Name, shape.InputTokens, shape.OutputTokens)
+	genSLOCache.Lock()
+	v, ok := genSLOCache.m[key]
+	genSLOCache.Unlock()
+	if ok {
+		return v, nil
+	}
+	states := gpu.NewStates(node)
+	slo, err := llm.MeasureGenSLO(node, model, states, shape, llm.DefaultEngineConfig(), 2.0/3.0)
+	if err != nil {
+		return 0, err
+	}
+	genSLOCache.Lock()
+	genSLOCache.m[key] = slo
+	genSLOCache.Unlock()
+	return slo, nil
+}
+
+// Run executes one evaluation point.
+func Run(opts Options) (*Result, error) {
+	if opts.W == nil {
+		return nil, fmt.Errorf("rag: nil workload")
+	}
+	if opts.Rate <= 0 {
+		return nil, fmt.Errorf("rag: non-positive rate %v", opts.Rate)
+	}
+	if opts.Duration == 0 {
+		opts.Duration = 120 * time.Second
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = 20 * time.Second
+	}
+	if opts.Drain == 0 {
+		opts.Drain = 120 * time.Second
+	}
+	if opts.Shape == (workload.Shape{}) {
+		opts.Shape = workload.DefaultShape()
+	}
+	if opts.SLOSearch == 0 {
+		opts.SLOSearch = opts.W.Spec.SLOSearch
+	}
+	if opts.SLOGen == 0 {
+		slo, err := GenSLO(opts.Node, opts.Model, opts.Shape)
+		if err != nil {
+			return nil, err
+		}
+		opts.SLOGen = slo
+	}
+	sloTotal := opts.SLOSearch + opts.SLOGen
+
+	var sim des.Sim
+	states := gpu.NewStates(opts.Node)
+	gm := costmodel.GPUScanModel{GPU: opts.Node.GPU}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+
+	nProf := opts.ProfileQueries
+	if nProf <= 0 {
+		nProf = 4000
+	}
+	prof, err := profiler.CollectAccess(opts.W, nProf, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal}
+
+	// Engine construction is deferred until the LLM cluster exists (the
+	// Forward hook needs it), so the layout step returns a factory.
+	var makeEngine func(cfg retrieval.Config) retrieval.Engine
+	llmStates := states
+
+	switch opts.Kind {
+	case CPUOnly:
+		res.Rho = 0
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine { return retrieval.NewCPUOnly(cfg) }
+
+	case AllGPU:
+		plan, err := splitter.Build(prof, 1.0, opts.Node.NumGPUs)
+		if err != nil {
+			return nil, err
+		}
+		applyShards(states, plan)
+		res.Rho, res.PlanBytes = 1, plan.TotalBytes()
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			return retrieval.NewAllGPU(cfg, plan, states, gm)
+		}
+
+	case DedGPU:
+		perGPU := opts.Node.GPU.UsableMem()
+		nDed := int((opts.W.TotalIndexBytes() + perGPU - 1) / perGPU)
+		if nDed < 1 {
+			nDed = 1
+		}
+		if nDed >= opts.Node.NumGPUs {
+			return nil, fmt.Errorf("rag: index needs %d dedicated GPUs, node has %d", nDed, opts.Node.NumGPUs)
+		}
+		dedStates := states[opts.Node.NumGPUs-nDed:]
+		llmStates = states[:opts.Node.NumGPUs-nDed]
+		if len(llmStates) < opts.Model.TP {
+			return nil, fmt.Errorf("rag: DED-GPU leaves %d GPUs, %s needs TP=%d", len(llmStates), opts.Model, opts.Model.TP)
+		}
+		plan, err := splitter.Build(prof, 1.0, nDed)
+		if err != nil {
+			return nil, err
+		}
+		applyShards(dedStates, plan)
+		res.Rho, res.PlanBytes = 1, plan.TotalBytes()
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			return retrieval.NewDedGPU(cfg, plan, dedStates, gm)
+		}
+
+	case VLiteRAG, HedraRAG:
+		if opts.Plan != nil && opts.Kind == VLiteRAG {
+			plan := opts.Plan
+			applyShards(states, plan)
+			res.Rho = plan.Coverage
+			res.PlanBytes = plan.TotalBytes()
+			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+				h := retrieval.NewHybrid(cfg, plan, states, gm)
+				h.Dispatcher = !opts.DisableDispatcher
+				return h
+			}
+			break
+		}
+		est, err := hitrate.NewEstimator(prof)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
+		if err != nil {
+			return nil, err
+		}
+		mu0, err := bareCapacity(opts.Node, opts.Model, opts.Node.NumGPUs, opts.Shape)
+		if err != nil {
+			return nil, err
+		}
+		res.Mu0 = mu0
+		memKV := nodeKVBytes(opts.Node, opts.Model)
+		var rho float64
+		if opts.Kind == VLiteRAG {
+			part, err := partition.LatencyBounded(partition.Inputs{
+				SLOSearch:    opts.SLOSearch,
+				Epsilon:      opts.Epsilon,
+				Perf:         perf,
+				Est:          est,
+				MemKV:        memKV,
+				Mu0:          mu0,
+				IndexBytesAt: splitter.IndexBytesAt(prof),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Partition = &part
+			rho = part.Rho
+		} else if opts.HedraCoverageOverride > 0 {
+			rho = opts.HedraCoverageOverride
+		} else {
+			part, err := partition.Hedra(partition.HedraInputs{
+				Perf: perf, Est: est,
+				MemKV: memKV, Mu0: mu0,
+				IndexBytesAt: splitter.IndexBytesAt(prof),
+				BatchCap:     opts.MaxBatch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Partition = &part
+			rho = part.Rho
+		}
+		plan, err := splitter.Build(prof, rho, opts.Node.NumGPUs)
+		if err != nil {
+			return nil, err
+		}
+		applyShards(states, plan)
+		res.Rho, res.PlanBytes = rho, plan.TotalBytes()
+		if opts.Kind == VLiteRAG {
+			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+				h := retrieval.NewHybrid(cfg, plan, states, gm)
+				h.Dispatcher = !opts.DisableDispatcher
+				return h
+			}
+		} else {
+			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+				return retrieval.NewHedra(cfg, plan, states, gm)
+			}
+		}
+
+	default:
+		return nil, fmt.Errorf("rag: unknown kind %q", opts.Kind)
+	}
+
+	cluster, err := llm.NewCluster(&sim, opts.Node, opts.Model, llmStates, llm.DefaultEngineConfig())
+	if err != nil {
+		return nil, err
+	}
+	res.LLMGPUs = len(cluster.Instances) * opts.Model.TP
+
+	engine := makeEngine(retrieval.Config{
+		Sim:      &sim,
+		W:        opts.W,
+		CPUModel: cpuModel,
+		Forward:  cluster.Submit,
+		MaxBatch: opts.MaxBatch,
+	})
+
+	var all []*workload.Request
+	gen := workload.NewGenerator(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+	gen.Start(&sim, des.Time(opts.Duration), func(req *workload.Request) {
+		all = append(all, req)
+		engine.Submit(req)
+	})
+	sim.RunUntil(des.Time(opts.Duration + opts.Drain))
+
+	res.Requests = all
+	res.Generated = len(all)
+	res.AvgBatch = engine.AvgBatch()
+	res.Summary = metrics.Summarize(all, sloTotal, des.Time(opts.Warmup))
+	return res, nil
+}
+
+// applyShards records per-GPU resident shard bytes (shrinking KV).
+func applyShards(states []*gpu.State, plan *splitter.Plan) {
+	for g := range plan.ShardBytes {
+		if g < len(states) {
+			states[g].ShardBytes = plan.ShardBytes[g]
+		}
+	}
+}
+
+// nodeKVBytes returns the node-wide baseline KV capacity with no index
+// loaded — the MemKV input of Algorithm 1.
+func nodeKVBytes(node hw.Node, model llm.ModelSpec) int64 {
+	perGPU := node.GPU.UsableMem() - model.WeightBytesPerGPU()
+	if perGPU < 0 {
+		perGPU = 0
+	}
+	used := (node.NumGPUs / model.TP) * model.TP
+	return perGPU * int64(used)
+}

@@ -1,0 +1,153 @@
+// Package retrieval implements the runtime retrieval engines compared
+// in the paper's evaluation (§V, §VI):
+//
+//	CPUOnly   — vanilla Faiss-CPU IVF fast scan; whole batch completes
+//	            together.
+//	AllGPU    — sharded Faiss-GPU IVF across every GPU
+//	            (IndexIVFShards semantics: every shard launches thread
+//	            blocks for the full nprobe, resident or not).
+//	DedGPU    — Faiss-GPU IVF on dedicated retrieval GPUs; the LLM
+//	            keeps the rest.
+//	Hybrid    — VectorLiteRAG's distributed pipeline (§IV-B): CPU
+//	            coarse quantization, mapping-table routing with probe
+//	            pruning, GPU shards for hot clusters, CPU scan for cold
+//	            misses, and a dynamic dispatcher that promotes
+//	            early-finishing queries.
+//	Hedra     — HedraRAG's runtime: hot-cluster caching chosen by
+//	            throughput balancing, IndexIVFShards-style unpruned
+//	            probing, no dispatcher.
+//
+// All engines use on-demand dynamic batching (§VI-B): a new batch is
+// formed from everything queued the moment the previous search
+// completes, so batch size adapts to the arrival rate.
+package retrieval
+
+import (
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/workload"
+)
+
+// mergeCost is the fixed result merge/re-rank cost added to every
+// query's completion (top-k heap merge across CPU and GPU partials).
+const mergeCost = 200 * time.Microsecond
+
+// Engine is a retrieval stage: requests go in, and Forward fires for
+// each request when its search results are merged.
+type Engine interface {
+	Submit(req *workload.Request)
+	Name() string
+	// AvgBatch reports the mean batch size formed so far (Fig. 14).
+	AvgBatch() float64
+}
+
+// Config carries what every engine needs.
+type Config struct {
+	Sim      *des.Sim
+	W        *dataset.Workload
+	CPUModel costmodel.SearchModel
+	Forward  func(*workload.Request)
+	// MaxBatch caps dynamic batch size (default 64, the bound the
+	// paper's HedraRAG comparison also uses).
+	MaxBatch int
+}
+
+func (c *Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+// batcher implements the shared dynamic-batching queue: subclass
+// engines provide run(batch) and call done() when the search pipeline
+// can accept the next batch.
+type batcher struct {
+	cfg     Config
+	queue   []*workload.Request
+	busy    bool
+	batches int
+	total   int
+	run     func([]*workload.Request)
+}
+
+func (b *batcher) Submit(req *workload.Request) {
+	b.queue = append(b.queue, req)
+	b.kick()
+}
+
+func (b *batcher) kick() {
+	if b.busy || len(b.queue) == 0 {
+		return
+	}
+	n := len(b.queue)
+	if m := b.cfg.maxBatch(); n > m {
+		n = m
+	}
+	batch := make([]*workload.Request, n)
+	copy(batch, b.queue[:n])
+	b.queue = append(b.queue[:0], b.queue[n:]...)
+	b.busy = true
+	b.batches++
+	b.total += n
+	now := b.cfg.Sim.Now()
+	for _, req := range batch {
+		req.SearchStart = now
+	}
+	b.run(batch)
+}
+
+// done releases the engine for the next batch.
+func (b *batcher) done() {
+	b.busy = false
+	b.kick()
+}
+
+func (b *batcher) AvgBatch() float64 {
+	if b.batches == 0 {
+		return 0
+	}
+	return float64(b.total) / float64(b.batches)
+}
+
+// scanBytesAll returns each query's full scan work and the batch total.
+func scanBytesAll(w *dataset.Workload, batch []*workload.Request) (per []int64, total int64) {
+	per = make([]int64, len(batch))
+	for i, req := range batch {
+		per[i] = w.ScanBytesAll(req.Query)
+		total += per[i]
+	}
+	return per, total
+}
+
+// CPUOnly is the Faiss-CPU fast-scan baseline.
+type CPUOnly struct {
+	batcher
+}
+
+// NewCPUOnly constructs the CPU-only engine.
+func NewCPUOnly(cfg Config) *CPUOnly {
+	e := &CPUOnly{batcher{cfg: cfg}}
+	e.run = e.runBatch
+	return e
+}
+
+// Name implements Engine.
+func (e *CPUOnly) Name() string { return "CPU-Only" }
+
+func (e *CPUOnly) runBatch(batch []*workload.Request) {
+	b := len(batch)
+	_, total := scanBytesAll(e.cfg.W, batch)
+	t := e.cfg.CPUModel.CQTime(b) + e.cfg.CPUModel.LUTTime(total, b) + mergeCost
+	e.cfg.Sim.After(t, func() {
+		now := e.cfg.Sim.Now()
+		for _, req := range batch {
+			req.SearchDone = now
+			e.cfg.Forward(req)
+		}
+		e.done()
+	})
+}

@@ -1,0 +1,119 @@
+package retrieval
+
+import (
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/workload"
+)
+
+// GPUSharded is the engine core shared by the ALL-GPU and DED-GPU
+// baselines and by HedraRAG: an IndexIVFShards-style sharded GPU index.
+// Unlike the hybrid router it does not prune probes — every shard
+// launches thread blocks for the full nprobe of every query (§IV-B1),
+// and the whole batch completes together (no dispatcher).
+type GPUSharded struct {
+	batcher
+	name     string
+	plan     *splitter.Plan
+	gpus     []*gpu.State
+	gpuModel costmodel.GPUScanModel
+	// contend marks retrieval kernels on the GPU states (true for
+	// co-located deployments; false is never used — dedicated GPUs have
+	// no LLM instances, so marking is harmless — but kept explicit).
+	contend bool
+	// blockScale as in Hybrid.
+	blockScale int
+}
+
+// NewAllGPU shards the *entire* index across the given GPUs (which also
+// serve the LLM): maximum search speed, maximum contention.
+func NewAllGPU(cfg Config, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.GPUScanModel) *GPUSharded {
+	return newSharded(cfg, "ALL-GPU", plan, gpus, gm)
+}
+
+// NewDedGPU shards the entire index across dedicated retrieval GPUs
+// that host no LLM instances.
+func NewDedGPU(cfg Config, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.GPUScanModel) *GPUSharded {
+	return newSharded(cfg, "DED-GPU", plan, gpus, gm)
+}
+
+// NewHedra runs HedraRAG's runtime: a partial hot-cluster cache chosen
+// by throughput balancing, executed with IndexIVFShards semantics (no
+// probe pruning, no dispatcher); misses fall back to the CPU scan.
+func NewHedra(cfg Config, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.GPUScanModel) *GPUSharded {
+	return newSharded(cfg, "HedraRAG", plan, gpus, gm)
+}
+
+func newSharded(cfg Config, name string, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.GPUScanModel) *GPUSharded {
+	e := &GPUSharded{
+		batcher:    batcher{cfg: cfg},
+		name:       name,
+		plan:       plan,
+		gpus:       gpus,
+		gpuModel:   gm,
+		contend:    true,
+		blockScale: cfg.W.Spec.NProbe / cfg.W.Gen.PhysNProbe,
+	}
+	e.run = e.runBatch
+	return e
+}
+
+// Name implements Engine.
+func (e *GPUSharded) Name() string { return e.name }
+
+func (e *GPUSharded) runBatch(batch []*workload.Request) {
+	sim := e.cfg.Sim
+	w := e.cfg.W
+	b := len(batch)
+	cq := e.cfg.CPUModel.CQTime(b)
+	tCQ := sim.Now() + des.Time(cq)
+
+	// Resident bytes per shard from the real routing; block count is the
+	// *unpruned* full nprobe per query per shard (the IndexIVFShards
+	// inefficiency the paper describes).
+	shardBytes := make([]int64, e.plan.NumShards)
+	var missTotal int64
+	fullBlocksPerShard := b * w.Spec.NProbe
+	for _, req := range batch {
+		perShard, cpuClusters := e.plan.Route(w.Probes(req.Query))
+		for g, resident := range perShard {
+			if len(resident) == 0 {
+				continue
+			}
+			shardBytes[g] += w.ScanBytes(req.Query, resident)
+		}
+		missTotal += w.ScanBytes(req.Query, cpuClusters)
+	}
+
+	end := tCQ
+	for g := range shardBytes {
+		t := e.gpuModel.ShardScanTime(shardBytes[g], fullBlocksPerShard)
+		gEnd := tCQ + des.Time(t)
+		if e.contend {
+			e.gpus[g].MarkRetrievalBusy(gEnd)
+		}
+		if gEnd > end {
+			end = gEnd
+		}
+	}
+	// Cold misses (only when the plan is partial, i.e. HedraRAG) scan on
+	// the CPU in parallel with the GPU kernels.
+	if missTotal > 0 {
+		cpuEnd := tCQ + des.Time(e.cfg.CPUModel.LUTTime(missTotal, b))
+		if cpuEnd > end {
+			end = cpuEnd
+		}
+	}
+
+	at := end + des.Time(mergeCost)
+	sim.At(at, func() {
+		now := sim.Now()
+		for _, req := range batch {
+			req.SearchDone = now
+			e.cfg.Forward(req)
+		}
+	})
+	sim.At(end, e.done)
+}

@@ -1,0 +1,162 @@
+package retrieval
+
+import (
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/workload"
+)
+
+// Hybrid is VectorLiteRAG's distributed retrieval pipeline (§IV-B).
+//
+// Per batch: coarse quantization runs on the CPU; the router consults
+// the mapping tables to split each query's probes into per-shard
+// resident sets (pruned — only blocks for resident clusters launch)
+// and a CPU remainder; GPU shard kernels and the CPU cold scan run
+// concurrently; the dynamic dispatcher promotes a query the moment its
+// own clusters are fully scanned instead of waiting for the batch.
+type Hybrid struct {
+	batcher
+	plan     *splitter.Plan
+	gpus     []*gpu.State // gpus[g] hosts plan.Shards[g]
+	gpuModel costmodel.GPUScanModel
+	// blockScale converts one physical probed cluster into its logical
+	// thread-block count (NProbe/PhysNProbe — DESIGN.md §4).
+	blockScale int
+	// Dispatcher toggles early query promotion (the Fig. 14 ablation).
+	Dispatcher bool
+	// refreshing[g] marks shard g as mid-reload: its clusters are
+	// temporarily served by the CPU path (§IV-B3 service continuity).
+	refreshing []bool
+}
+
+// NewHybrid wires the hybrid engine. The i-th shard of the plan must
+// reside on gpus[i].
+func NewHybrid(cfg Config, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.GPUScanModel) *Hybrid {
+	e := &Hybrid{
+		batcher:    batcher{cfg: cfg},
+		plan:       plan,
+		gpus:       gpus,
+		gpuModel:   gm,
+		blockScale: cfg.W.Spec.NProbe / cfg.W.Gen.PhysNProbe,
+		Dispatcher: true,
+		refreshing: make([]bool, plan.NumShards),
+	}
+	e.run = e.runBatch
+	return e
+}
+
+// Name implements Engine.
+func (e *Hybrid) Name() string { return "vLiteRAG" }
+
+// Plan returns the currently serving split plan.
+func (e *Hybrid) Plan() *splitter.Plan { return e.plan }
+
+// SetPlan atomically switches to a freshly built plan (the final step
+// of an adaptive index update). Refresh flags reset.
+func (e *Hybrid) SetPlan(plan *splitter.Plan) {
+	e.plan = plan
+	e.refreshing = make([]bool, plan.NumShards)
+}
+
+// SetShardRefreshing marks shard g as being reloaded; while set, its
+// clusters are served from the CPU path so service never pauses.
+func (e *Hybrid) SetShardRefreshing(g int, on bool) {
+	if g >= 0 && g < len(e.refreshing) {
+		e.refreshing[g] = on
+	}
+}
+
+func (e *Hybrid) runBatch(batch []*workload.Request) {
+	sim := e.cfg.Sim
+	w := e.cfg.W
+	b := len(batch)
+	cq := e.cfg.CPUModel.CQTime(b)
+	tCQ := sim.Now() + des.Time(cq)
+
+	// Route every query through the mapping tables.
+	shardBytes := make([]int64, e.plan.NumShards)
+	shardBlocks := make([]int, e.plan.NumShards)
+	cpuWork := make([]int64, b)
+	var missTotal int64
+	for i, req := range batch {
+		perShard, cpuClusters := e.plan.Route(w.Probes(req.Query))
+		for g, resident := range perShard {
+			if len(resident) == 0 {
+				continue
+			}
+			if e.refreshing[g] {
+				// Mid-reload shard: divert to the CPU path.
+				cpuClusters = append(cpuClusters, resident...)
+				continue
+			}
+			shardBytes[g] += w.ScanBytes(req.Query, resident)
+			shardBlocks[g] += len(resident) * e.blockScale
+		}
+		cpuWork[i] = w.ScanBytes(req.Query, cpuClusters)
+		missTotal += cpuWork[i]
+	}
+
+	// GPU shard kernels start once CQ delivers the cluster lists.
+	gpuReady := tCQ
+	for g := range shardBytes {
+		if shardBytes[g] == 0 && shardBlocks[g] == 0 {
+			continue
+		}
+		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
+		end := tCQ + des.Time(t)
+		e.gpus[g].MarkRetrievalBusy(end)
+		if end > gpuReady {
+			gpuReady = end
+		}
+	}
+
+	// CPU cold scan: clusters are processed grouped by query, in batch
+	// order, so query i's CPU portion completes at the prefix of its
+	// miss work (§IV-B2 callback mechanism).
+	cpuTotal := des.Time(e.cfg.CPUModel.LUTTime(missTotal, b))
+	cpuDone := make([]des.Time, b)
+	var prefix int64
+	for i := range batch {
+		prefix += cpuWork[i]
+		if missTotal > 0 {
+			cpuDone[i] = tCQ + des.Time(float64(cpuTotal)*float64(prefix)/float64(missTotal))
+		} else {
+			cpuDone[i] = tCQ
+		}
+	}
+	batchEnd := tCQ + cpuTotal
+	if gpuReady > batchEnd {
+		batchEnd = gpuReady
+	}
+
+	if e.Dispatcher {
+		// Promote each query when its own search completes: GPU flags
+		// must all be set (shard kernels are batch-granular) and its CPU
+		// clusters scanned.
+		for i, req := range batch {
+			req := req
+			at := cpuDone[i]
+			if gpuReady > at {
+				at = gpuReady
+			}
+			at += des.Time(mergeCost)
+			sim.At(at, func() {
+				req.SearchDone = sim.Now()
+				e.cfg.Forward(req)
+			})
+		}
+	} else {
+		at := batchEnd + des.Time(mergeCost)
+		sim.At(at, func() {
+			now := sim.Now()
+			for _, req := range batch {
+				req.SearchDone = now
+				e.cfg.Forward(req)
+			}
+		})
+	}
+	// The pipeline accepts the next batch when both tiers are free.
+	sim.At(batchEnd, e.done)
+}

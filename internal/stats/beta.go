@@ -1,0 +1,212 @@
+// Package stats provides the statistical machinery behind
+// VectorLiteRAG's analytical models: the Beta distribution used for
+// per-query hit rates (paper §IV-A2), first-order-statistic integrals
+// for the minimum hit rate within a batch (Eq. 2), percentile and
+// histogram utilities for latency metrics, and piecewise-linear models
+// for search-latency-vs-batch-size curves (paper Fig. 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Beta is a Beta(alpha, beta) distribution on [0, 1]. The paper models
+// per-query cache hit rates with this family because it is the standard
+// Bayesian choice for [0,1]-constrained variables and its variance has
+// the same parabolic η(1-η) shape observed empirically (Fig. 8 right).
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// NewBetaFromMoments returns the Beta distribution with the given mean
+// and variance. It returns an error when the moments are infeasible
+// (mean outside (0,1), or variance >= mean(1-mean), which no Beta can
+// achieve).
+func NewBetaFromMoments(mean, variance float64) (Beta, error) {
+	if mean <= 0 || mean >= 1 {
+		return Beta{}, fmt.Errorf("stats: beta mean %v outside (0,1)", mean)
+	}
+	limit := mean * (1 - mean)
+	if variance <= 0 {
+		return Beta{}, fmt.Errorf("stats: beta variance %v must be positive", variance)
+	}
+	if variance >= limit {
+		return Beta{}, fmt.Errorf("stats: beta variance %v >= mean(1-mean)=%v is infeasible", variance, limit)
+	}
+	// Method of moments: nu = mean(1-mean)/var - 1; alpha = mean*nu.
+	nu := limit/variance - 1
+	return Beta{Alpha: mean * nu, Beta: (1 - mean) * nu}, nil
+}
+
+// Mean returns alpha/(alpha+beta).
+func (b Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// Variance returns the distribution variance.
+func (b Beta) Variance() float64 {
+	s := b.Alpha + b.Beta
+	return b.Alpha * b.Beta / (s * s * (s + 1))
+}
+
+// PDF evaluates the density at x in [0, 1].
+func (b Beta) PDF(x float64) float64 {
+	if x < 0 || x > 1 {
+		return 0
+	}
+	if x == 0 || x == 1 {
+		// Handle boundary: density may be infinite; return a large finite
+		// value only when the exponent is negative, else 0.
+		if (x == 0 && b.Alpha < 1) || (x == 1 && b.Beta < 1) {
+			return math.Inf(1)
+		}
+		if (x == 0 && b.Alpha > 1) || (x == 1 && b.Beta > 1) {
+			return 0
+		}
+	}
+	logPDF := (b.Alpha-1)*math.Log(x) + (b.Beta-1)*math.Log(1-x) - logBetaFn(b.Alpha, b.Beta)
+	return math.Exp(logPDF)
+}
+
+// CDF evaluates the cumulative distribution at x via the regularized
+// incomplete beta function I_x(alpha, beta).
+func (b Beta) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return RegIncBeta(b.Alpha, b.Beta, x)
+}
+
+// Quantile returns the x with CDF(x) = p, by bisection. p outside [0,1]
+// is clamped.
+func (b Beta) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if b.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ExpectedMin returns E[min of n iid draws], the first-order statistic
+// mean from the paper's Eq. 2:
+//
+//	eta_min(n) = ∫ n·x·f(x)·(1-F(x))^(n-1) dx
+//
+// Rather than integrating that density form directly — which is
+// numerically treacherous when alpha or beta < 1 (the density is
+// singular at the boundary and fixed-grid quadrature silently drops
+// mass) — we integrate the equivalent survival form obtained by parts:
+//
+//	E[min] = ∫ (1-F(x))^n dx
+//
+// whose integrand is bounded in [0,1] everywhere. n must be >= 1;
+// n = 1 reduces to the distribution mean.
+func (b Beta) ExpectedMin(n int) float64 {
+	if n <= 1 {
+		return b.Mean()
+	}
+	const steps = 2000 // even
+	h := 1.0 / steps
+	f := func(x float64) float64 {
+		surv := 1 - b.CDF(x)
+		if surv <= 0 {
+			return 0
+		}
+		return math.Pow(surv, float64(n))
+	}
+	sum := f(0) + f(1)
+	for i := 1; i < steps; i++ {
+		x := float64(i) * h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// logBetaFn returns ln B(a, b) = lnΓ(a) + lnΓ(b) − lnΓ(a+b).
+func logBetaFn(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta computes the regularized incomplete beta function
+// I_x(a, b) using the continued-fraction expansion from Numerical
+// Recipes (Lentz's method), accurate to ~1e-12 for moderate a, b.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lnFront := a*math.Log(x) + b*math.Log(1-x) - logBetaFn(a, b)
+	front := math.Exp(lnFront)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 1e-14
+	const tiny = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

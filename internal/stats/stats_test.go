@@ -1,0 +1,318 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vectorliterag/internal/rng"
+)
+
+func TestBetaMeanVariance(t *testing.T) {
+	b := Beta{Alpha: 2, Beta: 5}
+	if got, want := b.Mean(), 2.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	wantVar := 2.0 * 5.0 / (49.0 * 8.0)
+	if got := b.Variance(); math.Abs(got-wantVar) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, wantVar)
+	}
+}
+
+func TestNewBetaFromMomentsRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ mean, variance float64 }{
+		{0.5, 0.02}, {0.2, 0.01}, {0.9, 0.005}, {0.05, 0.001},
+	} {
+		b, err := NewBetaFromMoments(tc.mean, tc.variance)
+		if err != nil {
+			t.Fatalf("NewBetaFromMoments(%v,%v): %v", tc.mean, tc.variance, err)
+		}
+		if math.Abs(b.Mean()-tc.mean) > 1e-9 {
+			t.Errorf("mean round trip: got %v want %v", b.Mean(), tc.mean)
+		}
+		if math.Abs(b.Variance()-tc.variance) > 1e-9 {
+			t.Errorf("variance round trip: got %v want %v", b.Variance(), tc.variance)
+		}
+	}
+}
+
+func TestNewBetaFromMomentsRejectsInfeasible(t *testing.T) {
+	if _, err := NewBetaFromMoments(0.5, 0.3); err == nil {
+		t.Fatal("variance >= mean(1-mean) accepted")
+	}
+	if _, err := NewBetaFromMoments(1.2, 0.01); err == nil {
+		t.Fatal("mean outside (0,1) accepted")
+	}
+	if _, err := NewBetaFromMoments(0.5, 0); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+}
+
+func TestBetaCDFUniform(t *testing.T) {
+	// Beta(1,1) is uniform: CDF(x) = x.
+	b := Beta{Alpha: 1, Beta: 1}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := b.CDF(x); math.Abs(got-x) > 1e-9 {
+			t.Fatalf("uniform CDF(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestBetaCDFSymmetry(t *testing.T) {
+	// For Beta(a,a), CDF(0.5) = 0.5.
+	for _, a := range []float64{0.5, 1, 2, 7} {
+		b := Beta{Alpha: a, Beta: a}
+		if got := b.CDF(0.5); math.Abs(got-0.5) > 1e-9 {
+			t.Fatalf("Beta(%v,%v).CDF(0.5) = %v", a, a, got)
+		}
+	}
+}
+
+func TestBetaCDFMonotone(t *testing.T) {
+	b := Beta{Alpha: 2.3, Beta: 4.1}
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		c := b.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreased at %v", x)
+		}
+		prev = c
+	}
+	if math.Abs(b.CDF(1)-1) > 1e-9 {
+		t.Fatal("CDF(1) != 1")
+	}
+}
+
+func TestBetaCDFAgainstSampling(t *testing.T) {
+	b := Beta{Alpha: 3, Beta: 2}
+	r := rng.New(9)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Beta(3, 2) <= 0.6 {
+			count++
+		}
+	}
+	empirical := float64(count) / n
+	if got := b.CDF(0.6); math.Abs(got-empirical) > 0.01 {
+		t.Fatalf("CDF(0.6) analytic %v vs sampled %v", got, empirical)
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	b := Beta{Alpha: 2, Beta: 8}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.9, 0.99} {
+		x := b.Quantile(p)
+		if got := b.CDF(x); math.Abs(got-p) > 1e-6 {
+			t.Fatalf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestExpectedMinDecreasesWithBatch(t *testing.T) {
+	// The first-order statistic must fall monotonically with batch size —
+	// the core behaviour behind paper Fig. 10 (right).
+	b := Beta{Alpha: 4, Beta: 2}
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		m := b.ExpectedMin(n)
+		if m >= prev {
+			t.Fatalf("ExpectedMin(%d) = %v did not decrease (prev %v)", n, m, prev)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("ExpectedMin(%d) = %v out of [0,1]", n, m)
+		}
+		prev = m
+	}
+}
+
+func TestExpectedMinN1IsMean(t *testing.T) {
+	b := Beta{Alpha: 3, Beta: 4}
+	if got := b.ExpectedMin(1); math.Abs(got-b.Mean()) > 1e-9 {
+		t.Fatalf("ExpectedMin(1) = %v, want mean %v", got, b.Mean())
+	}
+}
+
+func TestExpectedMinUniformClosedForm(t *testing.T) {
+	// For Uniform(0,1), E[min of n] = 1/(n+1) exactly.
+	b := Beta{Alpha: 1, Beta: 1}
+	for _, n := range []int{2, 3, 5, 10} {
+		want := 1.0 / float64(n+1)
+		if got := b.ExpectedMin(n); math.Abs(got-want) > 1e-4 {
+			t.Fatalf("uniform ExpectedMin(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestExpectedMinAgainstMonteCarlo(t *testing.T) {
+	b := Beta{Alpha: 5, Beta: 3}
+	r := rng.New(21)
+	const trials = 20000
+	const batch = 8
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		minV := 1.0
+		for j := 0; j < batch; j++ {
+			v := r.Beta(5, 3)
+			if v < minV {
+				minV = v
+			}
+		}
+		sum += minV
+	}
+	mc := sum / trials
+	if got := b.ExpectedMin(batch); math.Abs(got-mc) > 0.01 {
+		t.Fatalf("ExpectedMin analytic %v vs Monte Carlo %v", got, mc)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(s, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(s, 1); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(s, 0.25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	s := []float64{5, 1, 3}
+	Percentile(s, 0.5)
+	if s[0] != 5 || s[1] != 1 || s[2] != 3 {
+		t.Fatalf("input mutated: %v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Median != 3 || s.Max != 100 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestCDFPointsAndTopShare(t *testing.T) {
+	// One item carries 90 of 100 total: top-25% share must be >= 0.9.
+	w := []float64{90, 5, 3, 2}
+	cdf := CDFPoints(w)
+	if math.Abs(cdf[0]-0.9) > 1e-12 {
+		t.Fatalf("cdf[0] = %v", cdf[0])
+	}
+	if math.Abs(cdf[3]-1.0) > 1e-12 {
+		t.Fatalf("cdf[last] = %v", cdf[3])
+	}
+	if got := ShareOfTopFraction(w, 0.25); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("top-25%% share = %v", got)
+	}
+}
+
+func TestShareOfTopFractionUniform(t *testing.T) {
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	if got := ShareOfTopFraction(w, 0.2); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("uniform top-20%% share = %v, want 0.2", got)
+	}
+}
+
+func TestPiecewiseLinearInterpolation(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{1, 2, 4}, []float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(1.5); got != 15 {
+		t.Fatalf("Eval(1.5) = %v", got)
+	}
+	if got := p.Eval(3); got != 30 {
+		t.Fatalf("Eval(3) = %v", got)
+	}
+}
+
+func TestPiecewiseLinearClampAndExtrapolate(t *testing.T) {
+	p, _ := NewPiecewiseLinear([]float64{1, 2}, []float64{10, 20})
+	if got := p.Eval(0); got != 10 {
+		t.Fatalf("clamp below = %v", got)
+	}
+	if got := p.Eval(4); got != 40 {
+		t.Fatalf("extrapolate = %v", got)
+	}
+}
+
+func TestPiecewiseLinearRejectsBadInput(t *testing.T) {
+	if _, err := NewPiecewiseLinear([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single knot accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("duplicate knots accepted")
+	}
+	if _, err := NewPiecewiseLinear([]float64{1, 2}, []float64{2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestPiecewiseSortsKnots(t *testing.T) {
+	p, err := NewPiecewiseLinear([]float64{4, 1, 2}, []float64{40, 10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(1.5); got != 15 {
+		t.Fatalf("Eval(1.5) after unsorted input = %v", got)
+	}
+}
+
+func TestInverseMonotone(t *testing.T) {
+	p, _ := NewPiecewiseLinear([]float64{1, 2, 4}, []float64{10, 20, 40})
+	x, ok := p.InverseMonotone(25, 10)
+	if !ok || math.Abs(x-2.5) > 1e-6 {
+		t.Fatalf("InverseMonotone(25) = %v, %v", x, ok)
+	}
+	if _, ok := p.InverseMonotone(5, 10); ok {
+		t.Fatal("value below minimum reported as found")
+	}
+}
+
+func TestFitPiecewiseAveragesDuplicates(t *testing.T) {
+	p, err := FitPiecewiseLinear([]float64{1, 1, 2}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(1); got != 15 {
+		t.Fatalf("Eval(1) = %v, want averaged 15", got)
+	}
+}
+
+func TestPiecewiseEvalWithinHullProperty(t *testing.T) {
+	// Property: interpolation between knots never exceeds the knot
+	// y-range of its segment.
+	p, _ := NewPiecewiseLinear([]float64{0, 1, 2, 3}, []float64{0, 5, 2, 9})
+	if err := quick.Check(func(u uint16) bool {
+		x := float64(u%3000) / 1000
+		y := p.Eval(x)
+		return y >= -1e-9 && y <= 9+1e-9
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Fatalf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Fatalf("I_1 = %v", got)
+	}
+	// Known value: I_0.5(2,2) = 0.5.
+	if got := RegIncBeta(2, 2, 0.5); math.Abs(got-0.5) > 1e-10 {
+		t.Fatalf("I_0.5(2,2) = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (p in [0,1]) of the sample using
+// linear interpolation between order statistics. It panics on an empty
+// sample.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean; 0 for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// Variance returns the population variance; 0 for samples of size < 2.
+func Variance(sample []float64) float64 {
+	if len(sample) < 2 {
+		return 0
+	}
+	m := Mean(sample)
+	sum := 0.0
+	for _, v := range sample {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(sample))
+}
+
+// Summary holds the five-number-style description the experiments print
+// for violin-plot figures (paper Fig. 6).
+type Summary struct {
+	Mean, Median, P25, P75, Min, Max float64
+	N                                int
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Mean:   Mean(sample),
+		Median: Percentile(sample, 0.5),
+		P25:    Percentile(sample, 0.25),
+		P75:    Percentile(sample, 0.75),
+		Min:    Percentile(sample, 0),
+		Max:    Percentile(sample, 1),
+		N:      len(sample),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f median=%.4f IQR=[%.4f,%.4f] range=[%.4f,%.4f]",
+		s.N, s.Mean, s.Median, s.P25, s.P75, s.Min, s.Max)
+}
+
+// CDFPoints returns the empirical CDF of weights after sorting them in
+// descending order — the presentation used in the paper's Fig. 5
+// ("percentile of clusters" on x, cumulative access share on y"). The
+// returned slice has len(weights) entries; entry i is the cumulative
+// share carried by the i+1 heaviest items.
+func CDFPoints(weights []float64) []float64 {
+	s := append([]float64(nil), weights...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	total := 0.0
+	for _, w := range s {
+		total += w
+	}
+	out := make([]float64, len(s))
+	cum := 0.0
+	for i, w := range s {
+		cum += w
+		if total > 0 {
+			out[i] = cum / total
+		}
+	}
+	return out
+}
+
+// ShareOfTopFraction returns the cumulative share carried by the top
+// `frac` fraction of items (by weight). Fig. 5 reports this at
+// frac=0.20: ~0.59 for Wiki-All and ~0.93 for ORCAS.
+func ShareOfTopFraction(weights []float64, frac float64) float64 {
+	if len(weights) == 0 {
+		return 0
+	}
+	cdf := CDFPoints(weights)
+	idx := int(math.Ceil(frac*float64(len(cdf)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cdf) {
+		idx = len(cdf) - 1
+	}
+	return cdf[idx]
+}

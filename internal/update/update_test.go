@@ -1,0 +1,125 @@
+package update
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/splitter"
+)
+
+func TestMonitorNoDriftNoTrigger(t *testing.T) {
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	for i := 0; i < 500; i++ {
+		if m.Record(0.8, true) {
+			t.Fatal("healthy traffic triggered an update")
+		}
+	}
+	if m.Triggers() != 0 {
+		t.Fatalf("triggers = %d", m.Triggers())
+	}
+}
+
+func TestMonitorDriftTriggers(t *testing.T) {
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	fired := false
+	// Observed hit rate collapses to 0.4 and SLO attainment to ~0.5.
+	for i := 0; i < 100; i++ {
+		if m.Record(0.4, i%2 == 0) {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("drift did not trigger within one window")
+	}
+	if m.Triggers() != 1 {
+		t.Fatalf("triggers = %d", m.Triggers())
+	}
+}
+
+func TestMonitorSLOAloneInsufficient(t *testing.T) {
+	// Both conditions must hold (paper: attainment below threshold AND
+	// hit rates diverging): bad SLO with on-model hit rates means the
+	// bottleneck is elsewhere, so no index rebuild.
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	for i := 0; i < 300; i++ {
+		if m.Record(0.8, false) {
+			t.Fatal("SLO misses without hit-rate drift triggered a rebuild")
+		}
+	}
+}
+
+func TestMonitorWindowResets(t *testing.T) {
+	m := NewMonitor(MonitorConfig{WindowRequests: 50, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	// One drifting window, then healthy windows: only one trigger.
+	for i := 0; i < 50; i++ {
+		m.Record(0.3, false)
+	}
+	for i := 0; i < 200; i++ {
+		if m.Record(0.8, true) {
+			t.Fatal("healthy window after reset triggered")
+		}
+	}
+	if m.Triggers() != 1 {
+		t.Fatalf("triggers = %d", m.Triggers())
+	}
+}
+
+func TestRebuildTimingWithinPaperEnvelope(t *testing.T) {
+	// Fig. 9: all stages complete in under a minute; per-shard loading
+	// under ten seconds.
+	gc := dataset.GenConfig{NCenters: 64, PerCenter: 64, Dim: 16, PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 9}
+	for _, spec := range []dataset.Spec{dataset.WikiAll, dataset.Orcas1K, dataset.Orcas2K} {
+		w, err := dataset.Build(spec, gc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := profiler.CollectAccess(w, 2000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := splitter.Build(prof, 0.2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := EstimateRebuild(hw.H100Node(), spec, plan, 50000, 12)
+		if err := Validate(tm); err != nil {
+			t.Errorf("%s: %v (timing %+v)", spec.Name, err, tm)
+		}
+		if tm.Profiling <= 0 || tm.Algorithm <= 0 || tm.Splitting <= 0 || tm.Loading <= 0 {
+			t.Errorf("%s: degenerate stage in %+v", spec.Name, tm)
+		}
+		if tm.Total() < 5*time.Second {
+			t.Errorf("%s: rebuild %v implausibly fast", spec.Name, tm.Total())
+		}
+	}
+}
+
+func TestRebuildScalesWithIndexSize(t *testing.T) {
+	gc := dataset.GenConfig{NCenters: 64, PerCenter: 64, Dim: 16, PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 9}
+	w1, _ := dataset.Build(dataset.WikiAll, gc)
+	w2, _ := dataset.Build(dataset.Orcas2K, gc)
+	p1, _ := profiler.CollectAccess(w1, 2000, 3)
+	p2, _ := profiler.CollectAccess(w2, 2000, 3)
+	plan1, _ := splitter.Build(p1, 0.2, 8)
+	plan2, _ := splitter.Build(p2, 0.2, 8)
+	t1 := EstimateRebuild(hw.H100Node(), dataset.WikiAll, plan1, 50000, 12)
+	t2 := EstimateRebuild(hw.H100Node(), dataset.Orcas2K, plan2, 50000, 12)
+	if t2.Loading <= t1.Loading {
+		t.Fatalf("bigger index should load slower: %v vs %v", t2.Loading, t1.Loading)
+	}
+	if t2.Splitting <= t1.Splitting {
+		t.Fatalf("bigger index should split slower: %v vs %v", t2.Splitting, t1.Splitting)
+	}
+}
+
+func TestValidateRejectsSlowRebuild(t *testing.T) {
+	if err := Validate(RebuildTiming{Profiling: 3 * time.Minute}); err == nil {
+		t.Fatal("3-minute rebuild accepted")
+	}
+	if err := Validate(RebuildTiming{Loading: 30 * time.Second}); err == nil {
+		t.Fatal("30s shard load accepted")
+	}
+}

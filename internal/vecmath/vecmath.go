@@ -1,0 +1,148 @@
+// Package vecmath implements the dense float32 vector primitives used by
+// the k-means trainer, product quantizer, and IVF index: squared-L2 and
+// inner-product distances, argmin scans, and top-k selection.
+//
+// Everything operates on flat []float32 slices; matrices are row-major
+// with an explicit dimension, matching how the index stores vectors.
+package vecmath
+
+import "container/heap"
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+// The slices must have equal length.
+func SquaredL2(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the squared L2 norm of v.
+func Norm2(v []float32) float32 {
+	return Dot(v, v)
+}
+
+// Add accumulates src into dst element-wise.
+func Add(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies every element of v by s.
+func Scale(v []float32, s float32) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// ArgminL2 returns the row index in the row-major matrix rows (each of
+// length dim) closest to q in squared L2, together with that distance.
+// It panics if rows is empty or not a multiple of dim.
+func ArgminL2(q []float32, rows []float32, dim int) (int, float32) {
+	if len(rows) == 0 || len(rows)%dim != 0 {
+		panic("vecmath: ArgminL2 on empty or ragged matrix")
+	}
+	best := -1
+	bestD := float32(0)
+	for i := 0; i*dim < len(rows); i++ {
+		d := SquaredL2(q, rows[i*dim:(i+1)*dim])
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Neighbor is one search result: an item index and its distance to the
+// query. Smaller distance means more similar under L2.
+type Neighbor struct {
+	Index int
+	Dist  float32
+}
+
+// TopK maintains the k smallest-distance neighbors seen so far using a
+// bounded max-heap. The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k int
+	h nbrMaxHeap
+}
+
+// NewTopK returns a collector for the k nearest neighbors.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vecmath: NewTopK with non-positive k")
+	}
+	return &TopK{k: k, h: make(nbrMaxHeap, 0, k)}
+}
+
+// Push offers a candidate. It is kept only if it beats the current k-th
+// best (or the collector is not yet full).
+func (t *TopK) Push(index int, dist float32) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Neighbor{Index: index, Dist: dist})
+		return
+	}
+	if dist < t.h[0].Dist {
+		t.h[0] = Neighbor{Index: index, Dist: dist}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Worst returns the current k-th best distance, or +Inf semantics via
+// ok=false when fewer than k candidates have been pushed.
+func (t *TopK) Worst() (float32, bool) {
+	if len(t.h) < t.k {
+		return 0, false
+	}
+	return t.h[0].Dist, true
+}
+
+// Len reports how many neighbors are currently held (≤ k).
+func (t *TopK) Len() int { return len(t.h) }
+
+// Sorted drains the collector and returns neighbors in ascending
+// distance order. The collector is empty afterwards.
+func (t *TopK) Sorted() []Neighbor {
+	out := make([]Neighbor, len(t.h))
+	for i := len(t.h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.h).(Neighbor)
+	}
+	return out
+}
+
+type nbrMaxHeap []Neighbor
+
+func (h nbrMaxHeap) Len() int            { return len(h) }
+func (h nbrMaxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nbrMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nbrMaxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nbrMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BruteForceTopK scans the whole row-major matrix and returns the k
+// nearest rows to q in ascending distance order. It is the ground truth
+// used to validate the approximate index in tests and to compute recall.
+func BruteForceTopK(q []float32, rows []float32, dim, k int) []Neighbor {
+	t := NewTopK(k)
+	for i := 0; i*dim < len(rows); i++ {
+		t.Push(i, SquaredL2(q, rows[i*dim:(i+1)*dim]))
+	}
+	return t.Sorted()
+}

@@ -1,0 +1,203 @@
+package vecmath
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vectorliterag/internal/rng"
+)
+
+func TestSquaredL2Basic(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 6, 3}
+	if got := SquaredL2(a, b); got != 25 {
+		t.Fatalf("SquaredL2 = %v, want 25", got)
+	}
+}
+
+func TestSquaredL2Zero(t *testing.T) {
+	a := []float32{1.5, -2.5}
+	if got := SquaredL2(a, a); got != 0 {
+		t.Fatalf("distance to self = %v, want 0", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestSquaredL2MatchesExpansion(t *testing.T) {
+	// ||a-b||^2 == ||a||^2 + ||b||^2 - 2<a,b>, a property the PQ LUT
+	// construction relies on.
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint16) bool {
+		a := make([]float32, 8)
+		b := make([]float32, 8)
+		for i := range a {
+			a[i] = float32(r.NormFloat64())
+			b[i] = float32(r.NormFloat64())
+		}
+		lhs := float64(SquaredL2(a, b))
+		rhs := float64(Norm2(a)) + float64(Norm2(b)) - 2*float64(Dot(a, b))
+		return math.Abs(lhs-rhs) < 1e-3
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	v := []float32{1, 2}
+	Add(v, []float32{3, 4})
+	if v[0] != 4 || v[1] != 6 {
+		t.Fatalf("Add gave %v", v)
+	}
+	Scale(v, 0.5)
+	if v[0] != 2 || v[1] != 3 {
+		t.Fatalf("Scale gave %v", v)
+	}
+}
+
+func TestArgminL2(t *testing.T) {
+	rows := []float32{
+		0, 0,
+		5, 5,
+		1, 1,
+	}
+	idx, d := ArgminL2([]float32{0.9, 0.9}, rows, 2)
+	if idx != 2 {
+		t.Fatalf("ArgminL2 index = %d, want 2", idx)
+	}
+	if math.Abs(float64(d)-0.02) > 1e-5 {
+		t.Fatalf("ArgminL2 dist = %v, want ~0.02", d)
+	}
+}
+
+func TestArgminPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgminL2 on empty matrix did not panic")
+		}
+	}()
+	ArgminL2([]float32{1}, nil, 1)
+}
+
+func TestTopKKeepsSmallest(t *testing.T) {
+	tk := NewTopK(3)
+	dists := []float32{9, 1, 8, 2, 7, 3}
+	for i, d := range dists {
+		tk.Push(i, d)
+	}
+	got := tk.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("TopK kept %d, want 3", len(got))
+	}
+	wantIdx := []int{1, 3, 5}
+	for i, n := range got {
+		if n.Index != wantIdx[i] {
+			t.Fatalf("TopK result %d = %+v, want index %d", i, n, wantIdx[i])
+		}
+	}
+}
+
+func TestTopKSortedAscending(t *testing.T) {
+	r := rng.New(2)
+	tk := NewTopK(10)
+	for i := 0; i < 100; i++ {
+		tk.Push(i, float32(r.Float64()))
+	}
+	got := tk.Sorted()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+		t.Fatalf("TopK.Sorted not ascending: %v", got)
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(5)
+	tk.Push(0, 1)
+	tk.Push(1, 2)
+	if _, ok := tk.Worst(); ok {
+		t.Fatal("Worst reported full before k pushes")
+	}
+	if got := tk.Sorted(); len(got) != 2 {
+		t.Fatalf("Sorted len = %d, want 2", len(got))
+	}
+}
+
+func TestTopKWorstTracksKth(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Push(0, 5)
+	tk.Push(1, 3)
+	if w, ok := tk.Worst(); !ok || w != 5 {
+		t.Fatalf("Worst = %v,%v want 5,true", w, ok)
+	}
+	tk.Push(2, 1)
+	if w, _ := tk.Worst(); w != 3 {
+		t.Fatalf("Worst after better push = %v, want 3", w)
+	}
+}
+
+func TestBruteForceTopKMatchesFullSort(t *testing.T) {
+	r := rng.New(3)
+	const dim, n, k = 4, 200, 7
+	rows := make([]float32, n*dim)
+	for i := range rows {
+		rows[i] = float32(r.NormFloat64())
+	}
+	q := make([]float32, dim)
+	for i := range q {
+		q[i] = float32(r.NormFloat64())
+	}
+	got := BruteForceTopK(q, rows, dim, k)
+
+	type pair struct {
+		idx int
+		d   float32
+	}
+	all := make([]pair, n)
+	for i := 0; i < n; i++ {
+		all[i] = pair{i, SquaredL2(q, rows[i*dim:(i+1)*dim])}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+	for i := 0; i < k; i++ {
+		if got[i].Index != all[i].idx {
+			t.Fatalf("rank %d: got %d want %d", i, got[i].Index, all[i].idx)
+		}
+	}
+}
+
+func TestTopKProperty(t *testing.T) {
+	// Property: the max distance kept is <= every discarded distance.
+	r := rng.New(4)
+	if err := quick.Check(func(kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		tk := NewTopK(k)
+		dists := make([]float32, 50)
+		for i := range dists {
+			dists[i] = float32(r.Float64())
+			tk.Push(i, dists[i])
+		}
+		kept := tk.Sorted()
+		keptSet := map[int]bool{}
+		var maxKept float32
+		for _, n := range kept {
+			keptSet[n.Index] = true
+			if n.Dist > maxKept {
+				maxKept = n.Dist
+			}
+		}
+		for i, d := range dists {
+			if !keptSet[i] && d < maxKept {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

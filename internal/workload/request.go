@@ -1,0 +1,94 @@
+// Package workload defines the request model and the open-loop Poisson
+// arrival generator used throughout the evaluation (paper §V-A: Poisson
+// arrivals; each request retrieves top-25 documents, builds a
+// 1024-token input, and generates a 256-token output).
+package workload
+
+import (
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/rng"
+)
+
+// Shape is the token geometry of requests.
+type Shape struct {
+	InputTokens  int
+	OutputTokens int
+	TopK         int // documents retrieved per query
+}
+
+// DefaultShape matches the paper's main evaluation setting.
+func DefaultShape() Shape { return Shape{InputTokens: 1024, OutputTokens: 256, TopK: 25} }
+
+// Request is one end-to-end RAG request flowing through retrieval and
+// generation. Timestamps are virtual; zero means "not reached yet".
+type Request struct {
+	ID    int
+	Query dataset.QueryID
+	Shape Shape
+
+	ArrivalAt   des.Time // enters the system
+	SearchStart des.Time // its retrieval batch begins
+	SearchDone  des.Time // retrieval results merged and forwarded
+	LLMStart    des.Time // admitted into an LLM instance's prefill
+	FirstToken  des.Time // first output token (TTFT endpoint)
+	Done        des.Time // last output token
+}
+
+// TTFT returns time-to-first-token; callers must only use it after
+// FirstToken is set.
+func (r *Request) TTFT() des.Time { return r.FirstToken - r.ArrivalAt }
+
+// E2E returns total latency; valid once Done is set.
+func (r *Request) E2E() des.Time { return r.Done - r.ArrivalAt }
+
+// QueueingDelay is the time spent waiting before retrieval started.
+func (r *Request) QueueingDelay() des.Time { return r.SearchStart - r.ArrivalAt }
+
+// SearchLatency is the retrieval service time (batch start to forward).
+func (r *Request) SearchLatency() des.Time { return r.SearchDone - r.SearchStart }
+
+// Generator produces Poisson arrivals of requests drawn from a
+// workload's query distribution.
+type Generator struct {
+	RatePerSec float64
+	Shape      Shape
+	W          *dataset.Workload
+
+	r      *rng.Rand
+	nextID int
+}
+
+// NewGenerator returns an open-loop generator. rate is requests per
+// second of virtual time.
+func NewGenerator(w *dataset.Workload, rate float64, shape Shape, seed uint64) *Generator {
+	return &Generator{RatePerSec: rate, Shape: shape, W: w, r: rng.New(seed)}
+}
+
+// Start schedules arrivals on the simulator until the given deadline,
+// invoking submit for each new request at its arrival time.
+func (g *Generator) Start(sim *des.Sim, until des.Time, submit func(*Request)) {
+	var schedule func(at des.Time)
+	schedule = func(at des.Time) {
+		if at > until {
+			return
+		}
+		sim.At(at, func() {
+			req := &Request{
+				ID:        g.nextID,
+				Query:     g.W.Sample(g.r),
+				Shape:     g.Shape,
+				ArrivalAt: sim.Now(),
+			}
+			g.nextID++
+			submit(req)
+			gap := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
+			schedule(sim.Now() + gap)
+		})
+	}
+	first := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
+	schedule(first)
+}
+
+// Count returns how many requests have been generated so far.
+func (g *Generator) Count() int { return g.nextID }

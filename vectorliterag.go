@@ -1,0 +1,311 @@
+package vectorliterag
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/experiments"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/llm"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/partition"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/rag"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/update"
+	"vectorliterag/internal/workload"
+)
+
+// Re-exported core types. Aliases keep a single source of truth in the
+// internal packages while giving users one import.
+type (
+	// Spec is a logical, paper-scale vector-database description.
+	Spec = dataset.Spec
+	// Workload couples a Spec with its laptop-scale physical index.
+	Workload = dataset.Workload
+	// GenConfig controls the physical realization of a workload.
+	GenConfig = dataset.GenConfig
+	// Node is a hardware configuration (GPUs + host CPU).
+	Node = hw.Node
+	// ModelSpec describes a served LLM.
+	ModelSpec = llm.ModelSpec
+	// Shape is the token geometry of requests.
+	Shape = workload.Shape
+	// System selects a serving system (CPU-Only, DED-GPU, ALL-GPU,
+	// VLiteRAG, HedraRAG).
+	System = rag.Kind
+	// Summary aggregates one serving run's metrics.
+	Summary = metrics.Summary
+	// PartitionResult reports Algorithm 1's decision and diagnostics.
+	PartitionResult = partition.Result
+	// RebuildTiming is the stage breakdown of an online index update.
+	RebuildTiming = update.RebuildTiming
+)
+
+// The paper's evaluation datasets (§V-A).
+var (
+	WikiAll = dataset.WikiAll
+	Orcas1K = dataset.Orcas1K
+	Orcas2K = dataset.Orcas2K
+)
+
+// The paper's evaluation models (§V-A).
+var (
+	Llama3_8B  = llm.Llama3_8B
+	Qwen3_32B  = llm.Qwen3_32B
+	Llama3_70B = llm.Llama3_70B
+)
+
+// The evaluated serving systems.
+const (
+	CPUOnly  = rag.CPUOnly
+	DedGPU   = rag.DedGPU
+	AllGPU   = rag.AllGPU
+	VLiteRAG = rag.VLiteRAG
+	HedraRAG = rag.HedraRAG
+)
+
+// H100Node returns the 8xH100 evaluation node.
+func H100Node() Node { return hw.H100Node() }
+
+// L40SNode returns the 8xL40S evaluation node.
+func L40SNode() Node { return hw.L40SNode() }
+
+// DefaultShape is the paper's request geometry: 1024 input tokens,
+// 256 output tokens, top-25 documents.
+func DefaultShape() Shape { return workload.DefaultShape() }
+
+// NewWorkload builds a workload at the default laptop-scale physical
+// realization. Construction trains a real IVF-PQ index over a synthetic
+// corpus calibrated to the paper's access-skew characterization; it
+// takes a few seconds.
+func NewWorkload(spec Spec) (*Workload, error) {
+	return dataset.Build(spec, dataset.DefaultGen())
+}
+
+// NewWorkloadWithGen builds a workload with a custom physical
+// realization (smaller for tests, larger for finer hit-rate
+// resolution).
+func NewWorkloadWithGen(spec Spec, gen GenConfig) (*Workload, error) {
+	return dataset.Build(spec, gen)
+}
+
+// SystemOptions configures offline hybrid index construction.
+type SystemOptions struct {
+	Workload *Workload
+	// Node defaults to the H100 node; Model to Qwen3-32B — the paper's
+	// middle configuration.
+	Node  Node
+	Model ModelSpec
+	// SLOSearch defaults to the workload's per-dataset target (Table I).
+	SLOSearch time.Duration
+	// Epsilon is Algorithm 1's queuing factor (default 1).
+	Epsilon float64
+	// ProfileQueries sizes the calibration sample (default 4000).
+	ProfileQueries int
+	Seed           uint64
+}
+
+// BuiltSystem is the outcome of hybrid index construction: the
+// partitioning decision, the shard plan, and the fitted models.
+type BuiltSystem struct {
+	Rho       float64
+	PlanBytes int64
+	Plan      *splitter.Plan
+	Partition PartitionResult
+	// Mu0 is the measured bare LLM throughput used by Algorithm 1.
+	Mu0 float64
+	// MeanHitRate / TailHitRate describe the chosen hot set at the
+	// planned batch size.
+	MeanHitRate, TailHitRate float64
+	// Rebuild estimates the online update cycle cost for this plan
+	// (Fig. 9).
+	Rebuild RebuildTiming
+}
+
+// BuildSystem runs the full offline pipeline of paper §IV-A: profile →
+// estimate → model → partition → split.
+func BuildSystem(opts SystemOptions) (*BuiltSystem, error) {
+	if opts.Workload == nil {
+		return nil, fmt.Errorf("vectorliterag: nil workload")
+	}
+	if opts.Node.NumGPUs == 0 {
+		opts.Node = hw.H100Node()
+	}
+	if opts.Model.Params == 0 {
+		opts.Model = llm.Qwen3_32B
+	}
+	if opts.SLOSearch == 0 {
+		opts.SLOSearch = opts.Workload.Spec.SLOSearch
+	}
+	n := opts.ProfileQueries
+	if n == 0 {
+		n = 4000
+	}
+	prof, err := profiler.CollectAccess(opts.Workload, n, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	est, err := hitrate.NewEstimator(prof)
+	if err != nil {
+		return nil, err
+	}
+	sm := costmodel.NewSearchModel(opts.Node.CPU, opts.Workload.Spec)
+	perf, err := perfmodel.Fit(profiler.ProfileLatency(sm, profiler.DefaultBatches()))
+	if err != nil {
+		return nil, err
+	}
+	mu0, err := rag.BareCapacity(opts.Node, opts.Model, workload.DefaultShape())
+	if err != nil {
+		return nil, err
+	}
+	part, err := partition.LatencyBounded(partition.Inputs{
+		SLOSearch:    opts.SLOSearch,
+		Epsilon:      opts.Epsilon,
+		Perf:         perf,
+		Est:          est,
+		MemKV:        nodeKV(opts.Node, opts.Model),
+		Mu0:          mu0,
+		IndexBytesAt: splitter.IndexBytesAt(prof),
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := splitter.Build(prof, part.Rho, opts.Node.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+	return &BuiltSystem{
+		Rho:         part.Rho,
+		PlanBytes:   plan.TotalBytes(),
+		Plan:        plan,
+		Partition:   part,
+		Mu0:         mu0,
+		MeanHitRate: est.MeanHitRate(part.Rho),
+		TailHitRate: part.EtaMin,
+		Rebuild:     update.EstimateRebuild(opts.Node, opts.Workload.Spec, plan, 50000, part.Iterations),
+	}, nil
+}
+
+func nodeKV(node hw.Node, model llm.ModelSpec) int64 {
+	perGPU := node.GPU.UsableMem() - model.WeightBytesPerGPU()
+	if perGPU < 0 {
+		perGPU = 0
+	}
+	used := (node.NumGPUs / model.TP) * model.TP
+	return perGPU * int64(used)
+}
+
+// ServeOptions configures one serving run on the simulator.
+type ServeOptions struct {
+	Workload *Workload
+	System   System
+	// Rate is the Poisson arrival rate in requests per virtual second.
+	Rate float64
+	// Node defaults to the H100 node; Model to Qwen3-32B.
+	Node  Node
+	Model ModelSpec
+	// Duration is the virtual arrival window (default 120 s).
+	Duration time.Duration
+	// Shape defaults to the paper's 1024/256 geometry.
+	Shape Shape
+	// SLOSearch overrides the dataset SLO; SLOGen overrides the measured
+	// generation SLO.
+	SLOSearch, SLOGen time.Duration
+	// DisableDispatcher turns off early query promotion (ablation).
+	DisableDispatcher bool
+	// Prebuilt serves a previously built system's split plan as-is
+	// (VLiteRAG only) instead of re-profiling and re-partitioning. This
+	// is how a *stale* plan is evaluated after workload drift.
+	Prebuilt *BuiltSystem
+	Seed     uint64
+}
+
+// Report is the outcome of one serving run.
+type Report struct {
+	Summary  Summary
+	SLOTotal time.Duration
+	Rho      float64
+	AvgBatch float64
+	Mu0      float64
+}
+
+// Serve runs the end-to-end pipeline (arrivals → retrieval → LLM) in
+// virtual time and reports the paper's metrics.
+func Serve(opts ServeOptions) (*Report, error) {
+	if opts.Node.NumGPUs == 0 {
+		opts.Node = hw.H100Node()
+	}
+	if opts.Model.Params == 0 {
+		opts.Model = llm.Qwen3_32B
+	}
+	if opts.System == "" {
+		opts.System = rag.VLiteRAG
+	}
+	ro := rag.Options{
+		Node: opts.Node, Model: opts.Model, W: opts.Workload,
+		Kind: opts.System, Rate: opts.Rate, Duration: opts.Duration,
+		Shape: opts.Shape, SLOSearch: opts.SLOSearch, SLOGen: opts.SLOGen,
+		DisableDispatcher: opts.DisableDispatcher, Seed: opts.Seed,
+	}
+	if opts.Prebuilt != nil {
+		ro.Plan = opts.Prebuilt.Plan
+	}
+	res, err := rag.Run(ro)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Summary:  res.Summary,
+		SLOTotal: res.SLOTotal,
+		Rho:      res.Rho,
+		AvgBatch: res.AvgBatch,
+		Mu0:      res.Mu0,
+	}, nil
+}
+
+// Capacity returns the standalone LLM throughput of a deployment (the
+// vertical dashed lines of Fig. 11).
+func Capacity(node Node, model ModelSpec) (float64, error) {
+	return rag.BareCapacity(node, model, workload.DefaultShape())
+}
+
+// Experiments lists the registered paper artifacts (fig3..fig17, tab1).
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one table or figure and returns its
+// rendered text. Quick mode shrinks sweeps for fast runs.
+func RunExperiment(id string, quick bool) (string, error) {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return "", fmt.Errorf("vectorliterag: unknown experiment %q (have %v)", id, experiments.Names())
+	}
+	res, err := runner(experiments.Config{Quick: quick, Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// RunExperimentCSV regenerates one experiment and returns its raw data
+// rows as CSV (the paper artifact's log format). Experiments without a
+// CSV exporter return an error naming the text renderer instead.
+func RunExperimentCSV(id string, quick bool) (string, error) {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return "", fmt.Errorf("vectorliterag: unknown experiment %q (have %v)", id, experiments.Names())
+	}
+	res, err := runner(experiments.Config{Quick: quick, Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	c, ok := res.(experiments.CSVer)
+	if !ok {
+		return "", fmt.Errorf("vectorliterag: experiment %q has no CSV exporter; use RunExperiment", id)
+	}
+	return c.CSV(), nil
+}

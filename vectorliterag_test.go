@@ -1,0 +1,141 @@
+package vectorliterag_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	vlr "vectorliterag"
+)
+
+// smallWorkload keeps API tests fast by shrinking the physical
+// realization.
+func smallWorkload(t *testing.T, spec vlr.Spec) *vlr.Workload {
+	t.Helper()
+	w, err := vlr.NewWorkloadWithGen(spec, vlr.GenConfig{
+		NCenters: 64, PerCenter: 64, Dim: 16,
+		PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestPublicSpecs(t *testing.T) {
+	if vlr.WikiAll.Name != "Wiki-All" || vlr.Orcas1K.IndexBytes() < 39e9 {
+		t.Fatal("dataset specs not exported correctly")
+	}
+	if vlr.Qwen3_32B.TP != 2 || vlr.Llama3_70B.TP != 4 {
+		t.Fatal("model specs not exported correctly")
+	}
+	if vlr.H100Node().NumGPUs != 8 || vlr.L40SNode().NumGPUs != 8 {
+		t.Fatal("nodes not exported correctly")
+	}
+	if s := vlr.DefaultShape(); s.InputTokens != 1024 || s.OutputTokens != 256 || s.TopK != 25 {
+		t.Fatalf("default shape %+v", s)
+	}
+}
+
+func TestBuildSystemDefaults(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	sys, err := vlr.BuildSystem(vlr.SystemOptions{Workload: w, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rho <= 0 || sys.Rho >= 1 {
+		t.Fatalf("rho = %v", sys.Rho)
+	}
+	if sys.PlanBytes <= 0 || sys.Plan == nil {
+		t.Fatal("plan missing")
+	}
+	if sys.MeanHitRate < sys.TailHitRate {
+		t.Fatalf("mean hit rate %v below tail %v", sys.MeanHitRate, sys.TailHitRate)
+	}
+	if sys.Rebuild.Total() <= 0 {
+		t.Fatal("rebuild timing missing")
+	}
+	if _, err := vlr.BuildSystem(vlr.SystemOptions{}); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+}
+
+func TestServeAndPrebuilt(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	rep, err := vlr.Serve(vlr.ServeOptions{
+		Workload: w, System: vlr.VLiteRAG, Rate: 15, Seed: 1,
+		Duration: 40 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.N == 0 || rep.Summary.Attainment <= 0 {
+		t.Fatalf("empty report %+v", rep.Summary)
+	}
+	// Prebuilt plan round trip: serving a built system must reuse its
+	// coverage.
+	sys, err := vlr.BuildSystem(vlr.SystemOptions{Workload: w, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := vlr.Serve(vlr.ServeOptions{
+		Workload: w, System: vlr.VLiteRAG, Rate: 15, Seed: 1,
+		Duration: 40 * time.Second, Prebuilt: sys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Rho != sys.Rho {
+		t.Fatalf("prebuilt rho %v not used (got %v)", sys.Rho, rep2.Rho)
+	}
+}
+
+func TestServeDefaultsToVLiteRAG(t *testing.T) {
+	w := smallWorkload(t, vlr.WikiAll)
+	rep, err := vlr.Serve(vlr.ServeOptions{Workload: w, Rate: 10, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rho <= 0 {
+		t.Fatal("default system did not partition")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	mu, err := vlr.Capacity(vlr.H100Node(), vlr.Qwen3_32B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu < 20 || mu > 60 {
+		t.Fatalf("capacity %v outside plausible band", mu)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	names := vlr.Experiments()
+	if len(names) != 16 {
+		t.Fatalf("got %d experiments, want 16: %v", len(names), names)
+	}
+	if _, err := vlr.RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	out, err := vlr.RunExperiment("fig3", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig 3") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}
+
+func TestDriftRotationAPI(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	w.SetPopularityRotation(100)
+	if w.PopularityRotation() != 100 {
+		t.Fatal("rotation not recorded")
+	}
+	w.SetPopularityRotation(-1)
+	if w.PopularityRotation() != w.Templates()-1 {
+		t.Fatalf("negative rotation not normalized: %d", w.PopularityRotation())
+	}
+}
