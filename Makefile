@@ -1,0 +1,25 @@
+# Developer entry points. CI runs `make verify`.
+
+GO ?= go
+
+.PHONY: verify build test vet race bench fmt
+
+verify: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -l -w .

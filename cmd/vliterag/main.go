@@ -7,6 +7,7 @@
 //	vliterag run -exp fig11 [-quick]   # regenerate one figure/table
 //	vliterag run -exp all  [-quick]    # regenerate everything
 //	vliterag serve -system vLiteRAG -dataset orcas1k -rate 30
+//	vliterag serve -replicas 2 -policy least-loaded -rate 60
 //	vliterag build -dataset orcas2k    # offline partitioning only
 package main
 
@@ -112,9 +113,11 @@ func serveCmd(args []string) error {
 	system := fs.String("system", "vLiteRAG", "CPU-Only|DED-GPU|ALL-GPU|vLiteRAG|HedraRAG")
 	ds := fs.String("dataset", "orcas1k", "wikiall|orcas1k|orcas2k")
 	model := fs.String("model", "qwen3-32b", "llama3-8b|qwen3-32b|llama3-70b")
-	rate := fs.Float64("rate", 30, "arrival rate (req/s)")
+	rate := fs.Float64("rate", 30, "arrival rate (req/s; cluster-wide when -replicas > 1)")
 	dur := fs.Duration("duration", 120*time.Second, "virtual arrival window")
 	seed := fs.Uint64("seed", 1, "random seed")
+	replicas := fs.Int("replicas", 1, "independent node pipelines behind the front-end router")
+	policy := fs.String("policy", "least-loaded", "cluster routing policy (round-robin|least-loaded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -131,21 +134,40 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := vlr.Serve(vlr.ServeOptions{
+	so := vlr.ServeOptions{
 		Workload: w, System: vlr.System(*system), Rate: *rate,
 		Node: node, Model: m, Duration: *dur, Seed: *seed,
-	})
-	if err != nil {
-		return err
+	}
+	var rep *vlr.Report
+	var perReplica []vlr.ReplicaReport
+	label := *system
+	if *replicas > 1 {
+		cr, err := vlr.ServeCluster(vlr.ClusterOptions{
+			ServeOptions: so, Replicas: *replicas, Policy: vlr.RoutePolicy(*policy),
+		})
+		if err != nil {
+			return err
+		}
+		rep, perReplica = &cr.Report, cr.PerReplica
+		label = fmt.Sprintf("%s x%d (%s)", *system, *replicas, cr.Policy)
+	} else {
+		rep, err = vlr.Serve(so)
+		if err != nil {
+			return err
+		}
 	}
 	s := rep.Summary
-	fmt.Printf("%s | %s | %s @ %.1f req/s (SLO %v)\n", *system, spec.Name, m.Name, *rate, rep.SLOTotal)
+	fmt.Printf("%s | %s | %s @ %.1f req/s (SLO %v)\n", label, spec.Name, m.Name, *rate, rep.SLOTotal)
 	fmt.Printf("  SLO attainment  %.3f  (%d requests, %d unserved)\n", s.Attainment, s.N, s.Unserved)
 	fmt.Printf("  TTFT            p50 %v  p90 %v  p95 %v\n", s.TTFT.P50, s.TTFT.P90, s.TTFT.P95)
 	fmt.Printf("  E2E             mean %v  p90 %v\n", s.E2E.Mean, s.E2E.P90)
 	fmt.Printf("  breakdown       queue %v  search %v  llm-wait %v  prefill %v\n",
 		s.Breakdown.Queueing, s.Breakdown.Search, s.Breakdown.LLMWait, s.Breakdown.Prefill)
 	fmt.Printf("  retrieval       rho %.3f  avg batch %.1f\n", rep.Rho, rep.AvgBatch)
+	for i, r := range perReplica {
+		fmt.Printf("  replica %d       %d requests  attainment %.3f  avg batch %.1f\n",
+			i, r.Submitted, r.Summary.Attainment, r.AvgBatch)
+	}
 	return nil
 }
 

@@ -22,6 +22,25 @@
 //     (pruning non-resident probes), scans cold clusters on the CPU,
 //     and promotes early-finishing queries via a dynamic dispatcher.
 //
+// # Architecture
+//
+// Serving is organized as a composable stage pipeline (internal/serve,
+// see ARCHITECTURE.md): Poisson arrivals feed an admission stage, then
+// a retrieval stage (one of the five engines), then a generation stage
+// wrapping the LLM cluster, ending in a metrics collector — all in
+// virtual time on a deterministic discrete-event simulator. Each
+// baseline system (CPU-Only, DED-GPU, ALL-GPU, vLiteRAG, HedraRAG) is
+// a declarative composition of those stages; internal/rag contributes
+// only the per-system resource decision (GPU memory layout, engine
+// choice, LLM placement). The same pieces scale out: ServeCluster runs
+// N identical node pipelines behind a round-robin or least-loaded
+// front-end router.
+//
+// The offline build path (corpus generation, k-means, IVF-PQ training
+// and encoding, access profiling) runs on a worker pool sized to the
+// host's cores and is bit-identical to a sequential build for a fixed
+// seed, so experiments stay reproducible on any machine.
+//
 // Because the original evaluation requires multi-GPU servers, this
 // package runs the retrieval algorithms for real at laptop scale and
 // executes serving experiments on a calibrated discrete-event
@@ -39,6 +58,13 @@
 //	        Workload: w, System: vectorliterag.VLiteRAG, Rate: 30,
 //	})
 //	fmt.Printf("SLO attainment %.2f at 30 req/s\n", rep.Summary.Attainment)
+//
+//	// Scale out: 2 replicas behind a least-loaded router.
+//	cl, _ := vectorliterag.ServeCluster(vectorliterag.ClusterOptions{
+//	        ServeOptions: vectorliterag.ServeOptions{Workload: w, Rate: 60},
+//	        Replicas:     2,
+//	})
+//	fmt.Printf("cluster attainment %.2f at 60 req/s\n", cl.Summary.Attainment)
 //
 // The runnable programs under examples/ demonstrate the full API, and
 // cmd/vliterag regenerates every table and figure of the paper's

@@ -1,0 +1,3 @@
+module vectorliterag
+
+go 1.24

@@ -21,9 +21,11 @@ package dataset
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"vectorliterag/internal/ivf"
+	"vectorliterag/internal/parallel"
 	"vectorliterag/internal/rng"
 )
 
@@ -80,6 +82,10 @@ type GenConfig struct {
 	PhysNProbe int // physical probes per query
 	Templates  int // query template pool size
 	Seed       uint64
+	// Workers sizes the index-training/probing worker pool; non-positive
+	// means one per CPU core. The built workload is bit-identical for
+	// any value.
+	Workers int
 }
 
 // DefaultGen is the standard laptop-scale realization: ~32k vectors,
@@ -141,6 +147,7 @@ func Build(spec Spec, gc GenConfig) (*Workload, error) {
 	}
 	ix, err := ivf.Build(data, ivf.BuildConfig{
 		Dim: gc.Dim, NList: gc.PhysNList, PQM: 8, PQK: 64, TrainIters: 8, Seed: gc.Seed + 11,
+		Workers: gc.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dataset: %w", err)
@@ -169,8 +176,15 @@ func Build(spec Spec, gc GenConfig) (*Workload, error) {
 			mix := a*centers[c1*gc.Dim+d] + (1-a)*centers[c2*gc.Dim+d]
 			vec[d] = mix + float32(tr.NormFloat64()*spread*spec.QueryNoise)
 		}
-		w.templates[t] = template{vec: vec, probes: ix.Probe(vec, gc.PhysNProbe)}
+		w.templates[t] = template{vec: vec}
 	}
+	// Probe lists are pure functions of the template vectors, so they
+	// compute concurrently after the sequential RNG draws above.
+	parallel.For(gc.Templates, gc.Workers, func(start, end int) {
+		for t := start; t < end; t++ {
+			w.templates[t].probes = ix.Probe(w.templates[t].vec, gc.PhysNProbe)
+		}
+	})
 	w.pop = rng.NewZipf(gc.Templates, spec.SkewS)
 
 	// Logical storage bytes per physical cluster: proportional share of
@@ -296,13 +310,25 @@ func (w *Workload) Kappa() float64 { return w.kappa }
 
 // AccessCounts replays queries through coarse quantization and counts
 // per-cluster accesses — the profiling measurement behind Fig. 5.
+// Tallies are integers, so per-chunk partial counts sum exactly
+// regardless of worker count.
 func (w *Workload) AccessCounts(queries []QueryID) []int64 {
-	counts := make([]int64, w.Index.NList())
-	for _, q := range queries {
-		for _, c := range w.templates[q].probes {
-			counts[c]++
+	nlist := w.Index.NList()
+	counts := make([]int64, nlist)
+	var mu sync.Mutex
+	parallel.For(len(queries), w.Gen.Workers, func(start, end int) {
+		part := make([]int64, nlist)
+		for _, q := range queries[start:end] {
+			for _, c := range w.templates[q].probes {
+				part[c]++
+			}
 		}
-	}
+		mu.Lock()
+		for c, n := range part {
+			counts[c] += n
+		}
+		mu.Unlock()
+	})
 	return counts
 }
 

@@ -22,6 +22,16 @@ import (
 type AblationResult struct {
 	Eps     []EpsRow
 	Runtime []RuntimeRow
+	Systems []SystemRow
+}
+
+// SystemRow is one full-system sample of the enumeration study (every
+// implemented system, including HedraRAG, at one operating point).
+type SystemRow struct {
+	Kind   rag.Kind
+	Rho    float64
+	Att    float64
+	Search time.Duration
 }
 
 // EpsRow is one queuing-factor sample.
@@ -109,6 +119,23 @@ func Ablations(cfg Config) (*AblationResult, error) {
 			TTFTP90:  c.r.Summary.TTFT.P90,
 		})
 	}
+
+	// System enumeration: every implemented pipeline composition —
+	// including HedraRAG, which the main-evaluation Kinds() omits — at
+	// the same operating point.
+	for _, kind := range rag.AllKinds() {
+		r, err := rag.Run(rag.Options{
+			Node: dep.Node, Model: dep.Model, W: w, Kind: kind,
+			Rate: rate, Seed: cfg.Seed, Duration: runDuration(cfg.Quick),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Systems = append(res.Systems, SystemRow{
+			Kind: kind, Rho: r.Rho,
+			Att: r.Summary.Attainment, Search: r.Summary.Breakdown.Search,
+		})
+	}
 	return res, nil
 }
 
@@ -127,5 +154,11 @@ func (r *AblationResult) Render() string {
 		t2.add(row.Pipeline, f2(row.Att), ms(row.Search), ms(row.TTFTP90))
 	}
 	b.WriteString(t2.String())
+	b.WriteString("\nAblation C: all systems at one operating point\n")
+	t3 := &table{header: []string{"system", "rho", "attainment", "avg search"}}
+	for _, row := range r.Systems {
+		t3.add(string(row.Kind), f3(row.Rho), f2(row.Att), ms(row.Search))
+	}
+	b.WriteString(t3.String())
 	return b.String()
 }

@@ -14,7 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation must be registered
 	// (DESIGN.md §3).
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations"}
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
+		"cluster"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -287,6 +288,30 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+func TestCluster(t *testing.T) {
+	r, err := Cluster(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 { // x1 least-loaded, x2 both policies
+		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
+	}
+	base := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.Att < base.Att-0.10 {
+			t.Errorf("x%d %s attainment %.3f collapsed vs single-node %.3f",
+				row.Replicas, row.Policy, row.Att, base.Att)
+		}
+		if row.MaxSkew > 0.25 {
+			t.Errorf("x%d %s skew %.3f too large", row.Replicas, row.Policy, row.MaxSkew)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "least-loaded") || !strings.Contains(out, "round-robin") {
+		t.Error("render missing policies")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	r, err := Ablations(quick())
 	if err != nil {
@@ -296,6 +321,10 @@ func TestAblations(t *testing.T) {
 	first, last := r.Eps[0], r.Eps[len(r.Eps)-1]
 	if last.Rho < first.Rho {
 		t.Errorf("coverage fell as eps grew: %v -> %v", first.Rho, last.Rho)
+	}
+	// The enumeration study covers every implemented system.
+	if len(r.Systems) != 5 {
+		t.Errorf("system enumeration has %d rows, want 5: %+v", len(r.Systems), r.Systems)
 	}
 	if last.Search > first.Search {
 		t.Errorf("search slower at higher coverage: %v -> %v", first.Search, last.Search)

@@ -46,6 +46,7 @@ func Registry() map[string]Runner {
 		"fig17":     func(c Config) (Renderer, error) { return Fig17(c) },
 		"tab1":      func(c Config) (Renderer, error) { return Table1(c) },
 		"ablations": func(c Config) (Renderer, error) { return Ablations(c) },
+		"cluster":   func(c Config) (Renderer, error) { return Cluster(c) },
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"vectorliterag/internal/kmeans"
+	"vectorliterag/internal/parallel"
 	"vectorliterag/internal/pq"
 	"vectorliterag/internal/vecmath"
 )
@@ -34,6 +35,10 @@ type BuildConfig struct {
 	PQK        int // codewords per subspace (<= 256)
 	TrainIters int
 	Seed       uint64
+	// Workers sizes the training/encoding worker pool; non-positive
+	// means one per CPU core. The built index is bit-identical for any
+	// value (deterministic chunking; see internal/parallel).
+	Workers int
 }
 
 // Index is a trained IVF-PQ index.
@@ -44,6 +49,7 @@ type Index struct {
 	quant     *pq.Quantizer
 	lists     []list
 	nvecs     int
+	workers   int // build-time worker-pool size, reused by Recall
 }
 
 type list struct {
@@ -61,14 +67,14 @@ func Build(data []float32, cfg BuildConfig) (*Index, error) {
 	if cfg.NList <= 0 || cfg.NList > n {
 		return nil, fmt.Errorf("ivf: nlist %d invalid for %d vectors", cfg.NList, n)
 	}
-	coarse, err := kmeans.Train(data, kmeans.Config{K: cfg.NList, Dim: cfg.Dim, MaxIters: cfg.TrainIters, Seed: cfg.Seed})
+	coarse, err := kmeans.Train(data, kmeans.Config{K: cfg.NList, Dim: cfg.Dim, MaxIters: cfg.TrainIters, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("ivf: coarse quantizer: %w", err)
 	}
 	// PQ is trained on residuals-free raw vectors (IVFPQ "by_residual=false"
 	// mode), which keeps LUT semantics simple: one LUT per query serves
 	// every cluster.
-	quant, err := pq.Train(data, pq.Config{Dim: cfg.Dim, M: cfg.PQM, K: cfg.PQK, Iters: cfg.TrainIters, Seed: cfg.Seed + 1})
+	quant, err := pq.Train(data, pq.Config{Dim: cfg.Dim, M: cfg.PQM, K: cfg.PQK, Iters: cfg.TrainIters, Seed: cfg.Seed + 1, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("ivf: pq: %w", err)
 	}
@@ -79,14 +85,22 @@ func Build(data []float32, cfg BuildConfig) (*Index, error) {
 		quant:     quant,
 		lists:     make([]list, cfg.NList),
 		nvecs:     n,
+		workers:   cfg.Workers,
 	}
-	code := make([]byte, quant.CodeSize())
+	// Encode every vector concurrently into a flat code matrix, then fill
+	// the inverted lists in index order — the same list layout the
+	// sequential append loop produced.
+	cs := quant.CodeSize()
+	codes := make([]byte, n*cs)
+	parallel.For(n, cfg.Workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			ix.quant.Encode(data[i*cfg.Dim:(i+1)*cfg.Dim], codes[i*cs:(i+1)*cs])
+		}
+	})
 	for i := 0; i < n; i++ {
 		c := coarse.Assignments[i]
-		v := data[i*cfg.Dim : (i+1)*cfg.Dim]
-		code = ix.quant.Encode(v, code)
 		ix.lists[c].ids = append(ix.lists[c].ids, int32(i))
-		ix.lists[c].codes = append(ix.lists[c].codes, code...)
+		ix.lists[c].codes = append(ix.lists[c].codes, codes[i*cs:(i+1)*cs]...)
 	}
 	return ix, nil
 }
@@ -187,22 +201,30 @@ func (ix *Index) Recall(data, queries []float32, nprobe, k int) float64 {
 	if nq == 0 {
 		return 0
 	}
-	sum := 0.0
-	for qi := 0; qi < nq; qi++ {
-		q := queries[qi*ix.dim : (qi+1)*ix.dim]
-		truth := vecmath.BruteForceTopK(q, data, ix.dim, k)
-		got := ix.Search(q, nprobe, k)
-		gotSet := make(map[int]bool, len(got))
-		for _, nb := range got {
-			gotSet[nb.Index] = true
-		}
-		hit := 0
-		for _, nb := range truth {
-			if gotSet[nb.Index] {
-				hit++
+	// Per-query recalls compute concurrently; the mean folds in query
+	// order so the result matches a sequential run exactly.
+	perQuery := make([]float64, nq)
+	parallel.For(nq, ix.workers, func(start, end int) {
+		for qi := start; qi < end; qi++ {
+			q := queries[qi*ix.dim : (qi+1)*ix.dim]
+			truth := vecmath.BruteForceTopK(q, data, ix.dim, k)
+			got := ix.Search(q, nprobe, k)
+			gotSet := make(map[int]bool, len(got))
+			for _, nb := range got {
+				gotSet[nb.Index] = true
 			}
+			hit := 0
+			for _, nb := range truth {
+				if gotSet[nb.Index] {
+					hit++
+				}
+			}
+			perQuery[qi] = float64(hit) / float64(k)
 		}
-		sum += float64(hit) / float64(k)
+	})
+	sum := 0.0
+	for _, v := range perQuery {
+		sum += v
 	}
 	return sum / float64(nq)
 }

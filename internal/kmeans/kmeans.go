@@ -2,11 +2,19 @@
 // It trains both the IVF coarse quantizer (cluster centroids) and the
 // per-subspace product-quantization codebooks, mirroring the role
 // k-means plays in Faiss index construction (paper §II-A).
+//
+// The distance-dominated loops (assignment, seeding distance tables)
+// run on a worker pool sized by Config.Workers; results are
+// bit-identical for any worker count because every parallel section
+// writes per-vector outputs and the order-sensitive floating-point
+// reductions (centroid accumulation, inertia) are folded sequentially
+// in index order (see internal/parallel).
 package kmeans
 
 import (
 	"fmt"
 
+	"vectorliterag/internal/parallel"
 	"vectorliterag/internal/rng"
 	"vectorliterag/internal/vecmath"
 )
@@ -17,6 +25,9 @@ type Config struct {
 	Dim      int // vector dimensionality
 	MaxIters int // Lloyd iterations; default 15
 	Seed     uint64
+	// Workers sizes the assignment/seeding worker pool; non-positive
+	// means one per CPU core. Results are identical for any value.
+	Workers int
 }
 
 // Result holds trained centroids and final assignments.
@@ -49,21 +60,29 @@ func Train(data []float32, cfg Config) (*Result, error) {
 	}
 	r := rng.New(cfg.Seed)
 
-	centroids := seedPlusPlus(data, n, cfg.Dim, cfg.K, r)
+	centroids := seedPlusPlus(data, n, cfg.Dim, cfg.K, cfg.Workers, r)
 	assign := make([]int, n)
+	dists := make([]float32, n)
 	counts := make([]int, cfg.K)
 	inertia := 0.0
 
+	// assignAll computes each vector's nearest centroid (and distance) on
+	// the worker pool; per-vector writes keep it exact under parallelism.
+	assignAll := func() {
+		parallel.For(n, cfg.Workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				v := data[i*cfg.Dim : (i+1)*cfg.Dim]
+				assign[i], dists[i] = vecmath.ArgminL2(v, centroids, cfg.Dim)
+			}
+		})
+	}
+
 	for iter := 0; iter < iters; iter++ {
-		// Assignment step.
+		// Assignment step (parallel).
+		assignAll()
+		// Update step: accumulate in index order so the float32 sums match
+		// the single-threaded fold bit for bit.
 		inertia = 0
-		for i := 0; i < n; i++ {
-			v := data[i*cfg.Dim : (i+1)*cfg.Dim]
-			c, d := vecmath.ArgminL2(v, centroids, cfg.Dim)
-			assign[i] = c
-			inertia += float64(d)
-		}
-		// Update step.
 		next := make([]float32, len(centroids))
 		for i := range counts {
 			counts[i] = 0
@@ -71,6 +90,7 @@ func Train(data []float32, cfg Config) (*Result, error) {
 		for i := 0; i < n; i++ {
 			c := assign[i]
 			counts[c]++
+			inertia += float64(dists[i])
 			vecmath.Add(next[c*cfg.Dim:(c+1)*cfg.Dim], data[i*cfg.Dim:(i+1)*cfg.Dim])
 		}
 		for c := 0; c < cfg.K; c++ {
@@ -86,28 +106,31 @@ func Train(data []float32, cfg Config) (*Result, error) {
 		centroids = next
 	}
 	// Final assignment against the last centroid update.
+	assignAll()
 	inertia = 0
 	for i := 0; i < n; i++ {
-		v := data[i*cfg.Dim : (i+1)*cfg.Dim]
-		c, d := vecmath.ArgminL2(v, centroids, cfg.Dim)
-		assign[i] = c
-		inertia += float64(d)
+		inertia += float64(dists[i])
 	}
 	return &Result{Centroids: centroids, Assignments: assign, Inertia: inertia}, nil
 }
 
 // seedPlusPlus picks K initial centroids with D^2 weighting
 // (k-means++), which gives provably bounded inertia and — more
-// importantly here — deterministic, well-spread clusters.
-func seedPlusPlus(data []float32, n, dim, k int, r *rng.Rand) []float32 {
+// importantly here — deterministic, well-spread clusters. The
+// min-distance table updates run on the worker pool; the weighted draw
+// scans the table sequentially, so the picks are worker-count
+// independent.
+func seedPlusPlus(data []float32, n, dim, k, workers int, r *rng.Rand) []float32 {
 	centroids := make([]float32, k*dim)
 	first := r.Intn(n)
 	copy(centroids[:dim], data[first*dim:(first+1)*dim])
 
 	d2 := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d2[i] = float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[:dim]))
-	}
+	parallel.For(n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			d2[i] = float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[:dim]))
+		}
+	})
 	for c := 1; c < k; c++ {
 		total := 0.0
 		for _, d := range d2 {
@@ -129,13 +152,15 @@ func seedPlusPlus(data []float32, n, dim, k int, r *rng.Rand) []float32 {
 			}
 		}
 		copy(centroids[c*dim:(c+1)*dim], data[pick*dim:(pick+1)*dim])
-		// Update min-distance table.
-		for i := 0; i < n; i++ {
-			d := float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[c*dim:(c+1)*dim]))
-			if d < d2[i] {
-				d2[i] = d
+		// Update min-distance table (parallel; per-element writes).
+		parallel.For(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				d := float64(vecmath.SquaredL2(data[i*dim:(i+1)*dim], centroids[c*dim:(c+1)*dim]))
+				if d < d2[i] {
+					d2[i] = d
+				}
 			}
-		}
+		})
 	}
 	return centroids
 }

@@ -1,0 +1,49 @@
+package kmeans
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"vectorliterag/internal/rng"
+)
+
+func trainData(n, dim int, seed uint64) []float32 {
+	r := rng.New(seed)
+	data := make([]float32, n*dim)
+	for i := range data {
+		data[i] = float32(r.NormFloat64())
+	}
+	return data
+}
+
+// TestParallelTrainBitIdentical is the determinism contract of the
+// parallelized build path: for a fixed seed, any worker count must
+// produce the same centroids, assignments, and inertia bit for bit.
+func TestParallelTrainBitIdentical(t *testing.T) {
+	data := trainData(3000, 24, 9)
+	cfg := Config{K: 37, Dim: 24, MaxIters: 10, Seed: 5}
+
+	cfg.Workers = 1
+	seq, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 0} {
+		cfg.Workers = workers
+		par, err := Train(data, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(par.Centroids, seq.Centroids) {
+			t.Fatalf("workers=%d: centroids differ from sequential", workers)
+		}
+		if !reflect.DeepEqual(par.Assignments, seq.Assignments) {
+			t.Fatalf("workers=%d: assignments differ from sequential", workers)
+		}
+		if math.Float64bits(par.Inertia) != math.Float64bits(seq.Inertia) {
+			t.Fatalf("workers=%d: inertia %x differs from sequential %x",
+				workers, math.Float64bits(par.Inertia), math.Float64bits(seq.Inertia))
+		}
+	}
+}

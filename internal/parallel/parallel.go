@@ -1,0 +1,123 @@
+// Package parallel provides the deterministic worker-pool primitive the
+// offline build path (k-means, PQ training, IVF encoding, profiling)
+// uses to exploit multiple cores without changing results.
+//
+// Determinism contract: each chunk writes only to its own disjoint
+// range of a preallocated output, so the result is independent of chunk
+// boundaries and scheduling order. Order-sensitive floating-point
+// reductions stay in the caller, which folds per-element partials in
+// fixed index order; integer tallies may use per-worker partials since
+// integer addition commutes exactly. Under that discipline a run with W
+// workers is bit-identical to a run with one, so a fixed seed keeps
+// producing the same index plan on any machine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: non-positive means one worker
+// per CPU core.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// chunkSize picks a grain that amortizes scheduling overhead while
+// keeping enough chunks in flight to balance uneven work.
+func chunkSize(n, workers int) int {
+	if workers <= 1 {
+		return n
+	}
+	// Aim for ~8 chunks per worker, bounded below so tiny inputs do not
+	// fragment into per-element tasks.
+	c := n / (workers * 8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// For runs body(start, end) over the half-open chunks of [0, n) on the
+// given number of workers (non-positive = NumCPU). Chunk boundaries are
+// a pure function of n and workers only through the grain heuristic —
+// body must only write to outputs indexed by [start, end), which makes
+// the overall result independent of scheduling order.
+func For(n, workers int, body func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := chunkSize(n, w)
+	nChunks := (n + chunk - 1) / chunk
+	if w > nChunks {
+		w = nChunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= nChunks {
+					return
+				}
+				start := i * chunk
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				body(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) on the given number of
+// workers. It is For with a per-element body; use it when each item is
+// heavy (e.g. one k-means training per PQ subspace).
+func ForEach(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"vectorliterag/internal/kmeans"
+	"vectorliterag/internal/parallel"
 	"vectorliterag/internal/vecmath"
 )
 
@@ -35,6 +36,10 @@ type Config struct {
 	K     int // codewords per subspace; default 256
 	Iters int
 	Seed  uint64
+	// Workers sizes the training worker pool (subspaces train
+	// concurrently); non-positive means one per CPU core. Each subspace
+	// trains from its own seed, so results are identical for any value.
+	Workers int
 }
 
 // Train learns the per-subspace codebooks from the row-major training
@@ -58,16 +63,31 @@ func Train(data []float32, cfg Config) (*Quantizer, error) {
 	}
 	subDim := cfg.Dim / cfg.M
 	q := &Quantizer{Dim: cfg.Dim, M: cfg.M, K: cfg.K, subDim: subDim, codebooks: make([][]float32, cfg.M)}
-	sub := make([]float32, n*subDim)
-	for m := 0; m < cfg.M; m++ {
+	// Subspaces are independent trainings with their own seeds, so they
+	// run concurrently; each goroutine extracts its own sub-matrix. The
+	// outer fan-out already saturates the pool, so the inner trainings
+	// stay single-threaded (worker count never changes results).
+	innerWorkers := cfg.Workers
+	if cfg.M > 1 {
+		innerWorkers = 1
+	}
+	errs := make([]error, cfg.M)
+	parallel.ForEach(cfg.M, cfg.Workers, func(m int) {
+		sub := make([]float32, n*subDim)
 		for i := 0; i < n; i++ {
 			copy(sub[i*subDim:(i+1)*subDim], data[i*cfg.Dim+m*subDim:i*cfg.Dim+(m+1)*subDim])
 		}
-		res, err := kmeans.Train(sub, kmeans.Config{K: cfg.K, Dim: subDim, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m)})
+		res, err := kmeans.Train(sub, kmeans.Config{K: cfg.K, Dim: subDim, MaxIters: cfg.Iters, Seed: cfg.Seed + uint64(m), Workers: innerWorkers})
 		if err != nil {
-			return nil, fmt.Errorf("pq: subspace %d: %w", m, err)
+			errs[m] = fmt.Errorf("pq: subspace %d: %w", m, err)
+			return
 		}
 		q.codebooks[m] = res.Centroids
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return q, nil
 }

@@ -1,0 +1,333 @@
+package rag
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/llm"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/partition"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/serve"
+	"vectorliterag/internal/splitter"
+)
+
+// decision is a system's resource choice — coverage, split plan, LLM
+// placement — computed once per run and shared by every replica that
+// instantiates it. It is the output of the offline half of each
+// baseline (for vLiteRAG, Algorithm 1).
+type decision struct {
+	rho       float64
+	plan      *splitter.Plan // nil for CPU-only
+	planBytes int64
+	partition *partition.Result
+	mu0       float64
+	nDed      int // DED-GPU: GPUs dedicated to retrieval
+}
+
+// decide makes the per-kind resource decision from the access profile.
+func decide(opts Options, prof *profiler.AccessProfile, cpuModel costmodel.SearchModel) (*decision, error) {
+	switch opts.Kind {
+	case CPUOnly:
+		return &decision{}, nil
+
+	case AllGPU:
+		plan, err := splitter.Build(prof, 1.0, opts.Node.NumGPUs)
+		if err != nil {
+			return nil, err
+		}
+		return &decision{rho: 1, plan: plan, planBytes: plan.TotalBytes()}, nil
+
+	case DedGPU:
+		perGPU := opts.Node.GPU.UsableMem()
+		nDed := int((opts.W.TotalIndexBytes() + perGPU - 1) / perGPU)
+		if nDed < 1 {
+			nDed = 1
+		}
+		if nDed >= opts.Node.NumGPUs {
+			return nil, fmt.Errorf("rag: index needs %d dedicated GPUs, node has %d", nDed, opts.Node.NumGPUs)
+		}
+		if opts.Node.NumGPUs-nDed < opts.Model.TP {
+			return nil, fmt.Errorf("rag: DED-GPU leaves %d GPUs, %s needs TP=%d", opts.Node.NumGPUs-nDed, opts.Model, opts.Model.TP)
+		}
+		plan, err := splitter.Build(prof, 1.0, nDed)
+		if err != nil {
+			return nil, err
+		}
+		return &decision{rho: 1, plan: plan, planBytes: plan.TotalBytes(), nDed: nDed}, nil
+
+	case VLiteRAG, HedraRAG:
+		if opts.Plan != nil && opts.Kind == VLiteRAG {
+			// Serve an existing plan as-is ("build once, serve many").
+			return &decision{rho: opts.Plan.Coverage, plan: opts.Plan, planBytes: opts.Plan.TotalBytes()}, nil
+		}
+		est, err := hitrate.NewEstimator(prof)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
+		if err != nil {
+			return nil, err
+		}
+		mu0, err := bareCapacity(opts.Node, opts.Model, opts.Node.NumGPUs, opts.Shape)
+		if err != nil {
+			return nil, err
+		}
+		memKV := nodeKVBytes(opts.Node, opts.Model)
+		d := &decision{mu0: mu0}
+		if opts.Kind == VLiteRAG {
+			part, err := partition.LatencyBounded(partition.Inputs{
+				SLOSearch:    opts.SLOSearch,
+				Epsilon:      opts.Epsilon,
+				Perf:         perf,
+				Est:          est,
+				MemKV:        memKV,
+				Mu0:          mu0,
+				IndexBytesAt: splitter.IndexBytesAt(prof),
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.partition = &part
+			d.rho = part.Rho
+		} else if opts.HedraCoverageOverride > 0 {
+			d.rho = opts.HedraCoverageOverride
+		} else {
+			part, err := partition.Hedra(partition.HedraInputs{
+				Perf: perf, Est: est,
+				MemKV: memKV, Mu0: mu0,
+				IndexBytesAt: splitter.IndexBytesAt(prof),
+				BatchCap:     opts.MaxBatch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.partition = &part
+			d.rho = part.Rho
+		}
+		plan, err := splitter.Build(prof, d.rho, opts.Node.NumGPUs)
+		if err != nil {
+			return nil, err
+		}
+		d.plan = plan
+		d.planBytes = plan.TotalBytes()
+		return d, nil
+
+	default:
+		return nil, fmt.Errorf("rag: unknown kind %q", opts.Kind)
+	}
+}
+
+// stageBuilders instantiates one replica of the decision: fresh GPU
+// states with the shared plan applied, the retrieval-engine stage, and
+// the LLM generation stage. Compose builds generation first, so the
+// engine's Forward hook points at a live cluster — the same
+// construction order the pre-pipeline monolith used.
+func stageBuilders(sim *des.Sim, opts Options, d *decision, cpuModel costmodel.SearchModel) (retr, gen serve.Builder) {
+	states := gpu.NewStates(opts.Node)
+	gm := costmodel.GPUScanModel{GPU: opts.Node.GPU}
+	llmStates := states
+
+	var makeEngine func(cfg retrieval.Config) retrieval.Engine
+	switch opts.Kind {
+	case CPUOnly:
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine { return retrieval.NewCPUOnly(cfg) }
+	case AllGPU:
+		applyShards(states, d.plan)
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			return retrieval.NewAllGPU(cfg, d.plan, states, gm)
+		}
+	case DedGPU:
+		dedStates := states[opts.Node.NumGPUs-d.nDed:]
+		llmStates = states[:opts.Node.NumGPUs-d.nDed]
+		applyShards(dedStates, d.plan)
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			return retrieval.NewDedGPU(cfg, d.plan, dedStates, gm)
+		}
+	case VLiteRAG:
+		applyShards(states, d.plan)
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			h := retrieval.NewHybrid(cfg, d.plan, states, gm)
+			h.Dispatcher = !opts.DisableDispatcher
+			return h
+		}
+	case HedraRAG:
+		applyShards(states, d.plan)
+		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
+			return retrieval.NewHedra(cfg, d.plan, states, gm)
+		}
+	}
+
+	retr = serve.RetrievalStage(func(forward serve.Sink) (retrieval.Engine, error) {
+		return makeEngine(retrieval.Config{
+			Sim:      sim,
+			W:        opts.W,
+			CPUModel: cpuModel,
+			Forward:  forward,
+			MaxBatch: opts.MaxBatch,
+		}), nil
+	})
+	gen = serve.GenerationStage(func() (*llm.Cluster, error) {
+		return llm.NewCluster(sim, opts.Node, opts.Model, llmStates, llm.DefaultEngineConfig())
+	})
+	return retr, gen
+}
+
+// profileFor runs the offline access profiling a run's decision needs.
+func profileFor(opts Options) (*profiler.AccessProfile, error) {
+	n := opts.ProfileQueries
+	if n <= 0 {
+		n = 4000
+	}
+	return profiler.CollectAccess(opts.W, n, opts.Seed+1)
+}
+
+// Run executes one evaluation point: it makes the system's resource
+// decision, composes the serving pipeline (admission → retrieval →
+// generation → collector), and drives Poisson arrivals through it in
+// virtual time.
+func Run(opts Options) (*Result, error) {
+	sloTotal, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+	d, err := decide(opts, prof, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+
+	var sim des.Sim
+	coll := serve.NewCollector()
+	retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+	pipe, err := serve.Compose(&sim, coll.Done, serve.Admit(coll), retr, gen)
+	if err != nil {
+		return nil, err
+	}
+	arr := serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+	pipe.Run(arr, opts.Duration, opts.Drain)
+
+	res := &Result{
+		Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+		Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
+		Requests:  coll.Requests(),
+		Generated: coll.Admitted(),
+		AvgBatch:  pipe.Retrieval().AvgBatch(),
+		LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
+		Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+	}
+	return res, nil
+}
+
+// ReplicaResult reports one replica's share of a cluster run.
+type ReplicaResult struct {
+	Submitted int
+	Summary   metrics.Summary
+	AvgBatch  float64
+	LLMGPUs   int
+}
+
+// ClusterResult is one multi-replica evaluation point: the aggregate
+// metrics over every request plus the per-replica breakdown.
+type ClusterResult struct {
+	Result
+	Policy     serve.Policy
+	PerReplica []ReplicaResult
+}
+
+// RunCluster executes one evaluation point on N independent node
+// pipelines behind a front-end router. The resource decision is made
+// once (the replicas are identical nodes) and instantiated per replica
+// with its own GPU states, retrieval engine, and LLM cluster; a single
+// Poisson stream feeds the router, so rate is the cluster-wide arrival
+// rate.
+func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("rag: need at least one replica, got %d", replicas)
+	}
+	// Resolve the policy before the expensive profiling/decision work so
+	// a typo fails fast.
+	policy, err := serve.ResolvePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	sloTotal, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+	d, err := decide(opts, prof, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+
+	var sim des.Sim
+	coll := serve.NewCollector()
+	reps := make([]*serve.Replica, replicas)
+	repColls := make([]*serve.Collector, replicas)
+	for i := range reps {
+		rep := serve.NewReplica()
+		repColl := serve.NewCollector()
+		retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+		pipe, err := serve.Compose(&sim,
+			serve.Tee(coll.Done, repColl.Done, rep.Release),
+			serve.Admit(repColl), retr, gen)
+		if err != nil {
+			return nil, err
+		}
+		rep.Bind(pipe)
+		reps[i] = rep
+		repColls[i] = repColl
+	}
+	router, err := serve.NewRouter(policy, reps)
+	if err != nil {
+		return nil, err
+	}
+	front, err := serve.Compose(&sim, router.Submit, serve.Admit(coll))
+	if err != nil {
+		return nil, err
+	}
+	arr := serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+	front.Run(arr, opts.Duration, opts.Drain)
+
+	res := &ClusterResult{
+		Result: Result{
+			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
+			Requests:  coll.Requests(),
+			Generated: coll.Admitted(),
+			Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+		},
+		Policy: policy,
+	}
+	var batchSum float64
+	for i, rep := range reps {
+		pipe := rep.Pipeline()
+		rr := ReplicaResult{
+			Submitted: rep.Submitted(),
+			Summary:   repColls[i].Summarize(sloTotal, des.Time(opts.Warmup)),
+			AvgBatch:  pipe.Retrieval().AvgBatch(),
+			LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
+		}
+		res.PerReplica = append(res.PerReplica, rr)
+		res.LLMGPUs += rr.LLMGPUs
+		batchSum += rr.AvgBatch * float64(rr.Submitted)
+	}
+	if res.Generated > 0 {
+		res.AvgBatch = batchSum / float64(res.Generated)
+	}
+	return res, nil
+}

@@ -1,8 +1,10 @@
-// Package rag assembles the end-to-end serving pipeline and runs one
-// evaluation point: Poisson arrivals → retrieval engine → LLM cluster,
-// all in virtual time. It owns the system-level wiring the paper's
-// baselines differ in — GPU memory layout, which GPUs serve the LLM,
-// and which retrieval engine runs (§V baseline configurations).
+// Package rag composes the paper's serving systems: for each baseline
+// it makes the system-level resource decision the paper's §V baseline
+// configurations differ in — GPU memory layout, which GPUs serve the
+// LLM, and which retrieval engine runs — and instantiates that decision
+// as a stage pipeline on internal/serve (arrivals → admission →
+// retrieval → generation → collector, all in virtual time). It also
+// owns the memoized capacity measurements every experiment shares.
 package rag
 
 import (
@@ -10,18 +12,12 @@ import (
 	"sync"
 	"time"
 
-	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
-	"vectorliterag/internal/des"
 	"vectorliterag/internal/gpu"
-	"vectorliterag/internal/hitrate"
 	"vectorliterag/internal/hw"
 	"vectorliterag/internal/llm"
 	"vectorliterag/internal/metrics"
 	"vectorliterag/internal/partition"
-	"vectorliterag/internal/perfmodel"
-	"vectorliterag/internal/profiler"
-	"vectorliterag/internal/retrieval"
 	"vectorliterag/internal/splitter"
 	"vectorliterag/internal/workload"
 )
@@ -38,8 +34,14 @@ const (
 	HedraRAG Kind = "HedraRAG"
 )
 
-// Kinds lists the four main-evaluation systems in the paper's order.
+// Kinds lists the four main-evaluation systems in the paper's order
+// (the Fig. 11/12 lineup; HedraRAG appears only in the dedicated
+// comparison figures).
 func Kinds() []Kind { return []Kind{CPUOnly, DedGPU, AllGPU, VLiteRAG} }
+
+// AllKinds lists every implemented system, including HedraRAG — the
+// enumeration ablation and coverage studies iterate over.
+func AllKinds() []Kind { return []Kind{CPUOnly, DedGPU, AllGPU, VLiteRAG, HedraRAG} }
 
 // Options configures one run.
 type Options struct {
@@ -76,6 +78,40 @@ type Options struct {
 	// instead of re-profiling and re-partitioning — "build once, serve
 	// many", and the way a stale plan is represented in drift studies.
 	Plan *splitter.Plan
+}
+
+// normalize fills defaults and derives the total SLO; it leaves opts
+// ready for composition.
+func (opts *Options) normalize() (sloTotal time.Duration, err error) {
+	if opts.W == nil {
+		return 0, fmt.Errorf("rag: nil workload")
+	}
+	if opts.Rate <= 0 {
+		return 0, fmt.Errorf("rag: non-positive rate %v", opts.Rate)
+	}
+	if opts.Duration == 0 {
+		opts.Duration = 120 * time.Second
+	}
+	if opts.Warmup == 0 {
+		opts.Warmup = 20 * time.Second
+	}
+	if opts.Drain == 0 {
+		opts.Drain = 120 * time.Second
+	}
+	if opts.Shape == (workload.Shape{}) {
+		opts.Shape = workload.DefaultShape()
+	}
+	if opts.SLOSearch == 0 {
+		opts.SLOSearch = opts.W.Spec.SLOSearch
+	}
+	if opts.SLOGen == 0 {
+		slo, err := GenSLO(opts.Node, opts.Model, opts.Shape)
+		if err != nil {
+			return 0, err
+		}
+		opts.SLOGen = slo
+	}
+	return opts.SLOSearch + opts.SLOGen, nil
 }
 
 // Result is one evaluation point.
@@ -156,208 +192,6 @@ func GenSLO(node hw.Node, model llm.ModelSpec, shape workload.Shape) (time.Durat
 	genSLOCache.m[key] = slo
 	genSLOCache.Unlock()
 	return slo, nil
-}
-
-// Run executes one evaluation point.
-func Run(opts Options) (*Result, error) {
-	if opts.W == nil {
-		return nil, fmt.Errorf("rag: nil workload")
-	}
-	if opts.Rate <= 0 {
-		return nil, fmt.Errorf("rag: non-positive rate %v", opts.Rate)
-	}
-	if opts.Duration == 0 {
-		opts.Duration = 120 * time.Second
-	}
-	if opts.Warmup == 0 {
-		opts.Warmup = 20 * time.Second
-	}
-	if opts.Drain == 0 {
-		opts.Drain = 120 * time.Second
-	}
-	if opts.Shape == (workload.Shape{}) {
-		opts.Shape = workload.DefaultShape()
-	}
-	if opts.SLOSearch == 0 {
-		opts.SLOSearch = opts.W.Spec.SLOSearch
-	}
-	if opts.SLOGen == 0 {
-		slo, err := GenSLO(opts.Node, opts.Model, opts.Shape)
-		if err != nil {
-			return nil, err
-		}
-		opts.SLOGen = slo
-	}
-	sloTotal := opts.SLOSearch + opts.SLOGen
-
-	var sim des.Sim
-	states := gpu.NewStates(opts.Node)
-	gm := costmodel.GPUScanModel{GPU: opts.Node.GPU}
-	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
-
-	nProf := opts.ProfileQueries
-	if nProf <= 0 {
-		nProf = 4000
-	}
-	prof, err := profiler.CollectAccess(opts.W, nProf, opts.Seed+1)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal}
-
-	// Engine construction is deferred until the LLM cluster exists (the
-	// Forward hook needs it), so the layout step returns a factory.
-	var makeEngine func(cfg retrieval.Config) retrieval.Engine
-	llmStates := states
-
-	switch opts.Kind {
-	case CPUOnly:
-		res.Rho = 0
-		makeEngine = func(cfg retrieval.Config) retrieval.Engine { return retrieval.NewCPUOnly(cfg) }
-
-	case AllGPU:
-		plan, err := splitter.Build(prof, 1.0, opts.Node.NumGPUs)
-		if err != nil {
-			return nil, err
-		}
-		applyShards(states, plan)
-		res.Rho, res.PlanBytes = 1, plan.TotalBytes()
-		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
-			return retrieval.NewAllGPU(cfg, plan, states, gm)
-		}
-
-	case DedGPU:
-		perGPU := opts.Node.GPU.UsableMem()
-		nDed := int((opts.W.TotalIndexBytes() + perGPU - 1) / perGPU)
-		if nDed < 1 {
-			nDed = 1
-		}
-		if nDed >= opts.Node.NumGPUs {
-			return nil, fmt.Errorf("rag: index needs %d dedicated GPUs, node has %d", nDed, opts.Node.NumGPUs)
-		}
-		dedStates := states[opts.Node.NumGPUs-nDed:]
-		llmStates = states[:opts.Node.NumGPUs-nDed]
-		if len(llmStates) < opts.Model.TP {
-			return nil, fmt.Errorf("rag: DED-GPU leaves %d GPUs, %s needs TP=%d", len(llmStates), opts.Model, opts.Model.TP)
-		}
-		plan, err := splitter.Build(prof, 1.0, nDed)
-		if err != nil {
-			return nil, err
-		}
-		applyShards(dedStates, plan)
-		res.Rho, res.PlanBytes = 1, plan.TotalBytes()
-		makeEngine = func(cfg retrieval.Config) retrieval.Engine {
-			return retrieval.NewDedGPU(cfg, plan, dedStates, gm)
-		}
-
-	case VLiteRAG, HedraRAG:
-		if opts.Plan != nil && opts.Kind == VLiteRAG {
-			plan := opts.Plan
-			applyShards(states, plan)
-			res.Rho = plan.Coverage
-			res.PlanBytes = plan.TotalBytes()
-			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
-				h := retrieval.NewHybrid(cfg, plan, states, gm)
-				h.Dispatcher = !opts.DisableDispatcher
-				return h
-			}
-			break
-		}
-		est, err := hitrate.NewEstimator(prof)
-		if err != nil {
-			return nil, err
-		}
-		perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
-		if err != nil {
-			return nil, err
-		}
-		mu0, err := bareCapacity(opts.Node, opts.Model, opts.Node.NumGPUs, opts.Shape)
-		if err != nil {
-			return nil, err
-		}
-		res.Mu0 = mu0
-		memKV := nodeKVBytes(opts.Node, opts.Model)
-		var rho float64
-		if opts.Kind == VLiteRAG {
-			part, err := partition.LatencyBounded(partition.Inputs{
-				SLOSearch:    opts.SLOSearch,
-				Epsilon:      opts.Epsilon,
-				Perf:         perf,
-				Est:          est,
-				MemKV:        memKV,
-				Mu0:          mu0,
-				IndexBytesAt: splitter.IndexBytesAt(prof),
-			})
-			if err != nil {
-				return nil, err
-			}
-			res.Partition = &part
-			rho = part.Rho
-		} else if opts.HedraCoverageOverride > 0 {
-			rho = opts.HedraCoverageOverride
-		} else {
-			part, err := partition.Hedra(partition.HedraInputs{
-				Perf: perf, Est: est,
-				MemKV: memKV, Mu0: mu0,
-				IndexBytesAt: splitter.IndexBytesAt(prof),
-				BatchCap:     opts.MaxBatch,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res.Partition = &part
-			rho = part.Rho
-		}
-		plan, err := splitter.Build(prof, rho, opts.Node.NumGPUs)
-		if err != nil {
-			return nil, err
-		}
-		applyShards(states, plan)
-		res.Rho, res.PlanBytes = rho, plan.TotalBytes()
-		if opts.Kind == VLiteRAG {
-			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
-				h := retrieval.NewHybrid(cfg, plan, states, gm)
-				h.Dispatcher = !opts.DisableDispatcher
-				return h
-			}
-		} else {
-			makeEngine = func(cfg retrieval.Config) retrieval.Engine {
-				return retrieval.NewHedra(cfg, plan, states, gm)
-			}
-		}
-
-	default:
-		return nil, fmt.Errorf("rag: unknown kind %q", opts.Kind)
-	}
-
-	cluster, err := llm.NewCluster(&sim, opts.Node, opts.Model, llmStates, llm.DefaultEngineConfig())
-	if err != nil {
-		return nil, err
-	}
-	res.LLMGPUs = len(cluster.Instances) * opts.Model.TP
-
-	engine := makeEngine(retrieval.Config{
-		Sim:      &sim,
-		W:        opts.W,
-		CPUModel: cpuModel,
-		Forward:  cluster.Submit,
-		MaxBatch: opts.MaxBatch,
-	})
-
-	var all []*workload.Request
-	gen := workload.NewGenerator(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
-	gen.Start(&sim, des.Time(opts.Duration), func(req *workload.Request) {
-		all = append(all, req)
-		engine.Submit(req)
-	})
-	sim.RunUntil(des.Time(opts.Duration + opts.Drain))
-
-	res.Requests = all
-	res.Generated = len(all)
-	res.AvgBatch = engine.AvgBatch()
-	res.Summary = metrics.Summarize(all, sloTotal, des.Time(opts.Warmup))
-	return res, nil
 }
 
 // applyShards records per-GPU resident shard bytes (shrinking KV).

@@ -1,0 +1,151 @@
+// Package serve is the composable serving-pipeline layer: it models a
+// RAG deployment as an explicit chain of stages over the discrete-event
+// simulator — an Arrivals source, an Admission stage, a retrieval
+// stage, a Generation stage wrapping the LLM cluster, and a Collector
+// sink — the stage-graph framing RAG-Stack and HedraRAG use for RAG
+// serving, applied to this reproduction's simulator substrate.
+//
+// Each baseline system (CPU-Only, DED-GPU, ALL-GPU, vLiteRAG, HedraRAG)
+// is a declarative composition of these stages; internal/rag supplies
+// the per-system resource layout (GPU memory split, engine choice, LLM
+// placement) and delegates execution here. Multi-node scenarios reuse
+// the same pieces: a Router stage fans requests out to N independent
+// replica pipelines under a round-robin or least-loaded policy.
+//
+// Construction runs back-to-front: Compose builds the last stage first
+// and hands each stage its downstream neighbor's Submit as the forward
+// hook, which is exactly the wiring the retrieval engines need (their
+// Forward callback is fixed at construction).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/workload"
+)
+
+// Sink consumes a request at the current virtual instant. Stage outputs
+// and terminal collectors are both Sinks.
+type Sink func(*workload.Request)
+
+// Tee fans one request out to several sinks in order.
+func Tee(sinks ...Sink) Sink {
+	return func(req *workload.Request) {
+		for _, s := range sinks {
+			s(req)
+		}
+	}
+}
+
+// Stage is one station of the serving pipeline: requests enter through
+// Submit and leave through the downstream sink the stage was built
+// with. Stages schedule their service time on the shared simulator.
+type Stage interface {
+	Submit(req *workload.Request)
+	Name() string
+}
+
+// Builder constructs a stage bound to its downstream sink.
+type Builder func(next Sink) (Stage, error)
+
+// Pipeline is a linear chain of stages ending in a terminal sink.
+type Pipeline struct {
+	Sim    *des.Sim
+	stages []Stage // upstream first
+	head   Sink
+}
+
+// Compose builds a pipeline from stage builders, back to front, so each
+// stage receives its downstream neighbor's Submit as the forward hook.
+// A nil terminal sink discards completed requests.
+func Compose(sim *des.Sim, terminal Sink, builders ...Builder) (*Pipeline, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("serve: nil simulator")
+	}
+	if len(builders) == 0 {
+		return nil, fmt.Errorf("serve: empty pipeline")
+	}
+	next := terminal
+	if next == nil {
+		next = func(*workload.Request) {}
+	}
+	stages := make([]Stage, len(builders))
+	for i := len(builders) - 1; i >= 0; i-- {
+		st, err := builders[i](next)
+		if err != nil {
+			return nil, fmt.Errorf("serve: stage %d: %w", i, err)
+		}
+		stages[i] = st
+		next = st.Submit
+	}
+	return &Pipeline{Sim: sim, stages: stages, head: next}, nil
+}
+
+// Submit feeds a request into the pipeline's first stage.
+func (p *Pipeline) Submit(req *workload.Request) { p.head(req) }
+
+// Stages returns the pipeline's stages, upstream first.
+func (p *Pipeline) Stages() []Stage { return p.stages }
+
+// Retrieval returns the pipeline's retrieval stage, or nil.
+func (p *Pipeline) Retrieval() *Retrieval {
+	for _, st := range p.stages {
+		if r, ok := st.(*Retrieval); ok {
+			return r
+		}
+	}
+	return nil
+}
+
+// Generation returns the pipeline's generation stage, or nil.
+func (p *Pipeline) Generation() *Generation {
+	for _, st := range p.stages {
+		if g, ok := st.(*Generation); ok {
+			return g
+		}
+	}
+	return nil
+}
+
+// Run drives the arrival source into the pipeline for the given virtual
+// window and then lets the simulation drain.
+func (p *Pipeline) Run(arr *Arrivals, duration, drain time.Duration) {
+	arr.Start(p.Sim, des.Time(duration), p.Submit)
+	p.Sim.RunUntil(des.Time(duration + drain))
+}
+
+// Collector is the pipeline's terminal sink: it records every admitted
+// request and summarizes the run's metrics once the simulation drains.
+type Collector struct {
+	requests  []*workload.Request
+	completed int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Admit records a request entering the system (wired into the Admission
+// stage, so the record order equals the arrival order).
+func (c *Collector) Admit(req *workload.Request) { c.requests = append(c.requests, req) }
+
+// Done counts a completed request (wired as the generation stage's
+// downstream sink).
+func (c *Collector) Done(*workload.Request) { c.completed++ }
+
+// Requests returns every admitted request in arrival order.
+func (c *Collector) Requests() []*workload.Request { return c.requests }
+
+// Admitted returns the number of requests that entered the system.
+func (c *Collector) Admitted() int { return len(c.requests) }
+
+// Completed returns the number of requests that finished generation.
+func (c *Collector) Completed() int { return c.completed }
+
+// Summarize aggregates the paper's serving metrics over the admitted
+// requests.
+func (c *Collector) Summarize(sloTotal time.Duration, warmup des.Time) metrics.Summary {
+	return metrics.Summarize(c.requests, sloTotal, warmup)
+}

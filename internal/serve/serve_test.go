@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/workload"
+)
+
+// delayStage forwards each request after a fixed virtual delay,
+// recording the order it saw them in.
+type delayStage struct {
+	sim   *des.Sim
+	name  string
+	delay time.Duration
+	seen  []int
+	next  Sink
+}
+
+func delay(sim *des.Sim, name string, d time.Duration, log *[]string) Builder {
+	return func(next Sink) (Stage, error) {
+		*log = append(*log, "built:"+name)
+		return &delayStage{sim: sim, name: name, delay: d, next: next}, nil
+	}
+}
+
+func (s *delayStage) Name() string { return s.name }
+
+func (s *delayStage) Submit(req *workload.Request) {
+	s.seen = append(s.seen, req.ID)
+	s.sim.After(s.delay, func() { s.next(req) })
+}
+
+func TestComposeBuildsBackToFront(t *testing.T) {
+	var sim des.Sim
+	var log []string
+	_, err := Compose(&sim, nil,
+		delay(&sim, "a", time.Millisecond, &log),
+		delay(&sim, "b", time.Millisecond, &log),
+		delay(&sim, "c", time.Millisecond, &log),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"built:c", "built:b", "built:a"}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("build order %v, want %v", log, want)
+		}
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	var sim des.Sim
+	if _, err := Compose(nil, nil); err == nil {
+		t.Fatal("nil sim accepted")
+	}
+	if _, err := Compose(&sim, nil); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	failing := func(next Sink) (Stage, error) { return nil, fmt.Errorf("boom") }
+	if _, err := Compose(&sim, nil, failing); err == nil {
+		t.Fatal("builder error swallowed")
+	}
+}
+
+func TestPipelineFlowsThroughStagesInOrder(t *testing.T) {
+	var sim des.Sim
+	var log []string
+	var done []int
+	terminal := func(req *workload.Request) { done = append(done, req.ID) }
+	pipe, err := Compose(&sim, terminal,
+		delay(&sim, "a", 1*time.Millisecond, &log),
+		delay(&sim, "b", 2*time.Millisecond, &log),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		req := &workload.Request{ID: i}
+		sim.At(des.Time(i)*1e6, func() { pipe.Submit(req) })
+	}
+	sim.Run()
+	if len(done) != 3 {
+		t.Fatalf("terminal saw %d requests, want 3", len(done))
+	}
+	a := pipe.Stages()[0].(*delayStage)
+	b := pipe.Stages()[1].(*delayStage)
+	if len(a.seen) != 3 || len(b.seen) != 3 {
+		t.Fatalf("stage traffic a=%v b=%v", a.seen, b.seen)
+	}
+	if sim.Now() != des.Time(2*1e6+3*1e6) {
+		t.Fatalf("last completion at %d", sim.Now())
+	}
+}
+
+func TestTee(t *testing.T) {
+	var got []string
+	s := Tee(
+		func(*workload.Request) { got = append(got, "x") },
+		func(*workload.Request) { got = append(got, "y") },
+	)
+	s(&workload.Request{})
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("tee order %v", got)
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	r := &workload.Request{ID: 1}
+	c.Admit(r)
+	c.Admit(&workload.Request{ID: 2})
+	c.Done(r)
+	if c.Admitted() != 2 || c.Completed() != 1 {
+		t.Fatalf("admitted %d completed %d", c.Admitted(), c.Completed())
+	}
+	if len(c.Requests()) != 2 || c.Requests()[0].ID != 1 {
+		t.Fatalf("request log %v", c.Requests())
+	}
+}
+
+// sinkReplica builds a replica whose pipeline is a single pass-through
+// stage feeding Release, so inflight returns to zero at completion.
+func sinkReplica(t *testing.T, sim *des.Sim, seen *[]int, id int) *Replica {
+	t.Helper()
+	rep := NewReplica()
+	pipe, err := Compose(sim, rep.Release, func(next Sink) (Stage, error) {
+		return &delayStage{sim: sim, name: fmt.Sprintf("rep%d", id), next: func(req *workload.Request) {
+			*seen = append(*seen, id)
+			next(req)
+		}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Bind(pipe)
+	return rep
+}
+
+func TestRouterRoundRobin(t *testing.T) {
+	var sim des.Sim
+	var seen []int
+	reps := []*Replica{
+		sinkReplica(t, &sim, &seen, 0),
+		sinkReplica(t, &sim, &seen, 1),
+		sinkReplica(t, &sim, &seen, 2),
+	}
+	r, err := NewRouter(RoundRobin, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		r.Submit(&workload.Request{ID: i})
+	}
+	sim.Run()
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestRouterLeastLoaded(t *testing.T) {
+	var sim des.Sim
+	var seen []int
+	reps := []*Replica{
+		sinkReplica(t, &sim, &seen, 0),
+		sinkReplica(t, &sim, &seen, 1),
+	}
+	r, err := NewRouter(LeastLoaded, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin three requests onto replica 0 by hand; the router must then
+	// prefer replica 1 until loads equalize.
+	reps[0].inflight = 3
+	r.Submit(&workload.Request{ID: 0})
+	r.Submit(&workload.Request{ID: 1})
+	r.Submit(&workload.Request{ID: 2})
+	sim.Run()
+	for _, id := range seen {
+		if id != 1 {
+			t.Fatalf("least-loaded sent to busy replica: %v", seen)
+		}
+	}
+	if reps[1].Submitted() != 3 {
+		t.Fatalf("replica 1 submitted %d, want 3", reps[1].Submitted())
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	var sim des.Sim
+	var seen []int
+	rep := sinkReplica(t, &sim, &seen, 0)
+	if _, err := NewRouter("bogus", []*Replica{rep}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewRouter(RoundRobin, nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := NewRouter(RoundRobin, []*Replica{NewReplica()}); err == nil {
+		t.Fatal("unbound replica accepted")
+	}
+	r, err := NewRouter("", []*Replica{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() == "" || len(r.Replicas()) != 1 {
+		t.Fatalf("router introspection broken: %q", r.Name())
+	}
+}
+
+func TestReplicaInflightAccounting(t *testing.T) {
+	var sim des.Sim
+	var seen []int
+	rep := sinkReplica(t, &sim, &seen, 0)
+	r, err := NewRouter(LeastLoaded, []*Replica{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Submit(&workload.Request{ID: 0})
+	if rep.Inflight() != 1 {
+		t.Fatalf("inflight %d after submit", rep.Inflight())
+	}
+	sim.Run()
+	if rep.Inflight() != 0 {
+		t.Fatalf("inflight %d after drain", rep.Inflight())
+	}
+}

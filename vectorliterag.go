@@ -15,6 +15,7 @@ import (
 	"vectorliterag/internal/perfmodel"
 	"vectorliterag/internal/profiler"
 	"vectorliterag/internal/rag"
+	"vectorliterag/internal/serve"
 	"vectorliterag/internal/splitter"
 	"vectorliterag/internal/update"
 	"vectorliterag/internal/workload"
@@ -38,6 +39,9 @@ type (
 	// System selects a serving system (CPU-Only, DED-GPU, ALL-GPU,
 	// VLiteRAG, HedraRAG).
 	System = rag.Kind
+	// RoutePolicy selects how a cluster front end spreads requests
+	// across replicas (RoundRobin, LeastLoaded).
+	RoutePolicy = serve.Policy
 	// Summary aggregates one serving run's metrics.
 	Summary = metrics.Summary
 	// PartitionResult reports Algorithm 1's decision and diagnostics.
@@ -67,6 +71,17 @@ const (
 	AllGPU   = rag.AllGPU
 	VLiteRAG = rag.VLiteRAG
 	HedraRAG = rag.HedraRAG
+)
+
+// Systems lists the paper's four main-evaluation systems; AllSystems
+// additionally includes HedraRAG.
+func Systems() []System    { return rag.Kinds() }
+func AllSystems() []System { return rag.AllKinds() }
+
+// The cluster routing policies.
+const (
+	RoundRobin  = serve.RoundRobin
+	LeastLoaded = serve.LeastLoaded
 )
 
 // H100Node returns the 8xH100 evaluation node.
@@ -234,9 +249,9 @@ type Report struct {
 	Mu0      float64
 }
 
-// Serve runs the end-to-end pipeline (arrivals → retrieval → LLM) in
-// virtual time and reports the paper's metrics.
-func Serve(opts ServeOptions) (*Report, error) {
+// ragOptions fills defaults and translates the public options into the
+// internal composition layer's.
+func ragOptions(opts ServeOptions) rag.Options {
 	if opts.Node.NumGPUs == 0 {
 		opts.Node = hw.H100Node()
 	}
@@ -255,7 +270,13 @@ func Serve(opts ServeOptions) (*Report, error) {
 	if opts.Prebuilt != nil {
 		ro.Plan = opts.Prebuilt.Plan
 	}
-	res, err := rag.Run(ro)
+	return ro
+}
+
+// Serve runs the end-to-end pipeline (arrivals → admission → retrieval
+// → generation) in virtual time and reports the paper's metrics.
+func Serve(opts ServeOptions) (*Report, error) {
+	res, err := rag.Run(ragOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +287,61 @@ func Serve(opts ServeOptions) (*Report, error) {
 		AvgBatch: res.AvgBatch,
 		Mu0:      res.Mu0,
 	}, nil
+}
+
+// ClusterOptions configures a multi-replica serving run: N identical
+// node pipelines behind a front-end router fed by one Poisson stream
+// (Rate is the cluster-wide arrival rate).
+type ClusterOptions struct {
+	ServeOptions
+	// Replicas is the number of independent node pipelines (default 2).
+	Replicas int
+	// Policy selects the router's dispatch rule (default LeastLoaded).
+	Policy RoutePolicy
+}
+
+// ReplicaReport is one replica's share of a cluster run.
+type ReplicaReport struct {
+	Submitted int
+	Summary   Summary
+	AvgBatch  float64
+}
+
+// ClusterReport is the outcome of one multi-replica serving run.
+type ClusterReport struct {
+	Report
+	Policy     RoutePolicy
+	PerReplica []ReplicaReport
+}
+
+// ServeCluster runs the end-to-end pipeline on a cluster of identical
+// replicas behind a round-robin or least-loaded router. The offline
+// resource decision (profiling, partitioning, split plan) is made once
+// and instantiated per replica.
+func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
+	if opts.Replicas == 0 {
+		opts.Replicas = 2
+	}
+	res, err := rag.RunCluster(ragOptions(opts.ServeOptions), opts.Replicas, opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClusterReport{
+		Report: Report{
+			Summary:  res.Summary,
+			SLOTotal: res.SLOTotal,
+			Rho:      res.Rho,
+			AvgBatch: res.AvgBatch,
+			Mu0:      res.Mu0,
+		},
+		Policy: res.Policy,
+	}
+	for _, r := range res.PerReplica {
+		rep.PerReplica = append(rep.PerReplica, ReplicaReport{
+			Submitted: r.Submitted, Summary: r.Summary, AvgBatch: r.AvgBatch,
+		})
+	}
+	return rep, nil
 }
 
 // Capacity returns the standalone LLM throughput of a deployment (the

@@ -90,6 +90,39 @@ func TestServeAndPrebuilt(t *testing.T) {
 	}
 }
 
+func TestServeCluster(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	rep, err := vlr.ServeCluster(vlr.ClusterOptions{
+		ServeOptions: vlr.ServeOptions{
+			Workload: w, System: vlr.VLiteRAG, Rate: 30, Seed: 1,
+			Duration: 40 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Policy != vlr.LeastLoaded {
+		t.Fatalf("default policy %q", rep.Policy)
+	}
+	if len(rep.PerReplica) != 2 {
+		t.Fatalf("default replica count: got %d reports", len(rep.PerReplica))
+	}
+	if rep.Summary.N == 0 || rep.Summary.Attainment <= 0 {
+		t.Fatalf("empty cluster report %+v", rep.Summary)
+	}
+	for i, r := range rep.PerReplica {
+		if r.Submitted == 0 {
+			t.Fatalf("replica %d idle", i)
+		}
+	}
+	if _, err := vlr.ServeCluster(vlr.ClusterOptions{
+		ServeOptions: vlr.ServeOptions{Workload: w, Rate: 10},
+		Policy:       "bogus",
+	}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 func TestServeDefaultsToVLiteRAG(t *testing.T) {
 	w := smallWorkload(t, vlr.WikiAll)
 	rep, err := vlr.Serve(vlr.ServeOptions{Workload: w, Rate: 10, Duration: 30 * time.Second})
@@ -113,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 16 {
-		t.Fatalf("got %d experiments, want 16: %v", len(names), names)
+	if len(names) != 17 {
+		t.Fatalf("got %d experiments, want 17: %v", len(names), names)
 	}
 	if _, err := vlr.RunExperiment("nope", true); err == nil {
 		t.Fatal("unknown experiment accepted")
