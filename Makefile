@@ -1,8 +1,8 @@
-# Developer entry points. CI runs `make verify`.
+# Developer entry points. CI runs `make verify` and `make bench-smoke`.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench fmt
+.PHONY: verify build test vet race bench bench-search bench-smoke fmt
 
 verify: vet build race
 
@@ -18,8 +18,19 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Full micro-benchmark sweep (one iteration each; sanity, not timing).
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Timed search-kernel benchmarks — the numbers tracked in
+# BENCH_search.json (see also `vliterag run -exp bench`).
+bench-search:
+	$(GO) test -run=NONE -bench=Search -benchmem -benchtime=2s ./...
+
+# One-iteration compile-and-run of the search kernel benchmarks; CI runs
+# this so the benchmarks cannot rot.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
 
 fmt:
 	gofmt -l -w .

@@ -148,6 +148,37 @@ func BenchmarkIVFSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkIVFSearchScratch measures the allocation-free scratch path:
+// the same three-stage search with all buffers reused across calls.
+func BenchmarkIVFSearchScratch(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(1)
+	q := w.QueryVector(0, r)
+	s := w.Index.NewSearchScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Index.SearchInto(s, q, 8, 25)
+	}
+}
+
+// BenchmarkIVFSearchBatch measures batched search throughput per query
+// (64-query batches over the worker pool).
+func BenchmarkIVFSearchBatch(b *testing.B) {
+	w := benchWorkload(b)
+	r := rng.New(1)
+	const batch = 64
+	queries := make([]float32, 0, batch*w.Gen.Dim)
+	for i := 0; i < batch; i++ {
+		queries = append(queries, w.QueryVector(dataset.QueryID(i%w.Templates()), r)...)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		if _, err := w.Index.SearchBatch(queries, 8, 25); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkIVFProbe measures coarse quantization alone.
 func BenchmarkIVFProbe(b *testing.B) {
 	w := benchWorkload(b)

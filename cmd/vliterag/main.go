@@ -15,11 +15,70 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	vlr "vectorliterag"
 )
+
+// profiler wires the optional -cpuprofile/-memprofile flag pair into a
+// subcommand's flag set, so perf work can attach pprof evidence to any
+// run/serve/build invocation.
+type profiler struct {
+	cpu, mem *string
+	cpuFile  *os.File
+}
+
+func profileFlags(fs *flag.FlagSet) *profiler {
+	return &profiler{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// start begins CPU profiling if requested; call stop before exiting.
+func (p *profiler) start() error {
+	if *p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(*p.cpu)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop flushes both profiles. It is safe to call when profiling was
+// never started.
+func (p *profiler) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if *p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(*p.mem)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // flush recently freed objects out of the heap profile
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -57,6 +116,7 @@ func runCmd(args []string) error {
 	exp := fs.String("exp", "", "experiment id (see `vliterag list`) or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweeps for a fast run")
 	asCSV := fs.Bool("csv", false, "emit raw data rows as CSV where the experiment supports it")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,21 +127,30 @@ func runCmd(args []string) error {
 	if *exp == "all" {
 		ids = vlr.Experiments()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		var out string
-		var err error
-		if *asCSV {
-			out, err = vlr.RunExperimentCSV(id, *quick)
-		} else {
-			out, err = vlr.RunExperiment(id, *quick)
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+	if err := prof.start(); err != nil {
+		return err
 	}
-	return nil
+	err := func() error {
+		for _, id := range ids {
+			start := time.Now()
+			var out string
+			var err error
+			if *asCSV {
+				out, err = vlr.RunExperimentCSV(id, *quick)
+			} else {
+				out, err = vlr.RunExperiment(id, *quick)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("=== %s (%.1fs) ===\n%s\n", id, time.Since(start).Seconds(), out)
+		}
+		return nil
+	}()
+	if stopErr := prof.stop(); err == nil {
+		err = stopErr
+	}
+	return err
 }
 
 func datasetByName(name string) (vlr.Spec, error) {
@@ -118,6 +187,7 @@ func serveCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	replicas := fs.Int("replicas", 1, "independent node pipelines behind the front-end router")
 	policy := fs.String("policy", "least-loaded", "cluster routing policy (round-robin|least-loaded)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +199,14 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vliterag:", err)
+		}
+	}()
 	fmt.Printf("building %s workload (trains a real IVF-PQ index)...\n", spec.Name)
 	w, err := vlr.NewWorkload(spec)
 	if err != nil {
@@ -176,6 +254,7 @@ func buildCmd(args []string) error {
 	ds := fs.String("dataset", "orcas1k", "wikiall|orcas1k|orcas2k")
 	model := fs.String("model", "qwen3-32b", "llama3-8b|qwen3-32b|llama3-70b")
 	slo := fs.Duration("slo", 0, "search SLO (default: dataset's Table-I value)")
+	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,6 +266,14 @@ func buildCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vliterag:", err)
+		}
+	}()
 	w, err := vlr.NewWorkload(spec)
 	if err != nil {
 		return err

@@ -179,10 +179,16 @@ func Build(spec Spec, gc GenConfig) (*Workload, error) {
 		w.templates[t] = template{vec: vec}
 	}
 	// Probe lists are pure functions of the template vectors, so they
-	// compute concurrently after the sequential RNG draws above.
+	// compute concurrently after the sequential RNG draws above. Each
+	// chunk reuses one search scratch across its templates; only the
+	// retained per-template probe list is allocated.
 	parallel.For(gc.Templates, gc.Workers, func(start, end int) {
+		s := ix.NewSearchScratch()
 		for t := start; t < end; t++ {
-			w.templates[t].probes = ix.Probe(w.templates[t].vec, gc.PhysNProbe)
+			probes := ix.ProbeInto(s, w.templates[t].vec, gc.PhysNProbe)
+			own := make([]int, len(probes))
+			copy(own, probes)
+			w.templates[t].probes = own
 		}
 	})
 	w.pop = rng.NewZipf(gc.Templates, spec.SkewS)

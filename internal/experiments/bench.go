@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/vecmath"
+)
+
+// BenchFile is where the bench experiment records its measurements so
+// the kernel-performance trajectory is tracked across PRs.
+const BenchFile = "BENCH_search.json"
+
+// BenchRow is one measured kernel.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// BenchResult holds the retrieval-kernel benchmark sweep. It is the
+// `bench` experiment's output; non-quick runs also write the rows to
+// BenchFile in the working directory.
+type BenchResult struct {
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Rows       []BenchRow `json:"rows"`
+	// Path is the file written ("" in quick mode, which skips the write
+	// so tests never litter the tree).
+	Path string `json:"-"`
+}
+
+// measureKernel times fn(iters) with a probe run to calibrate the
+// iteration count toward the target wall time, and derives allocation
+// rates from the runtime's allocation counters.
+func measureKernel(name string, target time.Duration, fn func(n int)) BenchRow {
+	fn(1) // warm caches, pools, and lazily sized buffers
+	const probe = 16
+	start := time.Now()
+	fn(probe)
+	per := time.Since(start) / probe
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	iters := int(target / per)
+	if iters < probe {
+		iters = probe
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	fn(iters)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	ns := float64(elapsed.Nanoseconds()) / float64(iters)
+	row := BenchRow{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+	}
+	if ns > 0 {
+		row.OpsPerSec = 1e9 / ns
+	}
+	return row
+}
+
+// Bench measures the retrieval hot-path kernels on the standard bench
+// workload (a small physical realization, matching the root-package
+// micro-benchmarks) and reports ns/op, ops/sec, and allocation rates.
+func Bench(cfg Config) (*BenchResult, error) {
+	w, err := dataset.Build(dataset.Orcas1K, dataset.GenConfig{
+		NCenters: 64, PerCenter: 128, Dim: 32,
+		PhysNList: 64, PhysNProbe: 8, Templates: 256, Seed: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := w.Index
+	dim := w.Gen.Dim
+	r := rng.New(cfg.Seed + 9)
+	q := w.QueryVector(0, r)
+	const batch = 64
+	queries := make([]float32, 0, batch*dim)
+	for i := 0; i < batch; i++ {
+		queries = append(queries, w.QueryVector(dataset.QueryID(i%w.Templates()), r)...)
+	}
+	scratch := ix.NewSearchScratch()
+	probes := w.Probes(0)
+	target := 300 * time.Millisecond
+	if cfg.Quick {
+		target = 25 * time.Millisecond
+	}
+
+	res := &BenchResult{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	res.Rows = append(res.Rows, measureKernel("ivf_search", target, func(n int) {
+		for i := 0; i < n; i++ {
+			_ = ix.Search(q, 8, 25)
+		}
+	}))
+	res.Rows = append(res.Rows, measureKernel("ivf_search_scratch", target, func(n int) {
+		for i := 0; i < n; i++ {
+			_ = ix.SearchInto(scratch, q, 8, 25)
+		}
+	}))
+	// Batched search is measured per query so rows compare directly.
+	res.Rows = append(res.Rows, measureKernel("ivf_search_batch64_per_query", target, func(n int) {
+		for done := 0; done < n; done += batch {
+			if _, err := ix.SearchBatch(queries, 8, 25); err != nil {
+				panic(err)
+			}
+		}
+	}))
+	res.Rows = append(res.Rows, measureKernel("ivf_probe", target, func(n int) {
+		for i := 0; i < n; i++ {
+			_ = ix.ProbeInto(scratch, q, 8)
+		}
+	}))
+	var lutScratch = ix.NewSearchScratch()
+	res.Rows = append(res.Rows, measureKernel("lut_build", target, func(n int) {
+		for i := 0; i < n; i++ {
+			_ = ix.SearchClustersInto(lutScratch, q, nil, 1)
+		}
+	}))
+	lut := ix.BuildLUT(q)
+	top := vecmath.NewTopK(25)
+	res.Rows = append(res.Rows, measureKernel("lut_scan_cluster", target, func(n int) {
+		for i := 0; i < n; i++ {
+			top.Reset(25)
+			ix.ScanCluster(lut, probes[0], top)
+		}
+	}))
+	bf := vecmath.NewBruteForcer(w.Data, dim)
+	out := make([]vecmath.Neighbor, 0, 25)
+	res.Rows = append(res.Rows, measureKernel("brute_force_topk", target, func(n int) {
+		for i := 0; i < n; i++ {
+			out = bf.AppendTopK(out[:0], q, 25)
+		}
+	}))
+
+	if !cfg.Quick {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(BenchFile, append(blob, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("bench: writing %s: %w", BenchFile, err)
+		}
+		res.Path = BenchFile
+	}
+	return res, nil
+}
+
+// Render formats the kernel table.
+func (r *BenchResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Retrieval kernel benchmarks (%s/%s, GOMAXPROCS=%d)\n", r.GOOS, r.GOARCH, r.GoMaxProcs)
+	t := &table{header: []string{"kernel", "ns/op", "ops/sec", "allocs/op", "B/op"}}
+	for _, row := range r.Rows {
+		t.add(row.Name,
+			fmt.Sprintf("%.0f", row.NsPerOp),
+			fmt.Sprintf("%.0f", row.OpsPerSec),
+			fmt.Sprintf("%.2f", row.AllocsPerOp),
+			fmt.Sprintf("%.1f", row.BytesPerOp))
+	}
+	b.WriteString(t.String())
+	if r.Path != "" {
+		fmt.Fprintf(&b, "rows written to %s\n", r.Path)
+	} else {
+		b.WriteString("(quick mode: " + BenchFile + " not written)\n")
+	}
+	return b.String()
+}

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 	// (DESIGN.md §3).
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster"}
+		"cluster", "bench"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -368,5 +368,43 @@ func TestCSVExports(t *testing.T) {
 				t.Fatalf("empty CSV line %d", i)
 			}
 		}
+	}
+}
+
+func TestBenchShape(t *testing.T) {
+	r, err := Bench(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != "" {
+		t.Errorf("quick-mode bench wrote %s", r.Path)
+	}
+	want := map[string]bool{
+		"ivf_search": false, "ivf_search_scratch": false,
+		"ivf_search_batch64_per_query": false, "ivf_probe": false,
+		"lut_build": false, "lut_scan_cluster": false, "brute_force_topk": false,
+	}
+	for _, row := range r.Rows {
+		if _, ok := want[row.Name]; !ok {
+			t.Errorf("unexpected kernel %q", row.Name)
+			continue
+		}
+		want[row.Name] = true
+		if row.NsPerOp <= 0 || row.OpsPerSec <= 0 || row.Iters <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", row.Name, row)
+		}
+		// The scratch path is the allocation-free contract; leave slack
+		// for runtime background allocations in the counter window.
+		if row.Name == "ivf_search_scratch" && row.AllocsPerOp > 1 {
+			t.Errorf("scratch search allocates %.2f objects/op", row.AllocsPerOp)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("kernel %q missing from bench rows", name)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "ivf_search") {
+		t.Errorf("render missing kernels:\n%s", out)
 	}
 }

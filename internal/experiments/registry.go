@@ -47,6 +47,7 @@ func Registry() map[string]Runner {
 		"tab1":      func(c Config) (Renderer, error) { return Table1(c) },
 		"ablations": func(c Config) (Renderer, error) { return Ablations(c) },
 		"cluster":   func(c Config) (Renderer, error) { return Cluster(c) },
+		"bench":     func(c Config) (Renderer, error) { return Bench(c) },
 	}
 }
 

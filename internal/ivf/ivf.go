@@ -15,11 +15,22 @@
 // The stages are exposed separately (Probe / BuildLUT / ScanCluster) so
 // the hybrid CPU–GPU engine can route stage 3 per cluster, which is
 // exactly the granularity VectorLiteRAG partitions at.
+//
+// Query-time execution is allocation-free in steady state: a
+// SearchScratch owns the LUT buffer, top-k heap storage, probe list,
+// and result slice, and is threaded through SearchInto /
+// SearchClustersInto (Search and SearchClusters wrap them over an
+// internal scratch pool). SearchBatch amortizes scratch reuse across a
+// batch and fans out over the internal/parallel pool with the
+// repository's bit-identical determinism contract: results match a
+// sequential per-query loop exactly for any worker count.
 package ivf
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"vectorliterag/internal/kmeans"
 	"vectorliterag/internal/parallel"
@@ -46,10 +57,12 @@ type Index struct {
 	dim       int
 	nlist     int
 	centroids []float32 // nlist x dim
+	centNorms []float32 // per-centroid squared norms for decomposed CQ
 	quant     *pq.Quantizer
 	lists     []list
 	nvecs     int
-	workers   int // build-time worker-pool size, reused by Recall
+	workers   int // build-time worker-pool size, reused by Recall/SearchBatch
+	scratch   sync.Pool
 }
 
 type list struct {
@@ -82,6 +95,7 @@ func Build(data []float32, cfg BuildConfig) (*Index, error) {
 		dim:       cfg.Dim,
 		nlist:     cfg.NList,
 		centroids: coarse.Centroids,
+		centNorms: vecmath.RowNorms(coarse.Centroids, cfg.Dim, nil),
 		quant:     quant,
 		lists:     make([]list, cfg.NList),
 		nvecs:     n,
@@ -129,9 +143,42 @@ func (ix *Index) ClusterSizes() []int {
 	return out
 }
 
-// Probe runs coarse quantization: it returns the nprobe cluster IDs
-// nearest to the query, most similar first.
-func (ix *Index) Probe(query []float32, nprobe int) []int {
+// SearchScratch owns every buffer the three-stage search pipeline
+// touches — the probe heap and probe list, the per-query LUT, the
+// top-k heap, and the result slice — so steady-state search performs
+// zero allocations. A scratch is not safe for concurrent use; create
+// one per worker (or let Search/SearchBatch draw from the index's
+// internal pool). Result slices returned by the *Into methods alias the
+// scratch and are valid until its next use.
+type SearchScratch struct {
+	lut      pq.LUT
+	top      vecmath.TopK
+	probeTop vecmath.TopK
+	probes   []int
+	out      []vecmath.Neighbor
+}
+
+// NewSearchScratch returns a reusable scratch for searches against this
+// index.
+func (ix *Index) NewSearchScratch() *SearchScratch {
+	return &SearchScratch{probes: make([]int, 0, ix.nlist)}
+}
+
+func (ix *Index) getScratch() *SearchScratch {
+	if s, ok := ix.scratch.Get().(*SearchScratch); ok {
+		return s
+	}
+	return ix.NewSearchScratch()
+}
+
+func (ix *Index) putScratch(s *SearchScratch) { ix.scratch.Put(s) }
+
+// ProbeInto runs coarse quantization into the scratch's probe list and
+// returns it: the nprobe cluster IDs nearest to the query, most similar
+// first. The returned slice aliases the scratch. Centroid distances use
+// the norm decomposition with the index's precomputed centroid norms
+// (the query norm is a shared constant and drops out of the ranking).
+func (ix *Index) ProbeInto(s *SearchScratch, query []float32, nprobe int) []int {
 	if len(query) != ix.dim {
 		panic(fmt.Sprintf("ivf: query dim %d != index dim %d", len(query), ix.dim))
 	}
@@ -141,15 +188,30 @@ func (ix *Index) Probe(query []float32, nprobe int) []int {
 	if nprobe > ix.nlist {
 		nprobe = ix.nlist
 	}
-	top := vecmath.NewTopK(nprobe)
+	s.probeTop.Reset(nprobe)
+	dim := ix.dim
 	for c := 0; c < ix.nlist; c++ {
-		top.Push(c, vecmath.SquaredL2(query, ix.centroids[c*ix.dim:(c+1)*ix.dim]))
+		s.probeTop.Push(c, ix.centNorms[c]-2*vecmath.Dot(query, ix.centroids[c*dim:(c+1)*dim]))
 	}
-	nbrs := top.Sorted()
-	out := make([]int, len(nbrs))
-	for i, nb := range nbrs {
-		out[i] = nb.Index
+	s.out = s.probeTop.AppendSorted(s.out[:0])
+	s.probes = s.probes[:0]
+	for _, nb := range s.out {
+		s.probes = append(s.probes, nb.Index)
 	}
+	return s.probes
+}
+
+// Probe runs coarse quantization: it returns the nprobe cluster IDs
+// nearest to the query, most similar first.
+func (ix *Index) Probe(query []float32, nprobe int) []int {
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+	probes := ix.ProbeInto(s, query, nprobe)
+	if probes == nil {
+		return nil
+	}
+	out := make([]int, len(probes))
+	copy(out, probes)
 	return out
 }
 
@@ -162,34 +224,84 @@ func (ix *Index) BuildLUT(query []float32) *pq.LUT {
 // candidates into top (stage 3 for a single cluster).
 func (ix *Index) ScanCluster(lut *pq.LUT, cluster int, top *vecmath.TopK) {
 	l := &ix.lists[cluster]
-	cs := ix.quant.CodeSize()
-	for i, id := range l.ids {
-		top.Push(int(id), lut.Distance(l.codes[i*cs:(i+1)*cs]))
+	lut.ScanCodesIDs(l.codes, l.ids, top)
+}
+
+// SearchInto runs the full three-stage pipeline on the scratch and
+// returns the top-k neighbors in ascending distance order. The returned
+// slice aliases the scratch and is valid until its next use; steady
+// state performs zero allocations.
+func (ix *Index) SearchInto(s *SearchScratch, query []float32, nprobe, k int) []vecmath.Neighbor {
+	probes := ix.ProbeInto(s, query, nprobe)
+	return ix.searchProbed(s, query, probes, k)
+}
+
+// SearchClustersInto scans only the listed clusters (after an external
+// Probe) on the scratch. The returned slice aliases the scratch.
+func (ix *Index) SearchClustersInto(s *SearchScratch, query []float32, clusters []int, k int) []vecmath.Neighbor {
+	return ix.searchProbed(s, query, clusters, k)
+}
+
+func (ix *Index) searchProbed(s *SearchScratch, query []float32, clusters []int, k int) []vecmath.Neighbor {
+	ix.quant.BuildLUTInto(query, &s.lut)
+	s.top.Reset(k)
+	for _, c := range clusters {
+		ix.ScanCluster(&s.lut, c, &s.top)
 	}
+	s.out = s.top.AppendSorted(s.out[:0])
+	return s.out
 }
 
 // Search runs the full three-stage pipeline and returns the top-k
-// neighbors in ascending distance order.
+// neighbors in ascending distance order. The result is freshly
+// allocated and owned by the caller; the transient buffers come from
+// the index's scratch pool, so the steady-state cost is one result
+// allocation per call. Allocation-sensitive callers use SearchInto.
 func (ix *Index) Search(query []float32, nprobe, k int) []vecmath.Neighbor {
-	probes := ix.Probe(query, nprobe)
-	lut := ix.BuildLUT(query)
-	top := vecmath.NewTopK(k)
-	for _, c := range probes {
-		ix.ScanCluster(lut, c, top)
-	}
-	return top.Sorted()
+	s := ix.getScratch()
+	res := ix.SearchInto(s, query, nprobe, k)
+	out := make([]vecmath.Neighbor, len(res))
+	copy(out, res)
+	ix.putScratch(s)
+	return out
 }
 
 // SearchClusters scans only the listed clusters (after an external
 // Probe), which is how the hybrid engine computes the CPU-resident part
-// of a query.
+// of a query. The result is freshly allocated and owned by the caller.
 func (ix *Index) SearchClusters(query []float32, clusters []int, k int) []vecmath.Neighbor {
-	lut := ix.BuildLUT(query)
-	top := vecmath.NewTopK(k)
-	for _, c := range clusters {
-		ix.ScanCluster(lut, c, top)
+	s := ix.getScratch()
+	res := ix.SearchClustersInto(s, query, clusters, k)
+	out := make([]vecmath.Neighbor, len(res))
+	copy(out, res)
+	ix.putScratch(s)
+	return out
+}
+
+// SearchBatch searches every query of the row-major batch (ix.Dim()
+// columns) and returns one ascending-distance top-k result per query.
+// The batch fans out over the internal/parallel worker pool sized by
+// the build-time Workers knob; per-worker scratches amortize probe, LUT
+// and heap storage across the batch. Results are bit-identical to
+// calling Search per query in order, for any worker count: each query
+// is an independent computation writing only its own output slot.
+func (ix *Index) SearchBatch(queries []float32, nprobe, k int) ([][]vecmath.Neighbor, error) {
+	if len(queries)%ix.dim != 0 {
+		return nil, fmt.Errorf("ivf: batch length %d not a multiple of dim %d", len(queries), ix.dim)
 	}
-	return top.Sorted()
+	nq := len(queries) / ix.dim
+	out := make([][]vecmath.Neighbor, nq)
+	parallel.For(nq, ix.workers, func(start, end int) {
+		s := ix.getScratch()
+		for qi := start; qi < end; qi++ {
+			res := ix.SearchInto(s, queries[qi*ix.dim:(qi+1)*ix.dim], nprobe, k)
+			own := make([]vecmath.Neighbor, len(res))
+			copy(own, res)
+			out[qi] = own
+		}
+		ix.putScratch(s)
+	})
+	return out, nil
 }
 
 // Recall computes the fraction of brute-force top-k ground truth
@@ -201,26 +313,39 @@ func (ix *Index) Recall(data, queries []float32, nprobe, k int) float64 {
 	if nq == 0 {
 		return 0
 	}
+	// Row norms of the corpus are computed once and shared read-only
+	// across workers, so the brute-force pass costs one dot product per
+	// row; each worker chunk clones the forcer for its own query scratch.
+	bfShared := vecmath.NewBruteForcer(data, ix.dim)
 	// Per-query recalls compute concurrently; the mean folds in query
 	// order so the result matches a sequential run exactly.
 	perQuery := make([]float64, nq)
 	parallel.For(nq, ix.workers, func(start, end int) {
+		bf := bfShared.Clone()
+		s := ix.getScratch()
+		truth := make([]vecmath.Neighbor, 0, k)
+		truthIDs := make([]int, 0, k)
 		for qi := start; qi < end; qi++ {
 			q := queries[qi*ix.dim : (qi+1)*ix.dim]
-			truth := vecmath.BruteForceTopK(q, data, ix.dim, k)
-			got := ix.Search(q, nprobe, k)
-			gotSet := make(map[int]bool, len(got))
-			for _, nb := range got {
-				gotSet[nb.Index] = true
-			}
-			hit := 0
+			truth = bf.AppendTopK(truth[:0], q, k)
+			got := ix.SearchInto(s, q, nprobe, k)
+			// Membership via a reusable sorted-ID slice instead of a
+			// per-query map allocation.
+			truthIDs = truthIDs[:0]
 			for _, nb := range truth {
-				if gotSet[nb.Index] {
+				truthIDs = append(truthIDs, nb.Index)
+			}
+			sort.Ints(truthIDs)
+			hit := 0
+			for _, nb := range got {
+				j := sort.SearchInts(truthIDs, nb.Index)
+				if j < len(truthIDs) && truthIDs[j] == nb.Index {
 					hit++
 				}
 			}
 			perQuery[qi] = float64(hit) / float64(k)
 		}
+		ix.putScratch(s)
 	})
 	sum := 0.0
 	for _, v := range perQuery {
@@ -230,14 +355,33 @@ func (ix *Index) Recall(data, queries []float32, nprobe, k int) float64 {
 }
 
 // HotClusters returns cluster IDs sorted by the supplied access counts,
-// hottest first; ties break toward lower IDs for determinism.
+// hottest first; ties break toward lower IDs for determinism. The sort
+// runs over explicit (count, id) pairs — no indirect comparator through
+// a shared counts slice — with the tie-break encoded in the comparison.
 func HotClusters(accessCounts []int64) []int {
-	ids := make([]int, len(accessCounts))
-	for i := range ids {
-		ids[i] = i
+	type pair struct {
+		count int64
+		id    int32
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		return accessCounts[ids[a]] > accessCounts[ids[b]]
+	pairs := make([]pair, len(accessCounts))
+	for i, c := range accessCounts {
+		pairs[i] = pair{count: c, id: int32(i)}
+	}
+	// The comparator is a total order (count desc, id asc), so the
+	// unstable generic sort is deterministic — and reflection-free,
+	// unlike sort.Slice.
+	slices.SortFunc(pairs, func(a, b pair) int {
+		if a.count != b.count {
+			if a.count > b.count {
+				return -1
+			}
+			return 1
+		}
+		return int(a.id) - int(b.id)
 	})
-	return ids
+	out := make([]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = int(p.id)
+	}
+	return out
 }

@@ -66,13 +66,27 @@ func Train(data []float32, cfg Config) (*Result, error) {
 	counts := make([]int, cfg.K)
 	inertia := 0.0
 
+	// The assignment step is distance-dominated, so it runs the
+	// norm-decomposed argmin: data-vector norms are computed once for the
+	// whole training run, centroid norms once per iteration, and the
+	// inner loop reduces to a dot product per (vector, centroid) pair.
+	dataNorms := vecmath.RowNorms(data, cfg.Dim, nil)
+	centNorms := make([]float32, cfg.K)
+
 	// assignAll computes each vector's nearest centroid (and distance) on
 	// the worker pool; per-vector writes keep it exact under parallelism.
 	assignAll := func() {
+		vecmath.RowNorms(centroids, cfg.Dim, centNorms)
 		parallel.For(n, cfg.Workers, func(start, end int) {
 			for i := start; i < end; i++ {
 				v := data[i*cfg.Dim : (i+1)*cfg.Dim]
-				assign[i], dists[i] = vecmath.ArgminL2(v, centroids, cfg.Dim)
+				j, score := vecmath.ArgminNormScore(v, centroids, centNorms, cfg.Dim)
+				assign[i] = j
+				d := dataNorms[i] + score
+				if d < 0 {
+					d = 0
+				}
+				dists[i] = d
 			}
 		})
 	}

@@ -27,6 +27,10 @@ type Quantizer struct {
 	subDim int
 	// codebooks[m] is a K x subDim row-major matrix.
 	codebooks [][]float32
+	// cbNorms[m][j] = ||codebooks[m][j]||^2, precomputed at training time
+	// so Encode and BuildLUT run the norm-decomposed kernels
+	// (d = |x|^2 - 2<x,c> + |c|^2) without re-deriving codeword norms.
+	cbNorms [][]float32
 }
 
 // Config controls training.
@@ -89,6 +93,10 @@ func Train(data []float32, cfg Config) (*Quantizer, error) {
 			return nil, err
 		}
 	}
+	q.cbNorms = make([][]float32, cfg.M)
+	for m := range q.codebooks {
+		q.cbNorms[m] = vecmath.RowNorms(q.codebooks[m], subDim, nil)
+	}
 	return q, nil
 }
 
@@ -106,7 +114,7 @@ func (q *Quantizer) Encode(v []float32, dst []byte) []byte {
 		dst = make([]byte, q.M)
 	}
 	for m := 0; m < q.M; m++ {
-		idx, _ := vecmath.ArgminL2(v[m*q.subDim:(m+1)*q.subDim], q.codebooks[m], q.subDim)
+		idx, _ := vecmath.ArgminNormScore(v[m*q.subDim:(m+1)*q.subDim], q.codebooks[m], q.cbNorms[m], q.subDim)
 		dst[m] = byte(idx)
 	}
 	return dst
@@ -123,46 +131,251 @@ func (q *Quantizer) Decode(code []byte) []float32 {
 }
 
 // LUT is a per-query lookup table of partial squared distances:
-// LUT[m*K + j] = ||q_m - codebook[m][j]||^2. Scanning a code then costs
-// M lookups and adds — the ADC inner loop.
+// entry (m, j) = ||q_m - codebook[m][j]||^2 at tab[m*lutStride + j].
+// Scanning a code then costs M lookups and adds — the ADC inner loop.
+//
+// Rows are padded to a fixed 256-entry stride (the largest possible K
+// for byte codes): a row sliced with constant bounds has a length the
+// compiler knows exactly, so indexing it with a code byte needs no
+// bounds check in the scan loops. Entries past K-1 are never addressed
+// by valid codes and hold whatever the reused buffer held.
 type LUT struct {
 	M, K int
 	tab  []float32
 }
 
+// lutStride is the padded row length (max codewords addressable by a
+// byte code).
+const lutStride = 256
+
 // BuildLUT computes the lookup table for query v.
 func (q *Quantizer) BuildLUT(v []float32) *LUT {
+	t := &LUT{}
+	q.BuildLUTInto(v, t)
+	return t
+}
+
+// BuildLUTInto fills t with the lookup table for query v, reusing t's
+// backing buffer when it is large enough — the steady-state path of the
+// search scratch. Entries are computed with the norm decomposition
+// (|q_m|^2 - 2<q_m,c> + |c|^2 with precomputed codeword norms), which
+// replaces the subtract-square inner loop by a dot product.
+func (q *Quantizer) BuildLUTInto(v []float32, t *LUT) {
 	if len(v) != q.Dim {
 		panic(fmt.Sprintf("pq: LUT for vector of dim %d with quantizer dim %d", len(v), q.Dim))
 	}
-	t := &LUT{M: q.M, K: q.K, tab: make([]float32, q.M*q.K)}
+	t.M, t.K = q.M, q.K
+	if cap(t.tab) < q.M*lutStride {
+		t.tab = make([]float32, q.M*lutStride)
+	} else {
+		t.tab = t.tab[:q.M*lutStride]
+	}
+	sd := q.subDim
 	for m := 0; m < q.M; m++ {
-		qSub := v[m*q.subDim : (m+1)*q.subDim]
+		qSub := v[m*sd : (m+1)*sd]
+		qn := vecmath.Norm2(qSub)
 		cb := q.codebooks[m]
-		for j := 0; j < q.K; j++ {
-			t.tab[m*q.K+j] = vecmath.SquaredL2(qSub, cb[j*q.subDim:(j+1)*q.subDim])
+		// Slicing norms and row to exactly K entries lets the compiler
+		// drop the bounds checks inside the j < K fill loops.
+		norms := q.cbNorms[m][:q.K]
+		row := t.tab[m*lutStride : m*lutStride+q.K]
+		switch sd {
+		case 4:
+			// The dominant configuration (e.g. dim 32, M 8): the dot
+			// product is written out so the per-entry loop carries no
+			// inner-loop control flow, and the codebook is walked with a
+			// running offset against a length-pinned slice so the prove
+			// pass can drop the element bounds checks. Accumulation
+			// order matches the generic path exactly.
+			cb4 := cb[: q.K*4 : q.K*4]
+			q0, q1, q2, q3 := qSub[0], qSub[1], qSub[2], qSub[3]
+			jj := 0
+			for j := range row {
+				dot := q0 * cb4[jj]
+				dot += q1 * cb4[jj+1]
+				dot += q2 * cb4[jj+2]
+				dot += q3 * cb4[jj+3]
+				jj += 4
+				e := qn - 2*dot + norms[j]
+				if e < 0 {
+					e = 0
+				}
+				row[j] = e
+			}
+		default:
+			for j := 0; j < q.K; j++ {
+				e := qn - 2*vecmath.Dot(qSub, cb[j*sd:(j+1)*sd]) + norms[j]
+				if e < 0 {
+					e = 0
+				}
+				row[j] = e
+			}
 		}
 	}
-	return t
 }
 
 // Distance accumulates the approximate squared distance for one code.
 func (t *LUT) Distance(code []byte) float32 {
 	var sum float32
 	for m := 0; m < t.M; m++ {
-		sum += t.tab[m*t.K+int(code[m])]
+		sum += t.tab[m*lutStride+int(code[m])]
 	}
 	return sum
 }
 
+// distanceAbandon accumulates the distance for one code but gives up as
+// soon as the partial sum reaches bound: LUT entries are non-negative,
+// so the partial sums are monotone and a prefix ≥ bound proves the full
+// distance would be rejected by a collector whose k-th best is bound.
+// It reports the (possibly partial) sum and whether the scan survived.
+// Checks happen every four subspaces to keep branches off the critical
+// accumulate path.
+func (t *LUT) distanceAbandon(code []byte, bound float32) (float32, bool) {
+	var sum float32
+	m := 0
+	for ; m+4 <= t.M; m += 4 {
+		sum += t.tab[m*lutStride+int(code[m])]
+		sum += t.tab[(m+1)*lutStride+int(code[m+1])]
+		sum += t.tab[(m+2)*lutStride+int(code[m+2])]
+		sum += t.tab[(m+3)*lutStride+int(code[m+3])]
+		if sum >= bound {
+			return sum, false
+		}
+	}
+	for ; m < t.M; m++ {
+		sum += t.tab[m*lutStride+int(code[m])]
+	}
+	return sum, sum < bound
+}
+
 // ScanCodes computes distances for a contiguous block of codes (each
 // CodeSize bytes) and pushes them into the collector with indices
-// base+0, base+1, ...  This is the hot loop that fast-scan implementations
-// vectorize with SIMD shuffles; here it is scalar but semantically
-// identical.
+// base+0, base+1, ...  This is the hot loop that fast-scan
+// implementations vectorize with SIMD shuffles; here it is a 4-way
+// unrolled scalar loop with early abandonment against the collector's
+// current k-th best. Both transforms preserve the collector's contents
+// bit-exactly: distances accumulate in the same subspace order, pushes
+// happen in the same index order, and abandoned candidates are exactly
+// those a full evaluation would have rejected.
 func (t *LUT) ScanCodes(codes []byte, base int, top *vecmath.TopK) {
 	cs := t.M
-	for i := 0; i*cs < len(codes); i++ {
+	n := len(codes) / cs
+	i := 0
+	// Fill phase: no k-th best exists yet, so every candidate is pushed.
+	for ; i < n; i++ {
+		if _, full := top.Worst(); full {
+			break
+		}
 		top.Push(base+i, t.Distance(codes[i*cs:(i+1)*cs]))
+	}
+	// Steady phase, 4-way unrolled. The abandon bound is the k-th best
+	// before each group of four; it only shrinks as pushes land, so
+	// abandoning against the slightly stale bound is conservative and
+	// the heap contents stay bit-identical to a full evaluation.
+	for ; i+4 <= n; i += 4 {
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+1)*cs:(i+2)*cs], bound); ok {
+			top.Push(base+i+1, d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+2)*cs:(i+3)*cs], bound); ok {
+			top.Push(base+i+2, d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+3)*cs:(i+4)*cs], bound); ok {
+			top.Push(base+i+3, d)
+		}
+	}
+	for ; i < n; i++ {
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+	}
+}
+
+// ScanCodesIDs is ScanCodes for an inverted list: candidate i is pushed
+// under ids[i] instead of base+i. The loop is kept as a specialized
+// copy (rather than sharing an index-mapping closure with ScanCodes)
+// because an indirect call per candidate is measurable at this loop's
+// grain.
+func (t *LUT) ScanCodesIDs(codes []byte, ids []int32, top *vecmath.TopK) {
+	if t.M == 8 {
+		t.scanIDs8(codes, ids, top)
+		return
+	}
+	cs := t.M
+	n := len(codes) / cs
+	i := 0
+	for ; i < n; i++ {
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(int(ids[i]), t.Distance(codes[i*cs:(i+1)*cs]))
+	}
+	for ; i+4 <= n; i += 4 {
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+1)*cs:(i+2)*cs], bound); ok {
+			top.Push(int(ids[i+1]), d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+2)*cs:(i+3)*cs], bound); ok {
+			top.Push(int(ids[i+2]), d)
+		}
+		if d, ok := t.distanceAbandon(codes[(i+3)*cs:(i+4)*cs], bound); ok {
+			top.Push(int(ids[i+3]), d)
+		}
+	}
+	for ; i < n; i++ {
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+	}
+}
+
+// scanIDs8 is ScanCodesIDs specialized to the dominant M=8 code size:
+// the eight LUT rows are hoisted into locals (no m*K multiply, no inner
+// loop) and the early-abandon check sits inline at the subspace
+// midpoint. Accumulation order and abandon decisions are identical to
+// the generic path, so the collector's contents match bit for bit.
+func (t *LUT) scanIDs8(codes []byte, ids []int32, top *vecmath.TopK) {
+	// Constant slice bounds give each row a compiler-known length of
+	// 256, so indexing with a code byte is provably in bounds.
+	tab := t.tab[:8*lutStride]
+	t0, t1, t2, t3 := tab[0:256], tab[256:512], tab[512:768], tab[768:1024]
+	t4, t5, t6, t7 := tab[1024:1280], tab[1280:1536], tab[1536:1792], tab[1792:2048]
+	n := len(codes) / 8
+	i := 0
+	for ; i < n; i++ {
+		if _, full := top.Worst(); full {
+			break
+		}
+		c := codes[i*8 : i*8+8 : i*8+8]
+		d := t0[c[0]] + t1[c[1]] + t2[c[2]] + t3[c[3]]
+		d = d + t4[c[4]] + t5[c[5]] + t6[c[6]] + t7[c[7]]
+		top.Push(int(ids[i]), d)
+	}
+	if i >= n {
+		return
+	}
+	// The bound is the current k-th best; a candidate below it always
+	// displaces the root, so re-reading after each push keeps it exact
+	// without a load per candidate.
+	bound, _ := top.Worst()
+	for ; i < n; i++ {
+		c := codes[i*8 : i*8+8 : i*8+8]
+		d := t0[c[0]] + t1[c[1]] + t2[c[2]] + t3[c[3]]
+		if d >= bound {
+			continue
+		}
+		d = d + t4[c[4]] + t5[c[5]] + t6[c[6]] + t7[c[7]]
+		if d < bound {
+			top.Push(int(ids[i]), d)
+			bound, _ = top.Worst()
+		}
 	}
 }

@@ -198,3 +198,110 @@ func TestPQRecallOnClusteredData(t *testing.T) {
 		t.Fatalf("PQ top-10 recall %v too low", recall)
 	}
 }
+
+// referenceScan is the pre-optimization scan semantics: every code's
+// full distance pushed in index order, no unrolling, no abandonment.
+func referenceScan(lut *LUT, codes []byte, ids []int32, top *vecmath.TopK) {
+	cs := lut.M
+	for i := 0; i*cs < len(codes); i++ {
+		top.Push(int(ids[i]), lut.Distance(codes[i*cs:(i+1)*cs]))
+	}
+}
+
+// TestScanCodesIDsMatchesReference asserts that early abandonment and
+// the unrolled/specialized loops never change the selected top-k: for
+// both the generic path and the M=8 fast path, across k values and
+// pre-seeded collector states, results are bit-identical to pushing
+// every full distance.
+func TestScanCodesIDsMatchesReference(t *testing.T) {
+	r := rng.New(11)
+	for _, m := range []int{4, 8, 16} {
+		q, data := trainSmall(t, r, 600, 16, m, 32)
+		n := 300
+		codes := make([]byte, 0, n*q.CodeSize())
+		ids := make([]int32, n)
+		for i := 0; i < n; i++ {
+			codes = append(codes, q.Encode(data[(i%600)*16:(i%600)*16+16], nil)...)
+			ids[i] = int32(1000 + i)
+		}
+		query := randomMatrix(r, 1, 16)
+		lut := q.BuildLUT(query)
+		for _, k := range []int{1, 3, 25, 299, 400} {
+			got := vecmath.NewTopK(k)
+			want := vecmath.NewTopK(k)
+			// Pre-seed both collectors identically so the scan starts
+			// from a partially full heap, as multi-cluster search does.
+			for i := 0; i < 5; i++ {
+				d := float32(r.Float64() * 50)
+				got.Push(i, d)
+				want.Push(i, d)
+			}
+			lut.ScanCodesIDs(codes, ids, got)
+			referenceScan(lut, codes, ids, want)
+			g, w := got.Sorted(), want.Sorted()
+			if len(g) != len(w) {
+				t.Fatalf("M=%d k=%d: lengths differ %d vs %d", m, k, len(g), len(w))
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("M=%d k=%d rank %d: %+v vs reference %+v", m, k, i, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestScanCodesMatchesReference covers the contiguous-ID variant the
+// same way.
+func TestScanCodesMatchesReference(t *testing.T) {
+	r := rng.New(12)
+	q, data := trainSmall(t, r, 500, 8, 8, 16)
+	n := 200
+	codes := make([]byte, 0, n*q.CodeSize())
+	for i := 0; i < n; i++ {
+		codes = append(codes, q.Encode(data[(i%500)*8:(i%500)*8+8], nil)...)
+	}
+	query := randomMatrix(r, 1, 8)
+	lut := q.BuildLUT(query)
+	for _, k := range []int{2, 10, 77} {
+		got := vecmath.NewTopK(k)
+		want := vecmath.NewTopK(k)
+		lut.ScanCodes(codes, 50, got)
+		cs := lut.M
+		for i := 0; i*cs < len(codes); i++ {
+			want.Push(50+i, lut.Distance(codes[i*cs:(i+1)*cs]))
+		}
+		g, w := got.Sorted(), want.Sorted()
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("k=%d rank %d: %+v vs reference %+v", k, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestBuildLUTIntoReusesBuffer pins buffer reuse and value stability
+// across rebuilds on one scratch LUT.
+func TestBuildLUTIntoReusesBuffer(t *testing.T) {
+	r := rng.New(13)
+	q, data := trainSmall(t, r, 400, 8, 4, 16)
+	var lut LUT
+	q.BuildLUTInto(data[:8], &lut)
+	first := q.BuildLUT(data[:8])
+	code := q.Encode(data[8:16], nil)
+	if lut.Distance(code) != first.Distance(code) {
+		t.Fatal("BuildLUTInto differs from BuildLUT")
+	}
+	// Rebuild for a second query on the same struct: values must match a
+	// fresh table, with no stale-entry leakage.
+	q.BuildLUTInto(data[16:24], &lut)
+	fresh := q.BuildLUT(data[16:24])
+	if lut.Distance(code) != fresh.Distance(code) {
+		t.Fatal("reused LUT differs from fresh LUT")
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		q.BuildLUTInto(data[:8], &lut)
+	}); allocs != 0 {
+		t.Fatalf("BuildLUTInto allocates %.1f objects on a warm LUT", allocs)
+	}
+}

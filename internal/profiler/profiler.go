@@ -9,6 +9,7 @@ package profiler
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vectorliterag/internal/costmodel"
@@ -77,7 +78,7 @@ func (p *AccessProfile) AccessCDF() []float64 {
 	}
 	order := make([]float64, len(weights))
 	copy(order, weights)
-	sortDesc(order)
+	sort.Sort(sort.Reverse(sort.Float64Slice(order)))
 	cum := 0.0
 	out := make([]float64, len(order))
 	for i, w := range order {
@@ -87,14 +88,6 @@ func (p *AccessProfile) AccessCDF() []float64 {
 		}
 	}
 	return out
-}
-
-func sortDesc(s []float64) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] > s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // LatencySample is one profiled (batch size, stage latency) point.

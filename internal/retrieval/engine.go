@@ -72,6 +72,9 @@ type batcher struct {
 	batches int
 	total   int
 	run     func([]*workload.Request)
+	// scanBuf backs scanBytesAll; per-query scan work is consumed
+	// synchronously inside run, so one buffer serves every batch.
+	scanBuf []int64
 }
 
 func (b *batcher) Submit(req *workload.Request) {
@@ -113,11 +116,27 @@ func (b *batcher) AvgBatch() float64 {
 	return float64(b.total) / float64(b.batches)
 }
 
+// resize returns (*buf)[:n] zeroed, growing the backing array only when
+// capacity is exceeded — the reuse primitive for per-batch work areas.
+func resize[T ~int | ~int64](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
+}
+
 // scanBytesAll returns each query's full scan work and the batch total.
-func scanBytesAll(w *dataset.Workload, batch []*workload.Request) (per []int64, total int64) {
-	per = make([]int64, len(batch))
+// The per-query slice is reused across batches; callers must consume it
+// before the next batch forms.
+func (b *batcher) scanBytesAll(batch []*workload.Request) (per []int64, total int64) {
+	if cap(b.scanBuf) < len(batch) {
+		b.scanBuf = make([]int64, len(batch))
+	}
+	per = b.scanBuf[:len(batch)]
 	for i, req := range batch {
-		per[i] = w.ScanBytesAll(req.Query)
+		per[i] = b.cfg.W.ScanBytesAll(req.Query)
 		total += per[i]
 	}
 	return per, total
@@ -140,7 +159,7 @@ func (e *CPUOnly) Name() string { return "CPU-Only" }
 
 func (e *CPUOnly) runBatch(batch []*workload.Request) {
 	b := len(batch)
-	_, total := scanBytesAll(e.cfg.W, batch)
+	_, total := e.scanBytesAll(batch)
 	t := e.cfg.CPUModel.CQTime(b) + e.cfg.CPUModel.LUTTime(total, b) + mergeCost
 	e.cfg.Sim.After(t, func() {
 		now := e.cfg.Sim.Now()

@@ -25,6 +25,9 @@ type GPUSharded struct {
 	contend bool
 	// blockScale as in Hybrid.
 	blockScale int
+	// shardBytes is the per-batch routing work area, reused across
+	// batches (fully rewritten and consumed inside runBatch).
+	shardBytes []int64
 }
 
 // NewAllGPU shards the *entire* index across the given GPUs (which also
@@ -73,7 +76,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	// Resident bytes per shard from the real routing; block count is the
 	// *unpruned* full nprobe per query per shard (the IndexIVFShards
 	// inefficiency the paper describes).
-	shardBytes := make([]int64, e.plan.NumShards)
+	shardBytes := resize(&e.shardBytes, e.plan.NumShards)
 	var missTotal int64
 	fullBlocksPerShard := b * w.Spec.NProbe
 	for _, req := range batch {

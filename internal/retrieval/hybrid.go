@@ -29,6 +29,14 @@ type Hybrid struct {
 	// refreshing[g] marks shard g as mid-reload: its clusters are
 	// temporarily served by the CPU path (§IV-B3 service continuity).
 	refreshing []bool
+	// Per-batch routing work areas, reused across batches: every value
+	// is rewritten before use and consumed before runBatch returns (the
+	// completion closures capture only scalars), so reuse cannot leak
+	// state between batches.
+	shardBytes  []int64
+	shardBlocks []int
+	cpuWork     []int64
+	cpuDone     []des.Time
 }
 
 // NewHybrid wires the hybrid engine. The i-th shard of the plan must
@@ -76,9 +84,9 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	tCQ := sim.Now() + des.Time(cq)
 
 	// Route every query through the mapping tables.
-	shardBytes := make([]int64, e.plan.NumShards)
-	shardBlocks := make([]int, e.plan.NumShards)
-	cpuWork := make([]int64, b)
+	shardBytes := resize(&e.shardBytes, e.plan.NumShards)
+	shardBlocks := resize(&e.shardBlocks, e.plan.NumShards)
+	cpuWork := resize(&e.cpuWork, b)
 	var missTotal int64
 	for i, req := range batch {
 		perShard, cpuClusters := e.plan.Route(w.Probes(req.Query))
@@ -116,7 +124,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	// order, so query i's CPU portion completes at the prefix of its
 	// miss work (§IV-B2 callback mechanism).
 	cpuTotal := des.Time(e.cfg.CPUModel.LUTTime(missTotal, b))
-	cpuDone := make([]des.Time, b)
+	cpuDone := resize(&e.cpuDone, b)
 	var prefix int64
 	for i := range batch {
 		prefix += cpuWork[i]

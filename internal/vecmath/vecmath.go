@@ -4,25 +4,55 @@
 //
 // Everything operates on flat []float32 slices; matrices are row-major
 // with an explicit dimension, matching how the index stores vectors.
+//
+// The query-time kernels are allocation-free: TopK is a hand-rolled
+// bounded max-heap (no container/heap interface{} boxing) that can be
+// Reset and drained into a caller-owned slice, and the argmin scans come
+// in a norm-decomposed variant (d = |x|^2 - 2<x,c> + |c|^2 with
+// precomputed row norms) that turns the subtract-square inner loop into
+// a plain dot product.
 package vecmath
 
-import "container/heap"
-
 // SquaredL2 returns the squared Euclidean distance between a and b.
-// The slices must have equal length.
+// The slices must have equal length. Pinning b's length to a's lets the
+// compiler drop the bounds check in the loop; the 4-way unroll keeps a
+// single sequential accumulator, so rounding is identical to the
+// one-term-per-iteration fold.
 func SquaredL2(a, b []float32) float32 {
+	b = b[:len(a)]
 	var sum float32
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		sum += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		sum += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		sum += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		sum += d3 * d3
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		sum += d * d
 	}
 	return sum
 }
 
-// Dot returns the inner product of a and b.
+// Dot returns the inner product of a and b. The loop is 4-way unrolled
+// with a single sequential accumulator: identical rounding to the
+// one-term-per-iteration fold, just less loop overhead.
 func Dot(a, b []float32) float32 {
+	b = b[:len(a)]
 	var sum float32
-	for i := range a {
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		sum += a[i] * b[i]
+		sum += a[i+1] * b[i+1]
+		sum += a[i+2] * b[i+2]
+		sum += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
 		sum += a[i] * b[i]
 	}
 	return sum
@@ -47,9 +77,26 @@ func Scale(v []float32, s float32) {
 	}
 }
 
+// RowNorms fills dst with the squared L2 norm of each row of the
+// row-major matrix rows and returns it. A nil dst allocates; otherwise
+// len(dst) must equal the row count so steady-state callers can reuse
+// one buffer across invocations.
+func RowNorms(rows []float32, dim int, dst []float32) []float32 {
+	n := len(rows) / dim
+	if dst == nil {
+		dst = make([]float32, n)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = Norm2(rows[i*dim : (i+1)*dim])
+	}
+	return dst
+}
+
 // ArgminL2 returns the row index in the row-major matrix rows (each of
 // length dim) closest to q in squared L2, together with that distance.
-// It panics if rows is empty or not a multiple of dim.
+// It panics if rows is empty or not a multiple of dim. This is the
+// exact (subtract-square) reference scan; hot paths with reusable norm
+// tables use ArgminNormScore instead.
 func ArgminL2(q []float32, rows []float32, dim int) (int, float32) {
 	if len(rows) == 0 || len(rows)%dim != 0 {
 		panic("vecmath: ArgminL2 on empty or ragged matrix")
@@ -65,6 +112,27 @@ func ArgminL2(q []float32, rows []float32, dim int) (int, float32) {
 	return best, bestD
 }
 
+// ArgminNormScore returns the row index minimizing the norm-decomposed
+// L2 score |c|^2 - 2<q,c> over the row-major matrix, together with that
+// score. The query's own norm is a rank-invariant constant and is
+// omitted; the true squared distance of the winner is qnorm + score
+// (clamped at zero against rounding). norms must hold RowNorms(rows).
+// It panics if rows is empty or not a multiple of dim.
+func ArgminNormScore(q, rows, norms []float32, dim int) (int, float32) {
+	if len(rows) == 0 || len(rows)%dim != 0 {
+		panic("vecmath: ArgminNormScore on empty or ragged matrix")
+	}
+	best := -1
+	bestS := float32(0)
+	for i := 0; i*dim < len(rows); i++ {
+		s := norms[i] - 2*Dot(q, rows[i*dim:(i+1)*dim])
+		if best < 0 || s < bestS {
+			best, bestS = i, s
+		}
+	}
+	return best, bestS
+}
+
 // Neighbor is one search result: an item index and its distance to the
 // query. Smaller distance means more similar under L2.
 type Neighbor struct {
@@ -73,35 +141,93 @@ type Neighbor struct {
 }
 
 // TopK maintains the k smallest-distance neighbors seen so far using a
-// bounded max-heap. The zero value is not usable; construct with NewTopK.
+// bounded max-heap. The heap is hand-rolled over []Neighbor — no
+// container/heap interface{} boxing — so pushes never allocate once the
+// backing array reaches capacity k. The zero value is not usable;
+// construct with NewTopK or call Reset.
+//
+// The sift rules replicate container/heap's exactly (right child
+// preferred only when strictly greater, sift stops on equality), so
+// result ordering — including ties — is bit-identical to the previous
+// container/heap implementation.
 type TopK struct {
 	k int
-	h nbrMaxHeap
+	h []Neighbor
 }
 
 // NewTopK returns a collector for the k nearest neighbors.
 func NewTopK(k int) *TopK {
-	if k <= 0 {
-		panic("vecmath: NewTopK with non-positive k")
-	}
-	return &TopK{k: k, h: make(nbrMaxHeap, 0, k)}
+	t := &TopK{}
+	t.Reset(k)
+	return t
 }
+
+// Reset empties the collector and re-arms it for k neighbors, keeping
+// the backing array so steady-state reuse performs no allocations.
+func (t *TopK) Reset(k int) {
+	if k <= 0 {
+		panic("vecmath: TopK with non-positive k")
+	}
+	t.k = k
+	if cap(t.h) < k {
+		t.h = make([]Neighbor, 0, k)
+	} else {
+		t.h = t.h[:0]
+	}
+}
+
+// K returns the collector's capacity k.
+func (t *TopK) K() int { return t.k }
 
 // Push offers a candidate. It is kept only if it beats the current k-th
 // best (or the collector is not yet full).
 func (t *TopK) Push(index int, dist float32) {
 	if len(t.h) < t.k {
-		heap.Push(&t.h, Neighbor{Index: index, Dist: dist})
+		t.h = append(t.h, Neighbor{Index: index, Dist: dist})
+		t.up(len(t.h) - 1)
 		return
 	}
 	if dist < t.h[0].Dist {
 		t.h[0] = Neighbor{Index: index, Dist: dist}
-		heap.Fix(&t.h, 0)
+		t.down(0, len(t.h))
+	}
+}
+
+func (t *TopK) up(j int) {
+	h := t.h
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].Dist > h[i].Dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (t *TopK) down(i0, n int) {
+	h := t.h
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].Dist > h[j1].Dist {
+			j = j2
+		}
+		if !(h[j].Dist > h[i].Dist) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
 	}
 }
 
 // Worst returns the current k-th best distance, or +Inf semantics via
-// ok=false when fewer than k candidates have been pushed.
+// ok=false when fewer than k candidates have been pushed. Scan loops
+// use it as the early-abandon bound.
 func (t *TopK) Worst() (float32, bool) {
 	if len(t.h) < t.k {
 		return 0, false
@@ -112,37 +238,87 @@ func (t *TopK) Worst() (float32, bool) {
 // Len reports how many neighbors are currently held (≤ k).
 func (t *TopK) Len() int { return len(t.h) }
 
+// AppendSorted drains the collector, appending its neighbors to dst in
+// ascending distance order, and returns the extended slice. With a dst
+// of sufficient capacity the drain performs no allocations; the
+// collector is empty afterwards (the backing array is retained for the
+// next Reset/Push cycle).
+func (t *TopK) AppendSorted(dst []Neighbor) []Neighbor {
+	// In-place heapsort: repeatedly swap the max to the end and re-sift,
+	// which performs the identical swap sequence to container/heap.Pop
+	// drains and leaves h ascending.
+	h := t.h
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		t.down(0, end)
+	}
+	dst = append(dst, h...)
+	t.h = h[:0]
+	return dst
+}
+
 // Sorted drains the collector and returns neighbors in ascending
 // distance order. The collector is empty afterwards.
 func (t *TopK) Sorted() []Neighbor {
-	out := make([]Neighbor, len(t.h))
-	for i := len(t.h) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&t.h).(Neighbor)
-	}
-	return out
-}
-
-type nbrMaxHeap []Neighbor
-
-func (h nbrMaxHeap) Len() int            { return len(h) }
-func (h nbrMaxHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h nbrMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nbrMaxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *nbrMaxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return t.AppendSorted(make([]Neighbor, 0, len(t.h)))
 }
 
 // BruteForceTopK scans the whole row-major matrix and returns the k
 // nearest rows to q in ascending distance order. It is the ground truth
-// used to validate the approximate index in tests and to compute recall.
+// used to validate the approximate index in tests and to compute
+// recall, so it keeps the exact subtract-square distance; repeated
+// callers amortize the scan with BruteForcer.
 func BruteForceTopK(q []float32, rows []float32, dim, k int) []Neighbor {
 	t := NewTopK(k)
 	for i := 0; i*dim < len(rows); i++ {
 		t.Push(i, SquaredL2(q, rows[i*dim:(i+1)*dim]))
 	}
 	return t.Sorted()
+}
+
+// BruteForcer answers exact top-k queries over a fixed matrix using the
+// norm decomposition: row norms are computed once at construction, so
+// each query costs one dot product per row instead of a subtract-square
+// scan. Not safe for concurrent use; create one per worker.
+type BruteForcer struct {
+	rows  []float32
+	norms []float32
+	dim   int
+	top   TopK
+}
+
+// NewBruteForcer precomputes row norms for the row-major matrix.
+func NewBruteForcer(rows []float32, dim int) *BruteForcer {
+	return &BruteForcer{rows: rows, norms: RowNorms(rows, dim, nil), dim: dim}
+}
+
+// Clone returns a BruteForcer sharing this one's (immutable) matrix and
+// precomputed norms but with its own query scratch — the way to hand
+// each worker of a parallel loop its own forcer without recomputing
+// norms.
+func (b *BruteForcer) Clone() *BruteForcer {
+	return &BruteForcer{rows: b.rows, norms: b.norms, dim: b.dim}
+}
+
+// AppendTopK appends the k nearest rows to q (ascending distance) to
+// dst and returns it. Neighbor distances are reconstructed as
+// qnorm + score, clamped at zero; with a dst of sufficient capacity the
+// query performs no allocations.
+func (b *BruteForcer) AppendTopK(dst []Neighbor, q []float32, k int) []Neighbor {
+	b.top.Reset(k)
+	dim := b.dim
+	for i := 0; i*dim < len(b.rows); i++ {
+		b.top.Push(i, b.norms[i]-2*Dot(q, b.rows[i*dim:(i+1)*dim]))
+	}
+	base := len(dst)
+	dst = b.top.AppendSorted(dst)
+	qn := Norm2(q)
+	for i := base; i < len(dst); i++ {
+		d := qn + dst[i].Dist
+		if d < 0 {
+			d = 0
+		}
+		dst[i].Dist = d
+	}
+	return dst
 }

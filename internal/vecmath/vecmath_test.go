@@ -1,6 +1,7 @@
 package vecmath
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 	"testing"
@@ -199,5 +200,190 @@ func TestTopKProperty(t *testing.T) {
 		return true
 	}, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// heapRef replicates the previous container/heap-backed TopK so the
+// hand-rolled heap can be pinned bit-identical to it, ties included.
+type heapRef []Neighbor
+
+func (h heapRef) Len() int            { return len(h) }
+func (h heapRef) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h heapRef) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *heapRef) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *heapRef) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func refTopK(k int, push func(add func(int, float32))) []Neighbor {
+	h := make(heapRef, 0, k)
+	add := func(index int, dist float32) {
+		if len(h) < k {
+			heap.Push(&h, Neighbor{Index: index, Dist: dist})
+			return
+		}
+		if dist < h[0].Dist {
+			h[0] = Neighbor{Index: index, Dist: dist}
+			heap.Fix(&h, 0)
+		}
+	}
+	push(add)
+	out := make([]Neighbor, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Neighbor)
+	}
+	return out
+}
+
+// TestTopKMatchesContainerHeapBitwise drives the hand-rolled heap and a
+// container/heap reference with identical push sequences — heavy with
+// duplicate distances, where sift order is observable — and requires
+// identical output, index for index.
+func TestTopKMatchesContainerHeapBitwise(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + r.Intn(12)
+		n := 1 + r.Intn(80)
+		dists := make([]float32, n)
+		for i := range dists {
+			// Draw from 8 discrete levels so ties are common.
+			dists[i] = float32(r.Intn(8))
+		}
+		tk := NewTopK(k)
+		for i, d := range dists {
+			tk.Push(i, d)
+		}
+		got := tk.Sorted()
+		want := refTopK(k, func(add func(int, float32)) {
+			for i, d := range dists {
+				add(i, d)
+			}
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %+v vs container/heap %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKResetReuseNoAllocs pins the scratch contract: after one
+// warm-up cycle, Reset + Push + AppendSorted allocate nothing.
+func TestTopKResetReuseNoAllocs(t *testing.T) {
+	tk := NewTopK(8)
+	out := make([]Neighbor, 0, 8)
+	run := func() {
+		tk.Reset(8)
+		for i := 0; i < 50; i++ {
+			tk.Push(i, float32((i*37)%50))
+		}
+		out = tk.AppendSorted(out[:0])
+	}
+	run()
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("TopK reuse allocates %.1f objects per cycle", allocs)
+	}
+	if len(out) != 8 || out[0].Dist != 0 {
+		t.Fatalf("reused TopK produced %v", out)
+	}
+}
+
+func TestRowNorms(t *testing.T) {
+	rows := []float32{1, 2, 3, 4, 0, 0}
+	got := RowNorms(rows, 2, nil)
+	want := []float32{5, 25, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RowNorms = %v, want %v", got, want)
+		}
+	}
+	// In-place reuse fills the provided buffer.
+	buf := make([]float32, 3)
+	if &RowNorms(rows, 2, buf)[0] != &buf[0] {
+		t.Fatal("RowNorms did not reuse the provided buffer")
+	}
+}
+
+// TestArgminNormScoreMatchesExact checks the decomposed argmin against
+// the exact scan on Gaussian data: same winner, and the reconstructed
+// distance (qnorm + score) matches the exact distance to rounding.
+func TestArgminNormScoreMatchesExact(t *testing.T) {
+	r := rng.New(6)
+	const dim, n = 16, 200
+	rows := make([]float32, n*dim)
+	for i := range rows {
+		rows[i] = float32(r.NormFloat64())
+	}
+	norms := RowNorms(rows, dim, nil)
+	for trial := 0; trial < 50; trial++ {
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = float32(r.NormFloat64())
+		}
+		wantIdx, wantD := ArgminL2(q, rows, dim)
+		gotIdx, score := ArgminNormScore(q, rows, norms, dim)
+		if gotIdx != wantIdx {
+			t.Fatalf("trial %d: decomposed argmin %d, exact %d", trial, gotIdx, wantIdx)
+		}
+		d := float64(Norm2(q) + score)
+		if math.Abs(d-float64(wantD)) > 1e-3 {
+			t.Fatalf("trial %d: reconstructed dist %v vs exact %v", trial, d, wantD)
+		}
+	}
+}
+
+func TestArgminNormScorePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgminNormScore on empty matrix did not panic")
+		}
+	}()
+	ArgminNormScore([]float32{1}, nil, nil, 1)
+}
+
+// TestBruteForcerMatchesBruteForceTopK pins the norm-decomposed
+// brute-forcer to the exact reference: identical indices, distances
+// equal to rounding, and zero steady-state allocations.
+func TestBruteForcerMatchesBruteForceTopK(t *testing.T) {
+	r := rng.New(7)
+	const dim, n, k = 8, 300, 9
+	rows := make([]float32, n*dim)
+	for i := range rows {
+		rows[i] = float32(r.NormFloat64())
+	}
+	bf := NewBruteForcer(rows, dim)
+	out := make([]Neighbor, 0, k)
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = float32(r.NormFloat64())
+		}
+		want := BruteForceTopK(q, rows, dim, k)
+		out = bf.AppendTopK(out[:0], q, k)
+		if len(out) != len(want) {
+			t.Fatalf("lengths differ: %d vs %d", len(out), len(want))
+		}
+		for i := range out {
+			if out[i].Index != want[i].Index {
+				t.Fatalf("trial %d rank %d: index %d vs %d", trial, i, out[i].Index, want[i].Index)
+			}
+			if math.Abs(float64(out[i].Dist-want[i].Dist)) > 1e-3 {
+				t.Fatalf("trial %d rank %d: dist %v vs %v", trial, i, out[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	q := rows[:dim]
+	bf.AppendTopK(out[:0], q, k)
+	if allocs := testing.AllocsPerRun(50, func() {
+		out = bf.AppendTopK(out[:0], q, k)
+	}); allocs != 0 {
+		t.Fatalf("AppendTopK allocates %.1f objects per query", allocs)
 	}
 }

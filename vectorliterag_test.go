@@ -146,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 17 {
-		t.Fatalf("got %d experiments, want 17: %v", len(names), names)
+	if len(names) != 18 {
+		t.Fatalf("got %d experiments, want 18: %v", len(names), names)
 	}
 	if _, err := vlr.RunExperiment("nope", true); err == nil {
 		t.Fatal("unknown experiment accepted")
