@@ -1,8 +1,9 @@
-# Developer entry points. CI runs `make verify` and `make bench-smoke`.
+# Developer entry points. CI runs `make verify`, `make bench-smoke`,
+# and `make examples-smoke`.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-search bench-smoke fmt
+.PHONY: verify build test vet race bench bench-search bench-smoke examples-smoke fmt
 
 verify: vet build race
 
@@ -31,6 +32,15 @@ bench-search:
 # this so the benchmarks cannot rot.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
+
+# Run every example binary in quick mode. `go test` only compiles the
+# examples; this actually executes them, so their output paths cannot
+# rot. CI runs it.
+examples-smoke:
+	@set -e; for d in ./examples/*/; do \
+		echo "==> $$d"; \
+		$(GO) run "$$d" -quick; \
+	done
 
 fmt:
 	gofmt -l -w .

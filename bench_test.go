@@ -1,7 +1,8 @@
 package vectorliterag_test
 
 // One benchmark per table and figure of the paper's evaluation
-// (DESIGN.md §3): each bench regenerates the corresponding artifact on
+// (the registry in internal/experiments): each bench regenerates the
+// corresponding artifact on
 // the simulated substrate in quick mode. Run the full-scale versions
 // with `go run ./cmd/vliterag run -exp <id>`.
 //
@@ -266,5 +267,5 @@ func BenchmarkWorkloadSample(b *testing.B) {
 }
 
 // BenchmarkAblations regenerates the design-choice ablations (queuing
-// factor and runtime pipeline) from DESIGN.md.
+// factor and runtime pipeline).
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablations") }

@@ -8,6 +8,8 @@
 //	vliterag run -exp all  [-quick]    # regenerate everything
 //	vliterag serve -system vLiteRAG -dataset orcas1k -rate 30
 //	vliterag serve -replicas 2 -policy least-loaded -rate 60
+//	vliterag serve -adapt -dataset orcas2k -rate 20 -slo 150ms \
+//	    -drift-at 45s -duration 6m     # online adaptation under drift
 //	vliterag build -dataset orcas2k    # offline partitioning only
 package main
 
@@ -177,6 +179,22 @@ func modelByName(name string) (vlr.ModelSpec, vlr.Node, error) {
 	return vlr.ModelSpec{}, vlr.Node{}, fmt.Errorf("unknown model %q (llama3-8b|qwen3-32b|llama3-70b)", name)
 }
 
+// ratePattern builds the non-stationary arrival schedule a -rate-pattern
+// flag selects, anchored at the nominal -rate.
+func ratePattern(pattern string, rate float64, dur time.Duration) (vlr.RateSchedule, error) {
+	switch strings.ToLower(pattern) {
+	case "", "constant":
+		return nil, nil // plain constant-rate Poisson
+	case "ramp":
+		return vlr.RampRate(rate/2, rate*1.2, dur), nil
+	case "burst":
+		return vlr.BurstRate(rate, rate*1.5, 60*time.Second, 15*time.Second), nil
+	case "diurnal":
+		return vlr.DiurnalRate(rate, rate*0.4, dur), nil
+	}
+	return nil, fmt.Errorf("unknown rate pattern %q (constant|ramp|burst|diurnal)", pattern)
+}
+
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	system := fs.String("system", "vLiteRAG", "CPU-Only|DED-GPU|ALL-GPU|vLiteRAG|HedraRAG")
@@ -187,6 +205,11 @@ func serveCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	replicas := fs.Int("replicas", 1, "independent node pipelines behind the front-end router")
 	policy := fs.String("policy", "least-loaded", "cluster routing policy (round-robin|least-loaded)")
+	adaptive := fs.Bool("adapt", false, "vLiteRAG with in-loop drift detection and background index rebuilds")
+	driftAt := fs.Duration("drift-at", 0, "inject a popularity rotation at this virtual time (0 = no drift)")
+	driftRotate := fs.Int("drift-rotate", 0, "rotation size in templates (0 = a third of the template pool)")
+	pattern := fs.String("rate-pattern", "constant", "arrival process: constant|ramp|burst|diurnal")
+	slo := fs.Duration("slo", 0, "search SLO override (default: dataset's Table-I value)")
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,6 +221,16 @@ func serveCmd(args []string) error {
 	m, node, err := modelByName(*model)
 	if err != nil {
 		return err
+	}
+	sched, err := ratePattern(*pattern, *rate, *dur)
+	if err != nil {
+		return err
+	}
+	if *adaptive && *replicas > 1 {
+		return fmt.Errorf("-adapt serves a single adaptive pipeline; drop -replicas")
+	}
+	if *adaptive && vlr.System(*system) != vlr.VLiteRAG {
+		return fmt.Errorf("-adapt requires the hot-swappable vLiteRAG runtime, not %s", *system)
 	}
 	if err := prof.start(); err != nil {
 		return err
@@ -212,14 +245,33 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	var drift []vlr.DriftEvent
+	if *driftAt > 0 {
+		rot := *driftRotate
+		if rot == 0 {
+			rot = w.DefaultDriftRotation()
+		}
+		drift = []vlr.DriftEvent{{At: *driftAt, Rotate: rot}}
+		fmt.Printf("drift: popularity rotates by %d templates at t=%v\n", rot, *driftAt)
+	}
 	so := vlr.ServeOptions{
 		Workload: w, System: vlr.System(*system), Rate: *rate,
 		Node: node, Model: m, Duration: *dur, Seed: *seed,
+		SLOSearch: *slo, Drift: drift, RateSchedule: sched,
 	}
 	var rep *vlr.Report
 	var perReplica []vlr.ReplicaReport
+	var adaptRep *vlr.AdaptiveReport
 	label := *system
-	if *replicas > 1 {
+	switch {
+	case *adaptive:
+		adaptRep, err = vlr.ServeAdaptive(vlr.AdaptiveServeOptions{ServeOptions: so})
+		if err != nil {
+			return err
+		}
+		rep = &adaptRep.Report
+		label = "vLiteRAG (adaptive)"
+	case *replicas > 1:
 		cr, err := vlr.ServeCluster(vlr.ClusterOptions{
 			ServeOptions: so, Replicas: *replicas, Policy: vlr.RoutePolicy(*policy),
 		})
@@ -228,7 +280,7 @@ func serveCmd(args []string) error {
 		}
 		rep, perReplica = &cr.Report, cr.PerReplica
 		label = fmt.Sprintf("%s x%d (%s)", *system, *replicas, cr.Policy)
-	} else {
+	default:
 		rep, err = vlr.Serve(so)
 		if err != nil {
 			return err
@@ -246,7 +298,41 @@ func serveCmd(args []string) error {
 		fmt.Printf("  replica %d       %d requests  attainment %.3f  avg batch %.1f\n",
 			i, r.Submitted, r.Summary.Attainment, r.AvgBatch)
 	}
+	if adaptRep != nil {
+		printAdaptive(adaptRep)
+	}
 	return nil
+}
+
+// printAdaptive renders the control-plane record of an adaptive run.
+func printAdaptive(rep *vlr.AdaptiveReport) {
+	fmt.Printf("  expected hit    %.3f\n", rep.ExpectedHitRate)
+	if len(rep.Rebuilds) == 0 && rep.Pending == nil {
+		fmt.Println("  rebuilds        none triggered")
+	}
+	if p := rep.Pending; p != nil {
+		// Timing prices stages as they are reached, so Total() here is
+		// only the elapsed stages — report it as a lower bound.
+		fmt.Printf("  rebuild         triggered %v, still in flight at run end (>= %v of stages priced); lengthen -duration\n",
+			time.Duration(p.TriggeredAt).Round(time.Millisecond), p.Timing.Total().Round(time.Millisecond))
+	}
+	for i, rb := range rep.Rebuilds {
+		if rb.Aborted != "" {
+			fmt.Printf("  rebuild %d       triggered %v, ABORTED (%s)\n",
+				i+1, time.Duration(rb.TriggeredAt).Round(time.Millisecond), rb.Aborted)
+			continue
+		}
+		fmt.Printf("  rebuild %d       triggered %v, swapped %v (profile %v + algo %v + split %v + load %v); rho %.3f -> %.3f\n",
+			i+1, time.Duration(rb.TriggeredAt).Round(time.Millisecond),
+			time.Duration(rb.SwappedAt).Round(time.Millisecond),
+			rb.Timing.Profiling.Round(time.Millisecond), rb.Timing.Algorithm.Round(time.Millisecond),
+			rb.Timing.Splitting.Round(time.Millisecond), rb.Timing.Loading.Round(time.Millisecond),
+			rb.OldRho, rb.NewRho)
+	}
+	fmt.Println("  attainment over time (window: attainment / mean hit rate):")
+	for _, w := range rep.Timeline {
+		fmt.Printf("    %-8v att %.3f  hit %.3f  (%d reqs)\n", w.Start, w.Attainment, w.MeanHitRate, w.N)
+	}
 }
 
 func buildCmd(args []string) error {

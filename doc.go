@@ -36,6 +36,17 @@
 // N identical node pipelines behind a round-robin or least-loaded
 // front-end router.
 //
+// A control plane rides on the data plane (internal/adapt, paper
+// §IV-B3): ServeAdaptive attaches a drift monitor to the collector
+// path and, when windowed SLO attainment drops while observed hit
+// rates diverge from the model, rebuilds the hybrid index in the
+// background — re-profile, re-partition, re-split, reload shards over
+// PCIe with mid-reload queries diverted to the CPU path — then swaps
+// the new plan in atomically, all inside one simulated run. Drift
+// traces (ServeOptions.Drift) and non-stationary arrival schedules
+// (ServeOptions.RateSchedule: ramps, bursts, diurnal cycles) supply
+// the workloads that make it fire.
+//
 // The offline build path (corpus generation, k-means, IVF-PQ training
 // and encoding, access profiling) runs on a worker pool sized to the
 // host's cores and is bit-identical to a sequential build for a fixed
@@ -44,8 +55,8 @@
 // Because the original evaluation requires multi-GPU servers, this
 // package runs the retrieval algorithms for real at laptop scale and
 // executes serving experiments on a calibrated discrete-event
-// simulation of the paper's hardware (see DESIGN.md for the
-// substitution table). All results are deterministic under a fixed
+// simulation of the paper's hardware (ARCHITECTURE.md describes the
+// two-substrate design). All results are deterministic under a fixed
 // seed.
 //
 // # Quick start

@@ -6,13 +6,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	vlr "vectorliterag"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "fewer node sizes and shorter runs for smoke tests")
+	flag.Parse()
+	sizes := []int{4, 6, 8}
+	var duration time.Duration // zero = library default (120s)
+	if *quick {
+		sizes = []int{4, 8}
+		duration = 40 * time.Second
+	}
+
 	fmt.Println("building ORCAS-2K workload...")
 	w, err := vlr.NewWorkload(vlr.Orcas2K)
 	if err != nil {
@@ -24,7 +35,7 @@ func main() {
 	fmt.Printf("\ntarget: %d req/s of 1024/256-token RAG traffic, %s\n\n", targetRate, model.Name)
 	fmt.Printf("%-8s %-12s %-8s %-12s %-12s %-10s\n",
 		"GPUs", "capacity", "rho", "index GB", "attainment", "TTFT p90")
-	for _, gpus := range []int{4, 6, 8} {
+	for _, gpus := range sizes {
 		node, err := vlr.H100Node().WithGPUs(gpus)
 		if err != nil {
 			log.Fatal(err)
@@ -41,7 +52,7 @@ func main() {
 		}
 		rep, err := vlr.Serve(vlr.ServeOptions{
 			Workload: w, System: vlr.VLiteRAG, Rate: targetRate,
-			Node: node, Model: model, Seed: 1,
+			Node: node, Model: model, Seed: 1, Duration: duration,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -4,13 +4,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	vlr "vectorliterag"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shorter serving windows for smoke tests")
+	flag.Parse()
+	var duration time.Duration // zero = library default (120s)
+	if *quick {
+		duration = 40 * time.Second
+	}
+
 	// 1. Build the ORCAS-1K workload: a real IVF-PQ index over a
 	// synthetic corpus whose query skew matches the paper's Fig. 5
 	// characterization (this trains k-means and PQ codebooks — a few
@@ -38,7 +47,7 @@ func main() {
 	fmt.Printf("%-10s %-6s %-10s %-10s %-8s\n", "system", "rho", "attainment", "TTFT p90", "search")
 	for _, system := range []vlr.System{vlr.CPUOnly, vlr.DedGPU, vlr.AllGPU, vlr.VLiteRAG} {
 		rep, err := vlr.Serve(vlr.ServeOptions{
-			Workload: w, System: system, Rate: 30, Seed: 1,
+			Workload: w, System: system, Rate: 30, Seed: 1, Duration: duration,
 		})
 		if err != nil {
 			log.Fatal(err)

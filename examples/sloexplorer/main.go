@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -13,6 +14,18 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "fewer SLO points and shorter runs for smoke tests")
+	flag.Parse()
+	slos := []time.Duration{
+		100 * time.Millisecond, 150 * time.Millisecond,
+		200 * time.Millisecond, 250 * time.Millisecond,
+	}
+	var duration time.Duration // zero = library default (120s)
+	if *quick {
+		slos = []time.Duration{100 * time.Millisecond, 250 * time.Millisecond}
+		duration = 40 * time.Second
+	}
+
 	fmt.Println("building ORCAS-1K workload...")
 	w, err := vlr.NewWorkload(vlr.Orcas1K)
 	if err != nil {
@@ -23,10 +36,7 @@ func main() {
 
 	fmt.Printf("\n%-10s %-8s %-12s %-12s %-12s %-14s\n",
 		"SLO", "rho", "index GB", "KV GB/GPU", "batch-min η", "attain @30rps")
-	for _, slo := range []time.Duration{
-		100 * time.Millisecond, 150 * time.Millisecond,
-		200 * time.Millisecond, 250 * time.Millisecond,
-	} {
+	for _, slo := range slos {
 		sys, err := vlr.BuildSystem(vlr.SystemOptions{
 			Workload: w, Node: node, Model: model, SLOSearch: slo, Seed: 1,
 		})
@@ -39,7 +49,7 @@ func main() {
 
 		rep, err := vlr.Serve(vlr.ServeOptions{
 			Workload: w, System: vlr.VLiteRAG, Rate: 30,
-			Node: node, Model: model, SLOSearch: slo, Seed: 1,
+			Node: node, Model: model, SLOSearch: slo, Seed: 1, Duration: duration,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,336 @@
+// Package adapt is the online control plane of the adaptive runtime
+// index update (paper §IV-B3), run *inside* a serving pipeline on the
+// simulator's timeline. A Controller observes every completed request
+// on the collector path and feeds an update.Monitor; when a window
+// closes with SLO attainment below threshold AND the observed hit rates
+// diverging from the model's expectation, it schedules a background
+// rebuild as a chain of simulated events — re-profiling the live query
+// stream, re-running Algorithm 1, re-splitting, and reloading each GPU
+// shard over PCIe, each stage priced by the update package's cost
+// model. While a shard reloads, the hybrid engine diverts its clusters
+// to the CPU path (service never pauses); once every shard has loaded,
+// the controller atomically swaps the new plan in and re-anchors the
+// monitor's expectation, closing the loop.
+//
+// The whole cycle runs in virtual time on the same deterministic event
+// loop as the data plane, so adaptive runs are reproducible bit for bit
+// under a fixed seed — the repo's determinism contract extended to the
+// control plane.
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/partition"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/update"
+	"vectorliterag/internal/workload"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Monitor holds the drift-detection thresholds; a zero value falls
+	// back to update.DefaultMonitorConfig.
+	Monitor update.MonitorConfig
+	// ProfileQueries is the calibration sample the in-loop re-profiling
+	// replays from the (drifted) live distribution (default 4000, the
+	// offline build's size).
+	ProfileQueries int
+	// CalibrationReplay is the query count the *timing* of the profiling
+	// stage is priced at (default 50000 — the paper replays ~0.5 % of a
+	// 10M-query stream). It is deliberately larger than ProfileQueries:
+	// the simulated system replays the paper-scale sample, while the
+	// laptop-scale substrate needs fewer draws for the same distribution.
+	CalibrationReplay int
+	// Epsilon is Algorithm 1's queuing factor for re-partitioning.
+	Epsilon float64
+	// CooldownWindows suppresses triggers for this many monitor windows
+	// after a swap (default 1, negative disables). Requests routed during
+	// the reload carry the CPU divert's low hit rates but only complete
+	// after the swap; without a settle window those stragglers would
+	// immediately re-trigger an identical rebuild.
+	CooldownWindows int
+}
+
+func (c Config) profileQueries() int {
+	if c.ProfileQueries <= 0 {
+		return 4000
+	}
+	return c.ProfileQueries
+}
+
+func (c Config) calibrationReplay() int {
+	if c.CalibrationReplay <= 0 {
+		return 50000
+	}
+	return c.CalibrationReplay
+}
+
+func (c Config) cooldownWindows() int {
+	if c.CooldownWindows < 0 {
+		return 0
+	}
+	if c.CooldownWindows == 0 {
+		return 1
+	}
+	return c.CooldownWindows
+}
+
+// Inputs wires the controller to a live pipeline: the shared simulator,
+// the workload being served, the hot-swappable engine, and the fitted
+// models Algorithm 1 re-uses across cycles (the CPU latency model and
+// the bare LLM throughput are hardware properties — drift does not move
+// them, so only the access profile is re-measured per cycle).
+type Inputs struct {
+	Sim       *des.Sim
+	W         *dataset.Workload
+	Engine    retrieval.HotSwapper
+	Node      hw.Node
+	SLOTotal  time.Duration // combined TTFT budget the monitor checks
+	SLOSearch time.Duration
+	Perf      *perfmodel.Model
+	Mu0       float64
+	MemKV     int64
+	// Expected is the model-expected mean hit rate of the currently
+	// installed plan (the monitor's initial anchor).
+	Expected float64
+	// Seed derives the per-cycle re-profiling sample.
+	Seed uint64
+}
+
+// RebuildRecord is one completed (or aborted) update cycle — the
+// trigger-timeline artifact of a drift study.
+type RebuildRecord struct {
+	TriggeredAt   des.Time
+	ProfileDoneAt des.Time
+	AlgoDoneAt    des.Time
+	SplitDoneAt   des.Time
+	SwappedAt     des.Time // zero when the cycle aborted
+	Timing        update.RebuildTiming
+	OldRho        float64
+	NewRho        float64
+	OldExpected   float64
+	NewExpected   float64
+	Iterations    int
+	// Aborted names the stage that failed (empty on success); the old
+	// plan stays installed.
+	Aborted string
+}
+
+// Controller runs the monitor→rebuild→swap loop on the DES timeline.
+type Controller struct {
+	cfg Config
+	in  Inputs
+	mon *update.Monitor
+
+	rebuilding bool
+	cycles     int
+	rebuilds   []RebuildRecord
+	// pending is the cycle currently in flight (nil otherwise), kept so
+	// a run whose clock stops mid-rebuild can still report the trigger.
+	pending  *RebuildRecord
+	observed int
+	// windowsAtSwap is the monitor's window count at the last plan swap
+	// (-1 before any swap); triggers within cooldownWindows of it are
+	// straggler echoes and are ignored.
+	windowsAtSwap int
+}
+
+// NewController builds a controller. Bind must be called with the live
+// engine before the first observation (the engine exists only after the
+// pipeline is composed).
+func NewController(cfg Config, in Inputs) (*Controller, error) {
+	if in.Sim == nil || in.W == nil {
+		return nil, fmt.Errorf("adapt: controller needs a simulator and workload")
+	}
+	if in.SLOTotal <= 0 || in.SLOSearch <= 0 {
+		return nil, fmt.Errorf("adapt: non-positive SLO (total %v, search %v)", in.SLOTotal, in.SLOSearch)
+	}
+	if in.Perf == nil {
+		return nil, fmt.Errorf("adapt: nil performance model")
+	}
+	c := &Controller{cfg: cfg, in: in, windowsAtSwap: -1}
+	c.mon = update.NewMonitor(cfg.Monitor, in.Expected)
+	return c, nil
+}
+
+// Bind attaches the hot-swappable engine (post-compose).
+func (c *Controller) Bind(eng retrieval.HotSwapper) { c.in.Engine = eng }
+
+// Monitor exposes the drift monitor (tests and diagnostics).
+func (c *Controller) Monitor() *update.Monitor { return c.mon }
+
+// Rebuilds returns every update cycle the controller ran, in trigger
+// order.
+func (c *Controller) Rebuilds() []RebuildRecord { return c.rebuilds }
+
+// Pending returns a snapshot of the cycle still in flight, or nil. A
+// rebuild whose remaining stage events lie past the simulation's
+// deadline never completes; callers reporting a finished run surface it
+// from here instead of silently dropping the trigger.
+func (c *Controller) Pending() *RebuildRecord {
+	if !c.rebuilding || c.pending == nil {
+		return nil
+	}
+	snap := *c.pending
+	return &snap
+}
+
+// Observed returns how many completed requests fed the monitor.
+func (c *Controller) Observed() int { return c.observed }
+
+// Observe is the collector-path hook: wire it (via serve.Tee) into the
+// pipeline's terminal sink so every completed request reports its
+// served hit rate and SLO outcome. A request that never produced a
+// first token cannot reach this sink; its violation is still charged to
+// the run's Summary, just not to the in-loop monitor — mirroring a real
+// router, which can only count responses it has seen.
+func (c *Controller) Observe(req *workload.Request) {
+	c.observed++
+	met := req.FirstToken > 0 && time.Duration(req.TTFT()) <= c.in.SLOTotal
+	if c.mon.Record(req.HitRate, met) && !c.rebuilding && !c.inCooldown() {
+		c.startRebuild()
+	}
+}
+
+// inCooldown reports whether the current trigger falls inside the
+// post-swap settle period.
+func (c *Controller) inCooldown() bool {
+	if c.windowsAtSwap < 0 {
+		return false
+	}
+	return c.mon.WindowsClosed()-c.windowsAtSwap <= c.cfg.cooldownWindows()
+}
+
+// startRebuild kicks off one background update cycle at the current
+// virtual instant. Stage effects land at their simulated completion
+// times; the host-side computation (profiling, partitioning, splitting)
+// executes inside those events, so a stage always consumes the workload
+// state current at its own virtual time — drift that lands mid-cycle is
+// seen by the stages after it.
+func (c *Controller) startRebuild() {
+	if c.in.Engine == nil {
+		return // never bound: observe-only mode
+	}
+	c.rebuilding = true
+	c.cycles++
+	rec := RebuildRecord{
+		TriggeredAt: c.in.Sim.Now(),
+		OldRho:      c.in.Engine.Plan().Coverage,
+		OldExpected: c.mon.Expected(),
+	}
+	rec.Timing.Profiling = update.ProfilingTime(c.in.Node, c.in.W.Spec, c.cfg.calibrationReplay())
+	c.track(rec)
+	c.in.Sim.After(rec.Timing.Profiling, func() { c.profileDone(rec) })
+}
+
+// track snapshots the in-flight cycle's latest state.
+func (c *Controller) track(rec RebuildRecord) {
+	snap := rec
+	c.pending = &snap
+}
+
+// profileDone ends the profiling stage: sample the *current* (possibly
+// drifted) query distribution and run Algorithm 1 against it.
+func (c *Controller) profileDone(rec RebuildRecord) {
+	rec.ProfileDoneAt = c.in.Sim.Now()
+	seed := c.in.Seed + 7919*uint64(c.cycles) // fresh, reproducible sample per cycle
+	prof, err := profiler.CollectAccess(c.in.W, c.cfg.profileQueries(), seed)
+	if err != nil {
+		c.abort(rec, "profile", err)
+		return
+	}
+	est, err := hitrate.NewEstimator(prof)
+	if err != nil {
+		c.abort(rec, "profile", err)
+		return
+	}
+	part, err := partition.LatencyBounded(partition.Inputs{
+		SLOSearch:    c.in.SLOSearch,
+		Epsilon:      c.cfg.Epsilon,
+		Perf:         c.in.Perf,
+		Est:          est,
+		MemKV:        c.in.MemKV,
+		Mu0:          c.in.Mu0,
+		IndexBytesAt: splitter.IndexBytesAt(prof),
+	})
+	if err != nil {
+		c.abort(rec, "algorithm", err)
+		return
+	}
+	rec.Iterations = part.Iterations
+	rec.NewRho = part.Rho
+	rec.NewExpected = est.MeanHitRate(part.Rho)
+	rec.Timing.Algorithm = update.AlgorithmTime(part.Iterations)
+	c.track(rec)
+	c.in.Sim.After(rec.Timing.Algorithm, func() { c.algoDone(rec, prof) })
+}
+
+// algoDone ends the partitioning stage: materialize the split.
+func (c *Controller) algoDone(rec RebuildRecord, prof *profiler.AccessProfile) {
+	rec.AlgoDoneAt = c.in.Sim.Now()
+	plan, err := splitter.Build(prof, rec.NewRho, c.in.Node.NumGPUs)
+	if err != nil {
+		c.abort(rec, "split", err)
+		return
+	}
+	rec.Timing.Splitting = update.SplittingTime(c.in.Node, plan)
+	c.track(rec)
+	c.in.Sim.After(rec.Timing.Splitting, func() { c.splitDone(rec, plan) })
+}
+
+// splitDone ends the splitting stage and starts the concurrent per-
+// shard PCIe loads. A shard being overwritten cannot serve, so each
+// shard g is diverted to the CPU path from load start until the atomic
+// swap; loads run concurrently and the slowest gates the swap.
+func (c *Controller) splitDone(rec RebuildRecord, plan *splitter.Plan) {
+	rec.SplitDoneAt = c.in.Sim.Now()
+	loads := update.LoadingTimes(c.in.Node, plan)
+	for g := range loads {
+		c.in.Engine.SetShardRefreshing(g, true)
+		if loads[g] > rec.Timing.Loading {
+			rec.Timing.Loading = loads[g]
+		}
+	}
+	c.track(rec)
+	c.in.Sim.After(rec.Timing.Loading, func() { c.swap(rec, plan) })
+}
+
+// swap atomically installs the new plan, re-anchors the monitor, and
+// closes the cycle. SetPlan resets the engine's refresh flags, so the
+// CPU divert ends at the same instant the new routing takes effect.
+func (c *Controller) swap(rec RebuildRecord, plan *splitter.Plan) {
+	rec.SwappedAt = c.in.Sim.Now()
+	c.in.Engine.SetPlan(plan)
+	c.mon.SetExpected(rec.NewExpected)
+	// Drop the partial window: it mixes old-plan observations (including
+	// the reload's CPU diverts) that would otherwise re-trigger against
+	// the new expectation.
+	c.mon.ResetWindow()
+	c.windowsAtSwap = c.mon.WindowsClosed()
+	c.rebuilds = append(c.rebuilds, rec)
+	c.pending = nil
+	c.rebuilding = false
+}
+
+// abort abandons the cycle at the named stage; the old plan keeps
+// serving and any refresh flags are cleared.
+func (c *Controller) abort(rec RebuildRecord, stage string, err error) {
+	rec.Aborted = fmt.Sprintf("%s: %v", stage, err)
+	if plan := c.in.Engine.Plan(); plan != nil {
+		for g := 0; g < plan.NumShards; g++ {
+			c.in.Engine.SetShardRefreshing(g, false)
+		}
+	}
+	c.rebuilds = append(c.rebuilds, rec)
+	c.pending = nil
+	c.rebuilding = false
+}

@@ -1,0 +1,240 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/update"
+	"vectorliterag/internal/workload"
+)
+
+// fixture wires a controller to a real hybrid engine over a small
+// workload, with the monitor window shrunk so tests can drive whole
+// windows by hand.
+type fixture struct {
+	sim  *des.Sim
+	w    *dataset.Workload
+	eng  *retrieval.Hybrid
+	ctrl *Controller
+	node hw.Node
+}
+
+func setup(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	gc := dataset.GenConfig{NCenters: 32, PerCenter: 32, Dim: 8, PhysNList: 32, PhysNProbe: 4, Templates: 128, Seed: 4}
+	w, err := dataset.Build(dataset.Orcas1K, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := hw.H100Node()
+	prof, err := profiler.CollectAccess(w, 1500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := splitter.Build(prof, 0.2, node.NumGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuModel := costmodel.NewSearchModel(node.CPU, w.Spec)
+	perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim des.Sim
+	eng := retrieval.NewHybrid(retrieval.Config{
+		Sim: &sim, W: w, CPUModel: cpuModel, Forward: func(*workload.Request) {},
+	}, plan, gpu.NewStates(node), costmodel.GPUScanModel{GPU: node.GPU})
+
+	if cfg.Monitor.WindowRequests == 0 {
+		cfg.Monitor = update.MonitorConfig{WindowRequests: 50, SLOThreshold: 0.9, HitRateDivergence: 0.1}
+	}
+	if cfg.ProfileQueries == 0 {
+		cfg.ProfileQueries = 800
+	}
+	ctrl, err := NewController(cfg, Inputs{
+		Sim: &sim, W: w, Node: node,
+		SLOTotal: 400 * time.Millisecond, SLOSearch: 150 * time.Millisecond,
+		Perf: perf, Mu0: 30, MemKV: 64 << 30,
+		Expected: 0.8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Bind(eng)
+	return &fixture{sim: &sim, w: w, eng: eng, ctrl: ctrl, node: node}
+}
+
+// feedWindow drives one full monitor window of synthetic observations.
+func (f *fixture) feedWindow(hit float64, met bool) {
+	for i := 0; i < 50; i++ {
+		req := &workload.Request{HitRate: hit, ArrivalAt: f.sim.Now()}
+		if met {
+			req.FirstToken = req.ArrivalAt + int64(100*time.Millisecond)
+		} else {
+			req.FirstToken = req.ArrivalAt + int64(time.Second)
+		}
+		f.ctrl.Observe(req)
+	}
+}
+
+func TestControllerFullCycle(t *testing.T) {
+	f := setup(t, Config{})
+	oldPlan := f.eng.Plan()
+
+	f.feedWindow(0.8, true) // healthy window: no trigger
+	if len(f.ctrl.Rebuilds()) != 0 || f.sim.Pending() != 0 {
+		t.Fatal("healthy window scheduled work")
+	}
+
+	f.feedWindow(0.3, false) // drifting window: trigger
+	if f.sim.Pending() == 0 {
+		t.Fatal("drift did not schedule the rebuild chain")
+	}
+
+	// Walk the simulated cycle. Once splitting completes, every shard
+	// must be diverting to the CPU path until the swap.
+	profT := update.ProfilingTime(f.node, f.w.Spec, 50000)
+	algoT := update.AlgorithmTime(1) // lower bound; step past profiling+a bit
+	f.sim.RunUntil(int64(profT) + int64(algoT)/2)
+	if got := len(f.ctrl.Rebuilds()); got != 0 {
+		t.Fatalf("cycle finished implausibly early: %d records", got)
+	}
+	f.sim.Run()
+
+	recs := f.ctrl.Rebuilds()
+	if len(recs) != 1 {
+		t.Fatalf("got %d rebuild records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Aborted != "" {
+		t.Fatalf("cycle aborted: %s", rec.Aborted)
+	}
+	if rec.Timing.Profiling != profT {
+		t.Fatalf("profiling priced %v, want %v", rec.Timing.Profiling, profT)
+	}
+	if !(rec.TriggeredAt < rec.ProfileDoneAt && rec.ProfileDoneAt < rec.AlgoDoneAt &&
+		rec.AlgoDoneAt < rec.SplitDoneAt && rec.SplitDoneAt < rec.SwappedAt) {
+		t.Fatalf("phase timestamps out of order: %+v", rec)
+	}
+	if f.eng.Plan() == oldPlan {
+		t.Fatal("plan never swapped")
+	}
+	for g := 0; g < f.eng.Plan().NumShards; g++ {
+		if f.eng.ShardRefreshing(g) {
+			t.Fatalf("shard %d still refreshing after swap", g)
+		}
+	}
+	if f.ctrl.Monitor().Expected() != rec.NewExpected {
+		t.Fatalf("monitor expectation %v not re-anchored to %v",
+			f.ctrl.Monitor().Expected(), rec.NewExpected)
+	}
+	if rec.NewRho <= 0 || rec.NewRho > 1 {
+		t.Fatalf("new coverage %v outside (0,1]", rec.NewRho)
+	}
+}
+
+func TestControllerDivertsDuringLoad(t *testing.T) {
+	f := setup(t, Config{})
+	f.feedWindow(0.3, false)
+	// Each stage event schedules its successor, so step the chain and
+	// catch the load window: after splitDone fires, every shard must be
+	// mid-reload, with exactly the swap event pending.
+	sawLoadWindow := false
+	for f.sim.Pending() > 0 {
+		f.sim.Step()
+		refreshing := 0
+		for g := 0; g < f.eng.Plan().NumShards; g++ {
+			if f.eng.ShardRefreshing(g) {
+				refreshing++
+			}
+		}
+		if refreshing > 0 {
+			sawLoadWindow = true
+			if refreshing != f.eng.Plan().NumShards {
+				t.Fatalf("%d/%d shards refreshing during load", refreshing, f.eng.Plan().NumShards)
+			}
+			if len(f.ctrl.Rebuilds()) != 0 {
+				t.Fatal("cycle recorded before the swap")
+			}
+			if f.sim.Pending() != 1 {
+				t.Fatalf("load window should have only the swap pending, got %d", f.sim.Pending())
+			}
+		}
+	}
+	if !sawLoadWindow {
+		t.Fatal("never observed the mid-reload CPU-divert window")
+	}
+	if len(f.ctrl.Rebuilds()) != 1 {
+		t.Fatalf("cycle did not complete: %d records", len(f.ctrl.Rebuilds()))
+	}
+}
+
+func TestControllerCooldownSuppressesEcho(t *testing.T) {
+	f := setup(t, Config{})
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	if len(f.ctrl.Rebuilds()) != 1 {
+		t.Fatalf("first cycle: %d records", len(f.ctrl.Rebuilds()))
+	}
+	// Echo: the first post-swap window still carries straggler hit
+	// rates. It must not start a second cycle.
+	f.feedWindow(0.3, false)
+	if got := len(f.ctrl.Rebuilds()); got != 1 || f.sim.Pending() != 0 {
+		t.Fatalf("echo window started a cycle (records %d, pending %d)", got, f.sim.Pending())
+	}
+	// After a clean window the cooldown is spent; sustained drift
+	// triggers again.
+	f.feedWindow(f.ctrl.Monitor().Expected(), true)
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	if got := len(f.ctrl.Rebuilds()); got != 2 {
+		t.Fatalf("sustained drift after cooldown did not re-trigger: %d records", got)
+	}
+}
+
+func TestControllerPendingSurvivesClockStop(t *testing.T) {
+	f := setup(t, Config{})
+	if f.ctrl.Pending() != nil {
+		t.Fatal("pending before any trigger")
+	}
+	f.feedWindow(0.3, false)
+	// The clock stops mid-cycle (RunUntil short of the chain's end, as a
+	// pipeline whose drain ends early would): the trigger must still be
+	// reportable.
+	f.sim.RunUntil(int64(time.Second))
+	p := f.ctrl.Pending()
+	if p == nil {
+		t.Fatal("in-flight cycle not reported")
+	}
+	if p.Timing.Profiling <= 0 {
+		t.Fatalf("pending record missing the priced profiling stage: %+v", p)
+	}
+	f.sim.Run()
+	if f.ctrl.Pending() != nil {
+		t.Fatal("pending not cleared after the swap")
+	}
+}
+
+func TestControllerUnboundIsObserveOnly(t *testing.T) {
+	f := setup(t, Config{})
+	f.ctrl.in.Engine = nil
+	f.feedWindow(0.3, false)
+	if f.sim.Pending() != 0 || len(f.ctrl.Rebuilds()) != 0 {
+		t.Fatal("unbound controller scheduled a rebuild")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(Config{}, Inputs{}); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}

@@ -1,7 +1,7 @@
 // Package costmodel converts logical search work (bytes of PQ codes
 // scanned, clusters probed, batch sizes) into virtual time on the
 // modeled hardware. It is the timing half of the two-scale design
-// (DESIGN.md §4): the physical index supplies *what* is scanned, this
+// (see ARCHITECTURE.md): the physical index supplies *what* is scanned, this
 // package decides *how long* it takes at paper scale.
 //
 // Structure of the CPU model (paper §IV-A1): IVF search latency is

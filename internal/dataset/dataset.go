@@ -1,5 +1,5 @@
 // Package dataset defines the evaluation workloads. Each workload has
-// two coupled representations (DESIGN.md §4):
+// two coupled representations (the two-scale design, see ARCHITECTURE.md):
 //
 //   - a Spec: the *logical* paper-scale geometry (vector count,
 //     dimensionality, PQ code bytes, cluster count, nprobe, index bytes)
@@ -111,7 +111,8 @@ type Workload struct {
 	pop           *rng.Zipf
 	popRotation   int     // popularity drift offset (see SetPopularityRotation)
 	clusterBytes  []int64 // logical storage bytes per physical cluster
-	kappa         float64 // probe-width normalizer (DESIGN.md §4)
+	scanTotal     []int64 // per-template full-probe scan bytes (ScanBytesAll)
+	kappa         float64 // probe-width normalizer (see Build)
 	totalVectors  int
 	blobSpread    float64
 	centers       []float32
@@ -217,6 +218,18 @@ func Build(spec Spec, gc GenConfig) (*Workload, error) {
 		return nil, fmt.Errorf("dataset: degenerate probe share")
 	}
 	w.kappa = spec.ScanShare() / avgShare
+
+	// Each template's full-probe scan work is fixed at build time; the
+	// engines read it per request per batch, so precompute it (same
+	// accumulation order as ScanBytes, hence bit-identical).
+	w.scanTotal = make([]int64, gc.Templates)
+	for t, tpl := range w.templates {
+		var b float64
+		for _, c := range tpl.probes {
+			b += float64(w.clusterBytes[c])
+		}
+		w.scanTotal[t] = int64(b * w.kappa)
+	}
 	return w, nil
 }
 
@@ -306,9 +319,10 @@ func (w *Workload) ScanBytes(q QueryID, clusters []int) int64 {
 }
 
 // ScanBytesAll returns the logical bytes of LUT-scan work over the
-// query's entire probe set (the uncached cost).
+// query's entire probe set (the uncached cost). Precomputed at build
+// time — this sits on the per-request routing hot path.
 func (w *Workload) ScanBytesAll(q QueryID) int64 {
-	return w.ScanBytes(q, w.templates[q].probes)
+	return w.scanTotal[q]
 }
 
 // Kappa exposes the probe-width normalizer (for tests and docs).

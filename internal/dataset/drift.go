@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DriftEvent schedules one popularity rotation at a virtual instant:
+// at time At, the workload's popularity ranking rotates by a further
+// Rotate templates (rotations compose additively, so a sequence of
+// events models continuous churn). This is the query drift of paper
+// §IV-B3 — the distributional shape is unchanged but the identity of
+// the hot clusters moves, invalidating a previously built hot set —
+// expressed as an event a simulated run can apply mid-stream.
+type DriftEvent struct {
+	At     time.Duration // virtual time of the shift
+	Rotate int           // additional rotation offset (may be negative)
+}
+
+// ValidateDrift sanity-checks a drift trace: non-negative times in
+// non-decreasing order, and at least one event that actually rotates.
+func ValidateDrift(events []DriftEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].At < events[j].At }) {
+		return fmt.Errorf("dataset: drift events out of order")
+	}
+	rotates := false
+	for i, ev := range events {
+		if ev.At < 0 {
+			return fmt.Errorf("dataset: drift event %d at negative time %v", i, ev.At)
+		}
+		if ev.Rotate != 0 {
+			rotates = true
+		}
+	}
+	if !rotates {
+		return fmt.Errorf("dataset: drift trace has no non-zero rotation")
+	}
+	return nil
+}
+
+// ApplyDrift composes one drift event onto the workload's current
+// rotation (the event's Rotate adds to whatever offset is installed).
+func (w *Workload) ApplyDrift(ev DriftEvent) {
+	w.SetPopularityRotation(w.popRotation + ev.Rotate)
+}
+
+// DefaultDriftRotation is the standard drift magnitude of the repo's
+// studies: a third of the template pool, forced odd so the popular
+// *regions* move (template t's home center is t mod NCenters; an even
+// multiple of NCenters would permute only template IDs).
+func (w *Workload) DefaultDriftRotation() int {
+	return len(w.templates)/3 | 1
+}

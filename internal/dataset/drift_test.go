@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateDrift(t *testing.T) {
+	if err := ValidateDrift(nil); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+	ok := []DriftEvent{{At: 10 * time.Second, Rotate: 5}, {At: 20 * time.Second, Rotate: -3}}
+	if err := ValidateDrift(ok); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := ValidateDrift([]DriftEvent{{At: 20 * time.Second, Rotate: 1}, {At: 10 * time.Second, Rotate: 1}}); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	if err := ValidateDrift([]DriftEvent{{At: -time.Second, Rotate: 1}}); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := ValidateDrift([]DriftEvent{{At: time.Second, Rotate: 0}}); err == nil {
+		t.Fatal("no-op trace accepted")
+	}
+}
+
+func TestApplyDriftComposes(t *testing.T) {
+	gc := GenConfig{NCenters: 8, PerCenter: 16, Dim: 8, PhysNList: 8, PhysNProbe: 2, Templates: 32, Seed: 3}
+	w, err := Build(WikiAll, gc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ApplyDrift(DriftEvent{Rotate: 10})
+	if got := w.PopularityRotation(); got != 10 {
+		t.Fatalf("rotation = %d", got)
+	}
+	w.ApplyDrift(DriftEvent{Rotate: 30}) // 40 mod 32 = 8
+	if got := w.PopularityRotation(); got != 8 {
+		t.Fatalf("composed rotation = %d, want 8", got)
+	}
+	w.ApplyDrift(DriftEvent{Rotate: -9}) // -1 mod 32 = 31
+	if got := w.PopularityRotation(); got != 31 {
+		t.Fatalf("negative composition = %d, want 31", got)
+	}
+}

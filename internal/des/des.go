@@ -1,6 +1,6 @@
 // Package des is a minimal deterministic discrete-event simulator. All
 // serving experiments run in virtual time on it, so results are
-// reproducible and independent of host speed (DESIGN.md §4).
+// reproducible and independent of host speed.
 //
 // Time is int64 nanoseconds. Events scheduled for the same instant fire
 // in scheduling order (FIFO), which makes multi-component pipelines

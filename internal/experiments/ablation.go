@@ -9,8 +9,8 @@ import (
 	"vectorliterag/internal/rag"
 )
 
-// AblationResult covers the design-choice ablations DESIGN.md calls
-// out beyond the paper's own Fig. 14:
+// AblationResult covers the design-choice ablations this repo tracks
+// beyond the paper's own Fig. 14:
 //
 //   - queuing factor eps: Algorithm 1 budgets tau_s = SLO/(1+eps); the
 //     paper fixes eps=1 as the empirically observed worst case (§IV-A3).

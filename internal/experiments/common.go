@@ -2,8 +2,7 @@
 // paper's evaluation (§VI). Each runner regenerates the corresponding
 // artifact on the simulated substrate — same workloads, same parameter
 // sweeps, same metrics — and renders a text table whose rows mirror
-// what the paper plots. DESIGN.md §3 is the index; EXPERIMENTS.md
-// records paper-vs-measured for every runner.
+// what the paper plots. registry.go is the index of experiment IDs.
 package experiments
 
 import (

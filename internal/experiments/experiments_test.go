@@ -11,11 +11,11 @@ import (
 func quick() Config { return Config{Quick: true, Seed: 1} }
 
 func TestRegistryComplete(t *testing.T) {
-	// Every table and figure of the evaluation must be registered
-	// (DESIGN.md §3).
+	// Every table and figure of the evaluation must be registered, plus
+	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench"}
+		"cluster", "bench", "adapt"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -24,6 +24,21 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(Names()) != len(want) {
 		t.Errorf("registry has %d entries, want %d", len(Names()), len(want))
+	}
+}
+
+func TestLookupListsValidIDs(t *testing.T) {
+	if _, err := Lookup("fig11"); err != nil {
+		t.Fatalf("known id rejected: %v", err)
+	}
+	_, err := Lookup("fig99")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, id := range []string{"fig11", "adapt", "bench"} {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("lookup error does not list %q: %v", id, err)
+		}
 	}
 }
 
@@ -368,6 +383,48 @@ func TestCSVExports(t *testing.T) {
 				t.Fatalf("empty CSV line %d", i)
 			}
 		}
+	}
+}
+
+// TestAdaptRecovery pins the online-adaptation acceptance criteria:
+// under a mid-run popularity rotation, the adaptive arm recovers SLO
+// attainment above the static plan's post-drift attainment, with at
+// least one rebuild whose timing respects the paper's envelope.
+func TestAdaptRecovery(t *testing.T) {
+	r, err := Adapt(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rebuilds) == 0 {
+		t.Fatal("drift never triggered a rebuild")
+	}
+	if r.ValidateErr != "" {
+		t.Fatalf("rebuild violated the update envelope: %s", r.ValidateErr)
+	}
+	if r.AdaptivePost <= r.StaticPost {
+		t.Fatalf("adaptive post-drift attainment %.3f not above static %.3f",
+			r.AdaptivePost, r.StaticPost)
+	}
+	// The final window must show the recovered hot set: adaptive hit
+	// rate back near the expectation while the static plan keeps
+	// missing.
+	last := r.Windows[len(r.Windows)-1]
+	if last.AdaptiveHit < r.ExpectedHit-0.1 {
+		t.Fatalf("final-window adaptive hit %.3f never recovered toward %.3f",
+			last.AdaptiveHit, r.ExpectedHit)
+	}
+	if last.AdaptiveHit < last.StaticHit+0.2 {
+		t.Fatalf("final-window hit rates barely differ: adaptive %.3f vs static %.3f",
+			last.AdaptiveHit, last.StaticHit)
+	}
+	out := r.Render()
+	for _, want := range []string{"rebuild timeline", "drift", "swap#1", "post-drift attainment"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(r.CSV(), "window_start_s,static_attainment") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(r.CSV(), "\n", 2)[0])
 	}
 }
 

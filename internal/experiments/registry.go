@@ -27,7 +27,10 @@ type Renderer interface {
 // Runner executes one experiment.
 type Runner func(Config) (Renderer, error)
 
-// Registry maps experiment IDs (DESIGN.md §3) to runners.
+// Registry maps experiment IDs to runners: one per table and figure of
+// the paper's evaluation (fig3..fig17, tab1) plus the beyond-the-paper
+// studies (ablations, cluster, bench, adapt) — see ARCHITECTURE.md
+// "Adding a new serving scenario" for how to register more.
 func Registry() map[string]Runner {
 	return map[string]Runner{
 		"fig3":      func(c Config) (Renderer, error) { return Fig3(c) },
@@ -48,6 +51,7 @@ func Registry() map[string]Runner {
 		"ablations": func(c Config) (Renderer, error) { return Ablations(c) },
 		"cluster":   func(c Config) (Renderer, error) { return Cluster(c) },
 		"bench":     func(c Config) (Renderer, error) { return Bench(c) },
+		"adapt":     func(c Config) (Renderer, error) { return Adapt(c) },
 	}
 }
 
@@ -60,6 +64,16 @@ func Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Lookup resolves an experiment ID, or returns an error that lists
+// every valid ID so a CLI typo is self-correcting.
+func Lookup(id string) (Runner, error) {
+	if r, ok := Registry()[id]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q; valid ids:\n  %s",
+		id, strings.Join(Names(), "\n  "))
 }
 
 // Table1Result reproduces Table I: the SLO targets. The search SLOs are

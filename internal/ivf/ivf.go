@@ -307,7 +307,7 @@ func (ix *Index) SearchBatch(queries []float32, nprobe, k int) ([][]vecmath.Neig
 // Recall computes the fraction of brute-force top-k ground truth
 // recovered by the index at the given nprobe, averaged over the queries
 // (row-major). It is the quality metric used in place of the paper's
-// NDCG@50 (see DESIGN.md §6).
+// NDCG@50.
 func (ix *Index) Recall(data, queries []float32, nprobe, k int) float64 {
 	nq := len(queries) / ix.dim
 	if nq == 0 {

@@ -312,8 +312,7 @@ func (c *Cluster) Completed() int64 {
 // limit"): it drives a standalone cluster at the given fraction of its
 // measured capacity with Poisson arrivals and returns the P90 TTFT.
 // Using the deployment's own measurement rather than the paper's
-// absolute milliseconds keeps the SLO meaningful on this substrate
-// (DESIGN.md §1).
+// absolute milliseconds keeps the SLO meaningful on this substrate.
 func MeasureGenSLO(node hw.Node, spec ModelSpec, states []*gpu.State, shape workload.Shape, cfg EngineConfig, loadFraction float64) (time.Duration, error) {
 	mu, err := MeasureCapacity(node, spec, states, shape, cfg)
 	if err != nil {

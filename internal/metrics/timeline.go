@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/workload"
+)
+
+// Window is one bucket of an attainment-over-time series: the requests
+// that *arrived* inside [Start, Start+width), their SLO attainment, and
+// the mean served hit rate the retrieval tier recorded for them. It is
+// the unit of the drift-study artifact — attainment dips when the plan
+// goes stale and recovers after the adaptive swap.
+type Window struct {
+	Start       time.Duration
+	N           int
+	Unserved    int
+	Attainment  float64
+	MeanHitRate float64 // over served requests; 0 when none served
+}
+
+// Timeline buckets requests by arrival time into fixed windows and
+// computes per-window SLO attainment. Requests still stuck in the
+// system count as violations, exactly as in Summarize. Windows run from
+// time zero through the last arrival; empty windows are kept so the
+// series has no gaps.
+func Timeline(reqs []*workload.Request, slo time.Duration, width time.Duration) []Window {
+	if width <= 0 || len(reqs) == 0 {
+		return nil
+	}
+	var last des.Time
+	for _, r := range reqs {
+		if r.ArrivalAt > last {
+			last = r.ArrivalAt
+		}
+	}
+	n := int(last/des.Time(width)) + 1
+	wins := make([]Window, n)
+	ok := make([]int, n)
+	served := make([]int, n)
+	hit := make([]float64, n)
+	for i := range wins {
+		wins[i].Start = time.Duration(i) * width
+	}
+	for _, r := range reqs {
+		b := int(r.ArrivalAt / des.Time(width))
+		wins[b].N++
+		if r.FirstToken == 0 {
+			wins[b].Unserved++
+			continue
+		}
+		served[b]++
+		hit[b] += r.HitRate
+		if time.Duration(r.TTFT()) <= slo {
+			ok[b]++
+		}
+	}
+	for i := range wins {
+		if wins[i].N > 0 {
+			wins[i].Attainment = float64(ok[i]) / float64(wins[i].N)
+		}
+		if served[i] > 0 {
+			wins[i].MeanHitRate = hit[i] / float64(served[i])
+		}
+	}
+	return wins
+}

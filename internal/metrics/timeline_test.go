@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/workload"
+)
+
+func req(arrive, ttft time.Duration, hit float64) *workload.Request {
+	r := &workload.Request{ArrivalAt: des.Time(arrive), HitRate: hit}
+	if ttft > 0 {
+		r.FirstToken = des.Time(arrive + ttft)
+	}
+	return r
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	slo := 100 * time.Millisecond
+	reqs := []*workload.Request{
+		req(1*time.Second, 50*time.Millisecond, 0.9),  // win 0, met
+		req(2*time.Second, 150*time.Millisecond, 0.8), // win 0, missed
+		req(11*time.Second, 50*time.Millisecond, 0.6), // win 1, met
+		req(12*time.Second, 0, 0),                     // win 1, unserved
+		req(31*time.Second, 90*time.Millisecond, 0.4), // win 3, met
+	}
+	wins := Timeline(reqs, slo, 10*time.Second)
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4 (including the empty one)", len(wins))
+	}
+	if wins[0].N != 2 || wins[0].Attainment != 0.5 {
+		t.Fatalf("window 0: %+v", wins[0])
+	}
+	if got := wins[0].MeanHitRate; math.Abs(got-0.85) > 1e-12 {
+		t.Fatalf("window 0 hit = %v", got)
+	}
+	// Unserved counts as a violation but not toward the hit mean.
+	if wins[1].N != 2 || wins[1].Unserved != 1 || wins[1].Attainment != 0.5 {
+		t.Fatalf("window 1: %+v", wins[1])
+	}
+	if wins[1].MeanHitRate != 0.6 {
+		t.Fatalf("window 1 hit = %v", wins[1].MeanHitRate)
+	}
+	// Gap window stays in the series, empty.
+	if wins[2].N != 0 || wins[2].Attainment != 0 {
+		t.Fatalf("window 2: %+v", wins[2])
+	}
+	if wins[3].Start != 30*time.Second || wins[3].Attainment != 1 {
+		t.Fatalf("window 3: %+v", wins[3])
+	}
+}
+
+func TestTimelineDegenerate(t *testing.T) {
+	if Timeline(nil, time.Second, time.Second) != nil {
+		t.Fatal("empty request list should yield nil")
+	}
+	if Timeline([]*workload.Request{req(0, time.Millisecond, 1)}, time.Second, 0) != nil {
+		t.Fatal("zero bucket width should yield nil")
+	}
+}

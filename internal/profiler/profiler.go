@@ -101,7 +101,7 @@ type LatencySample struct {
 // ProfileLatency measures CPU search latency at the given batch sizes.
 // In the original system this times real Faiss runs; here the
 // measurement substrate is the calibrated cost model, queried exactly
-// as a wall-clock profiler would (DESIGN.md §1).
+// as a wall-clock profiler would.
 func ProfileLatency(m costmodel.SearchModel, batches []int) []LatencySample {
 	out := make([]LatencySample, 0, len(batches))
 	for _, b := range batches {

@@ -1,0 +1,179 @@
+package rag
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/adapt"
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/serve"
+	"vectorliterag/internal/update"
+)
+
+// AdaptiveOptions configures an adaptive vLiteRAG run: the usual
+// serving options (typically with a Drift trace and/or RateSchedule so
+// there is something to adapt to) plus the controller's knobs.
+type AdaptiveOptions struct {
+	Options
+	// Monitor holds the drift-detection thresholds. A zero
+	// WindowRequests derives a window of roughly ten seconds of traffic
+	// at the nominal rate (min 100 requests) — the paper's "every few
+	// thousand requests" scaled to this substrate's run lengths.
+	Monitor update.MonitorConfig
+}
+
+// AdaptiveResult extends a run result with the control-plane record:
+// every rebuild the controller executed and the expectation it started
+// from. Rho reports the *initial* plan's coverage; each rebuild record
+// carries the coverage it moved to.
+type AdaptiveResult struct {
+	Result
+	// ExpectedHitRate is the model-expected mean hit rate of the initial
+	// plan (the monitor's first anchor).
+	ExpectedHitRate float64
+	Rebuilds        []adapt.RebuildRecord
+	// Pending is a rebuild still in flight when the clock stopped (its
+	// remaining stages lay past duration+drain), or nil. Shards it left
+	// refreshing explain a hit-rate dip at the tail of the timeline.
+	Pending *adapt.RebuildRecord
+	// Observed is how many completed requests fed the monitor.
+	Observed int
+}
+
+// derivedWindow sizes the monitor window to roughly ten seconds of
+// traffic when the caller did not choose one. With a schedule driving
+// arrivals, Rate is only a label (and may be far off the real traffic),
+// so the schedule's bound sizes the window — conservatively large,
+// which also keeps the one-window post-swap cooldown meaningful.
+func derivedWindow(opts *AdaptiveOptions) int {
+	rate := opts.Rate
+	if opts.RateSchedule != nil {
+		rate = opts.RateSchedule.MaxRate()
+	}
+	w := int(rate * 10)
+	if w < 100 {
+		w = 100
+	}
+	return w
+}
+
+// RunAdaptive executes one adaptive evaluation point: a vLiteRAG
+// pipeline with the adapt.Controller attached to the collector path,
+// serving a (typically non-stationary) workload in virtual time. When
+// drift trips the monitor, the controller re-profiles the live
+// distribution, re-runs Algorithm 1, re-splits, reloads shards in the
+// background (mid-reload queries divert to the CPU path), and swaps the
+// new plan in — all as simulated events, inside the same run.
+//
+// The static counterpart for an A/B under the identical trace is plain
+// Run with the same Options (same Seed, Drift, RateSchedule): its plan
+// is decided once, pre-drift, and never changes.
+func RunAdaptive(opts AdaptiveOptions) (*AdaptiveResult, error) {
+	if opts.Kind == "" {
+		opts.Kind = VLiteRAG
+	}
+	if opts.Kind != VLiteRAG {
+		return nil, fmt.Errorf("rag: adaptive serving requires the hot-swappable vLiteRAG runtime, got %s", opts.Kind)
+	}
+	sloTotal, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileFor(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+	d, err := decide(opts.Options, prof, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+
+	// The controller re-uses the hardware-derived models across cycles
+	// and re-measures only the access profile: drift moves the query
+	// distribution, not the machine.
+	est, err := hitrate.NewEstimator(prof)
+	if err != nil {
+		return nil, err
+	}
+	perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
+	if err != nil {
+		return nil, err
+	}
+	mu0 := d.mu0
+	if mu0 == 0 { // prebuilt-plan path skips the capacity measurement
+		if mu0, err = bareCapacity(opts.Node, opts.Model, opts.Node.NumGPUs, opts.Shape); err != nil {
+			return nil, err
+		}
+	}
+	expected := est.MeanHitRate(d.rho)
+	// Fill each unset monitor field independently, so a caller pinning
+	// only the window (or only a threshold) still gets working defaults
+	// for the rest.
+	def := update.DefaultMonitorConfig()
+	if opts.Monitor.WindowRequests == 0 {
+		opts.Monitor.WindowRequests = derivedWindow(&opts)
+	}
+	if opts.Monitor.SLOThreshold == 0 {
+		opts.Monitor.SLOThreshold = def.SLOThreshold
+	}
+	if opts.Monitor.HitRateDivergence == 0 {
+		opts.Monitor.HitRateDivergence = def.HitRateDivergence
+	}
+
+	var sim des.Sim
+	coll := serve.NewCollector()
+	ctrl, err := adapt.NewController(adapt.Config{
+		Monitor:        opts.Monitor,
+		ProfileQueries: opts.ProfileQueries,
+		Epsilon:        opts.Epsilon,
+	}, adapt.Inputs{
+		Sim:       &sim,
+		W:         opts.W,
+		Node:      opts.Node,
+		SLOTotal:  sloTotal,
+		SLOSearch: opts.SLOSearch,
+		Perf:      perf,
+		Mu0:       mu0,
+		MemKV:     nodeKVBytes(opts.Node, opts.Model),
+		Expected:  expected,
+		Seed:      opts.Seed + 13,
+	})
+	if err != nil {
+		return nil, err
+	}
+	retr, gen := stageBuilders(&sim, opts.Options, d, cpuModel)
+	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, ctrl.Observe), serve.Admit(coll), retr, gen)
+	if err != nil {
+		return nil, err
+	}
+	hs, ok := pipe.Retrieval().Engine.(retrieval.HotSwapper)
+	if !ok {
+		return nil, fmt.Errorf("rag: engine %s is not hot-swappable", pipe.Retrieval().Engine.Name())
+	}
+	ctrl.Bind(hs)
+
+	defer installDrift(&sim, opts.Options)()
+	arr := arrivalsFor(opts.Options)
+	pipe.Run(arr, opts.Duration, opts.Drain)
+
+	return &AdaptiveResult{
+		Result: Result{
+			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			Rho: d.rho, PlanBytes: d.planBytes, Mu0: mu0, Partition: d.partition,
+			Requests:  coll.Requests(),
+			Generated: coll.Admitted(),
+			AvgBatch:  pipe.Retrieval().AvgBatch(),
+			LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
+			Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+		},
+		ExpectedHitRate: expected,
+		Rebuilds:        ctrl.Rebuilds(),
+		Pending:         ctrl.Pending(),
+		Observed:        ctrl.Observed(),
+	}, nil
+}

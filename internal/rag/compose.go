@@ -187,6 +187,29 @@ func profileFor(opts Options) (*profiler.AccessProfile, error) {
 	return profiler.CollectAccess(opts.W, n, opts.Seed+1)
 }
 
+// arrivalsFor returns the run's pipeline source: the constant-rate
+// Poisson stream, or the inhomogeneous (thinned) stream when a rate
+// schedule is set.
+func arrivalsFor(opts Options) *serve.Arrivals {
+	if opts.RateSchedule != nil {
+		return serve.NewScheduledArrivals(opts.W, opts.RateSchedule, opts.Shape, opts.Seed+7)
+	}
+	return serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+}
+
+// installDrift schedules the drift trace's popularity rotations on the
+// virtual timeline and returns a restore hook that resets the workload
+// to its pre-run rotation, so one run's drift cannot leak into the
+// next (static and adaptive arms replay the identical trace).
+func installDrift(sim *des.Sim, opts Options) (restore func()) {
+	initial := opts.W.PopularityRotation()
+	for _, ev := range opts.Drift {
+		ev := ev
+		sim.At(des.Time(ev.At), func() { opts.W.ApplyDrift(ev) })
+	}
+	return func() { opts.W.SetPopularityRotation(initial) }
+}
+
 // Run executes one evaluation point: it makes the system's resource
 // decision, composes the serving pipeline (admission → retrieval →
 // generation → collector), and drives Poisson arrivals through it in
@@ -213,7 +236,8 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	arr := serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+	defer installDrift(&sim, opts)()
+	arr := arrivalsFor(opts)
 	pipe.Run(arr, opts.Duration, opts.Drain)
 
 	res := &Result{
@@ -300,7 +324,8 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	if err != nil {
 		return nil, err
 	}
-	arr := serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
+	defer installDrift(&sim, opts)()
+	arr := arrivalsFor(opts)
 	front.Run(arr, opts.Duration, opts.Drain)
 
 	res := &ClusterResult{

@@ -57,6 +57,16 @@ type Options struct {
 	Shape    workload.Shape
 	Seed     uint64
 
+	// RateSchedule, when non-nil, drives arrivals as an inhomogeneous
+	// Poisson stream (ramps, bursts, diurnal cycles) instead of the
+	// constant Rate; Rate then only labels the result.
+	RateSchedule workload.Schedule
+	// Drift schedules popularity rotations on the virtual timeline — the
+	// non-stationary workload of §IV-B3 drift studies. The workload's
+	// initial rotation is restored when the run returns, so back-to-back
+	// runs (static vs adaptive under the same trace) stay reproducible.
+	Drift []dataset.DriftEvent
+
 	// SLOSearch overrides the dataset's search SLO (sensitivity studies).
 	SLOSearch time.Duration
 	// SLOGen overrides the generation-stage SLO. When zero, it is derived
@@ -86,8 +96,15 @@ func (opts *Options) normalize() (sloTotal time.Duration, err error) {
 	if opts.W == nil {
 		return 0, fmt.Errorf("rag: nil workload")
 	}
-	if opts.Rate <= 0 {
+	if opts.RateSchedule != nil {
+		if err := workload.ValidateSchedule(opts.RateSchedule); err != nil {
+			return 0, fmt.Errorf("rag: %w", err)
+		}
+	} else if opts.Rate <= 0 {
 		return 0, fmt.Errorf("rag: non-positive rate %v", opts.Rate)
+	}
+	if err := dataset.ValidateDrift(opts.Drift); err != nil {
+		return 0, fmt.Errorf("rag: %w", err)
 	}
 	if opts.Duration == 0 {
 		opts.Duration = 120 * time.Second

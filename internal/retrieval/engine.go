@@ -28,6 +28,7 @@ import (
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
 	"vectorliterag/internal/des"
+	"vectorliterag/internal/splitter"
 	"vectorliterag/internal/workload"
 )
 
@@ -36,12 +37,28 @@ import (
 const mergeCost = 200 * time.Microsecond
 
 // Engine is a retrieval stage: requests go in, and Forward fires for
-// each request when its search results are merged.
+// each request when its search results are merged. Engines record each
+// request's served work-weighted hit rate on Request.HitRate at routing
+// time (zero for the CPU-only engine), which is the observation stream
+// the adaptive monitor consumes.
 type Engine interface {
 	Submit(req *workload.Request)
 	Name() string
 	// AvgBatch reports the mean batch size formed so far (Fig. 14).
 	AvgBatch() float64
+}
+
+// HotSwapper is the hot-swap hook of the adaptive index update
+// (§IV-B3): an engine whose split plan can be replaced while serving.
+// While a shard is marked refreshing its clusters divert to the CPU
+// path, and SetPlan atomically installs the freshly built plan once its
+// shards have loaded. Of the five engines only the hybrid (vLiteRAG)
+// runtime supports it.
+type HotSwapper interface {
+	Engine
+	Plan() *splitter.Plan
+	SetPlan(*splitter.Plan)
+	SetShardRefreshing(shard int, on bool)
 }
 
 // Config carries what every engine needs.
@@ -127,6 +144,23 @@ func resize[T ~int | ~int64](buf *[]T, n int) []T {
 	return s
 }
 
+// servedHitRate converts a query's total scan work and its CPU-path
+// miss work into the served work-weighted hit rate, clamped to [0,1]
+// against the independent truncation of the two byte sums.
+func servedHitRate(total, miss int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	hr := 1 - float64(miss)/float64(total)
+	if hr < 0 {
+		return 0
+	}
+	if hr > 1 {
+		return 1
+	}
+	return hr
+}
+
 // scanBytesAll returns each query's full scan work and the batch total.
 // The per-query slice is reused across batches; callers must consume it
 // before the next batch forms.
@@ -159,6 +193,9 @@ func (e *CPUOnly) Name() string { return "CPU-Only" }
 
 func (e *CPUOnly) runBatch(batch []*workload.Request) {
 	b := len(batch)
+	for _, req := range batch {
+		req.HitRate = 0 // nothing is GPU-resident
+	}
 	_, total := e.scanBytesAll(batch)
 	t := e.cfg.CPUModel.CQTime(b) + e.cfg.CPUModel.LUTTime(total, b) + mergeCost
 	e.cfg.Sim.After(t, func() {

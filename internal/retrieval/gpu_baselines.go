@@ -87,7 +87,9 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 			}
 			shardBytes[g] += w.ScanBytes(req.Query, resident)
 		}
-		missTotal += w.ScanBytes(req.Query, cpuClusters)
+		miss := w.ScanBytes(req.Query, cpuClusters)
+		missTotal += miss
+		req.HitRate = servedHitRate(w.ScanBytesAll(req.Query), miss)
 	}
 
 	end := tCQ

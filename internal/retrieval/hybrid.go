@@ -22,7 +22,8 @@ type Hybrid struct {
 	gpus     []*gpu.State // gpus[g] hosts plan.Shards[g]
 	gpuModel costmodel.GPUScanModel
 	// blockScale converts one physical probed cluster into its logical
-	// thread-block count (NProbe/PhysNProbe — DESIGN.md §4).
+	// thread-block count (NProbe/PhysNProbe — the two-scale probe
+	// normalization, see dataset.Workload).
 	blockScale int
 	// Dispatcher toggles early query promotion (the Fig. 14 ablation).
 	Dispatcher bool
@@ -62,10 +63,19 @@ func (e *Hybrid) Name() string { return "vLiteRAG" }
 func (e *Hybrid) Plan() *splitter.Plan { return e.plan }
 
 // SetPlan atomically switches to a freshly built plan (the final step
-// of an adaptive index update). Refresh flags reset.
+// of an adaptive index update). Refresh flags reset, and the GPU
+// states' resident-shard accounting follows the new plan. KV pools are
+// sized at LLM-instance construction, so a swap assumes the new plan
+// fits the same memory envelope — which Algorithm 1 guarantees by
+// construction (it partitions against the same MemKV bound).
 func (e *Hybrid) SetPlan(plan *splitter.Plan) {
 	e.plan = plan
 	e.refreshing = make([]bool, plan.NumShards)
+	for g := range plan.ShardBytes {
+		if g < len(e.gpus) {
+			e.gpus[g].ShardBytes = plan.ShardBytes[g]
+		}
+	}
 }
 
 // SetShardRefreshing marks shard g as being reloaded; while set, its
@@ -74,6 +84,11 @@ func (e *Hybrid) SetShardRefreshing(g int, on bool) {
 	if g >= 0 && g < len(e.refreshing) {
 		e.refreshing[g] = on
 	}
+}
+
+// ShardRefreshing reports whether shard g is mid-reload.
+func (e *Hybrid) ShardRefreshing(g int) bool {
+	return g >= 0 && g < len(e.refreshing) && e.refreshing[g]
 }
 
 func (e *Hybrid) runBatch(batch []*workload.Request) {
@@ -104,6 +119,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 		}
 		cpuWork[i] = w.ScanBytes(req.Query, cpuClusters)
 		missTotal += cpuWork[i]
+		req.HitRate = servedHitRate(w.ScanBytesAll(req.Query), cpuWork[i])
 	}
 
 	// GPU shard kernels start once CQ delivers the cluster lists.

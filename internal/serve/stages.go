@@ -21,6 +21,13 @@ func NewArrivals(w *dataset.Workload, rate float64, shape workload.Shape, seed u
 	return &Arrivals{gen: workload.NewGenerator(w, rate, shape, seed)}
 }
 
+// NewScheduledArrivals wraps an inhomogeneous Poisson generator driven
+// by a rate schedule (ramps, bursts, diurnal cycles) as a pipeline
+// source.
+func NewScheduledArrivals(w *dataset.Workload, sched workload.Schedule, shape workload.Shape, seed uint64) *Arrivals {
+	return &Arrivals{gen: workload.NewScheduledGenerator(w, sched, shape, seed)}
+}
+
 // Start schedules arrivals on the simulator until the given deadline,
 // feeding each request into the pipeline head at its arrival instant.
 func (a *Arrivals) Start(sim *des.Sim, until des.Time, into Sink) {

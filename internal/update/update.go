@@ -45,6 +45,7 @@ type Monitor struct {
 	hitSum   float64
 	sloOK    int
 	triggers int
+	windows  int
 }
 
 // NewMonitor starts a monitor expecting the given mean hit rate.
@@ -57,6 +58,25 @@ func NewMonitor(cfg MonitorConfig, expectedMeanHitRate float64) *Monitor {
 
 // SetExpected updates the expectation after a plan change.
 func (m *Monitor) SetExpected(mean float64) { m.expected = mean }
+
+// Expected returns the model-expected mean hit rate the monitor
+// currently compares observations against.
+func (m *Monitor) Expected() float64 { return m.expected }
+
+// ResetWindow discards the partially filled window. The adaptive
+// controller calls it at plan-swap time so observations collected under
+// the old plan (including the artificially low hit rates of the
+// mid-reload CPU divert) cannot contaminate the first window of the new
+// plan and immediately re-trigger.
+func (m *Monitor) ResetWindow() { m.reset() }
+
+// Window reports how many requests the current (unfinished) window has
+// accumulated.
+func (m *Monitor) Window() int { return m.n }
+
+// WindowsClosed reports how many full windows the monitor has
+// evaluated; controllers use it to express cooldowns in window counts.
+func (m *Monitor) WindowsClosed() int { return m.windows }
 
 // Record registers one served query's observed hit rate and whether it
 // met the SLO. It returns true when the window closed with drift
@@ -73,6 +93,7 @@ func (m *Monitor) Record(hitRate float64, metSLO bool) bool {
 	attain := float64(m.sloOK) / float64(m.n)
 	mean := m.hitSum / float64(m.n)
 	drift := attain < m.cfg.SLOThreshold && abs(mean-m.expected) > m.cfg.HitRateDivergence
+	m.windows++
 	m.reset()
 	if drift {
 		m.triggers++
@@ -110,35 +131,60 @@ func (t RebuildTiming) Total() time.Duration {
 	return t.Profiling + t.Algorithm + t.Splitting + t.Loading
 }
 
+// ProfilingTime prices the profiling stage of one update cycle:
+// replaying calibration queries through coarse quantization in large
+// batches on the host. The adaptive controller needs this stage's cost
+// *before* the new plan exists, so it is priced independently of
+// EstimateRebuild.
+func ProfilingTime(node hw.Node, spec dataset.Spec, calibrationQueries int) time.Duration {
+	sm := costmodel.NewSearchModel(node.CPU, spec)
+	const profBatch = 64
+	batches := (calibrationQueries + profBatch - 1) / profBatch
+	return time.Duration(batches) * sm.CQTime(profBatch)
+}
+
+// AlgorithmTime prices the latency-bounded partitioning stage: the
+// algorithm evaluates the hit-rate integral and the perf model once per
+// bisection step; each evaluation is dominated by the
+// first-order-statistic quadrature (~50 ms wall per step in the
+// original system, which converges in under a minute).
+func AlgorithmTime(iters int) time.Duration {
+	return 2*time.Second + time.Duration(iters)*100*time.Millisecond
+}
+
+// SplittingTime prices the shard-materialization stage: rewriting the
+// hot clusters into shard layouts and mapping tables on the host.
+func SplittingTime(node hw.Node, plan *splitter.Plan) time.Duration {
+	return costmodel.SplitTime(node.CPU, plan.TotalBytes())
+}
+
+// LoadingTimes prices each shard's host-to-device transfer. Shards load
+// over PCIe concurrently, so the slowest entry gates the cycle.
+func LoadingTimes(node hw.Node, plan *splitter.Plan) []time.Duration {
+	out := make([]time.Duration, len(plan.ShardBytes))
+	for g, b := range plan.ShardBytes {
+		out[g] = costmodel.ShardLoadTime(node.GPU, b)
+	}
+	return out
+}
+
 // EstimateRebuild prices one update cycle for a given plan on the given
 // node. calibrationQueries is the number of training queries replayed
 // (the paper profiles ~0.5 % of a 10M-query stream, i.e. ~50k);
 // algorithmIters the bisection iterations the partitioner took.
 func EstimateRebuild(node hw.Node, spec dataset.Spec, plan *splitter.Plan, calibrationQueries, algorithmIters int) RebuildTiming {
-	sm := costmodel.NewSearchModel(node.CPU, spec)
-	// Profiling replays calibration queries through coarse quantization
-	// in large batches on the host.
-	const profBatch = 64
-	batches := (calibrationQueries + profBatch - 1) / profBatch
-	profiling := time.Duration(batches) * sm.CQTime(profBatch)
-
-	// The partitioning algorithm evaluates the hit-rate integral and the
-	// perf model once per bisection step; each evaluation is dominated by
-	// the first-order-statistic quadrature (~50 ms wall per step in the
-	// original system, which converges in under a minute).
-	algorithm := 2*time.Second + time.Duration(algorithmIters)*100*time.Millisecond
-
-	// Splitting rewrites the hot clusters into shard layouts on the host.
-	splitting := costmodel.SplitTime(node.CPU, plan.TotalBytes())
-
-	// Shards load over PCIe concurrently; the slowest shard gates.
 	var loading time.Duration
-	for _, b := range plan.ShardBytes {
-		if t := costmodel.ShardLoadTime(node.GPU, b); t > loading {
+	for _, t := range LoadingTimes(node, plan) {
+		if t > loading {
 			loading = t
 		}
 	}
-	return RebuildTiming{Profiling: profiling, Algorithm: algorithm, Splitting: splitting, Loading: loading}
+	return RebuildTiming{
+		Profiling: ProfilingTime(node, spec, calibrationQueries),
+		Algorithm: AlgorithmTime(algorithmIters),
+		Splitting: SplittingTime(node, plan),
+		Loading:   loading,
+	}
 }
 
 // Validate sanity-checks a timing against the paper's deployability

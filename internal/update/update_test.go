@@ -51,6 +51,81 @@ func TestMonitorSLOAloneInsufficient(t *testing.T) {
 	}
 }
 
+func TestMonitorDivergenceAloneInsufficient(t *testing.T) {
+	// The mirror case: hit rates far off the model but every request
+	// meeting its SLO means the plan is stale yet harmless — rebuilding
+	// would spend a cycle for no attainment gain.
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	for i := 0; i < 300; i++ {
+		if m.Record(0.3, true) {
+			t.Fatal("hit-rate divergence with healthy SLOs triggered a rebuild")
+		}
+	}
+	if m.Triggers() != 0 {
+		t.Fatalf("triggers = %d", m.Triggers())
+	}
+}
+
+func TestMonitorWindowResetDiscardsPartial(t *testing.T) {
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	// 99 drifting observations — one short of a window — then an
+	// explicit reset: the poison must not carry into the next window.
+	for i := 0; i < 99; i++ {
+		if m.Record(0.3, false) {
+			t.Fatal("triggered before the window closed")
+		}
+	}
+	if m.Window() != 99 {
+		t.Fatalf("window holds %d requests, want 99", m.Window())
+	}
+	m.ResetWindow()
+	if m.Window() != 0 {
+		t.Fatalf("window not cleared: %d", m.Window())
+	}
+	// A fresh window of healthy traffic closes clean.
+	for i := 0; i < 100; i++ {
+		if m.Record(0.8, true) {
+			t.Fatal("healthy window after reset triggered")
+		}
+	}
+	if m.WindowsClosed() != 1 {
+		t.Fatalf("windows closed = %d, want 1 (the reset window must not count)", m.WindowsClosed())
+	}
+}
+
+func TestMonitorSetExpectedSuppressesRetrigger(t *testing.T) {
+	// After a plan swap the observed hit rate settles at a new level.
+	// Re-anchoring the expectation must stop the monitor from treating
+	// the new normal as divergence, even while attainment is still
+	// recovering from the backlog.
+	m := NewMonitor(MonitorConfig{WindowRequests: 100, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
+	fired := false
+	for i := 0; i < 100; i++ {
+		if m.Record(0.4, i%2 == 0) {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("drift window did not trigger")
+	}
+	// The swap: new plan serves hit rates near 0.45; expectation follows.
+	m.SetExpected(0.45)
+	m.ResetWindow()
+	for i := 0; i < 400; i++ {
+		// Attainment still poor while the queue drains, but hit rates are
+		// on-model for the new plan: no re-trigger.
+		if m.Record(0.44, i%3 != 0) {
+			t.Fatal("on-model window after SetExpected re-triggered")
+		}
+	}
+	if m.Triggers() != 1 {
+		t.Fatalf("triggers = %d, want 1", m.Triggers())
+	}
+	if m.Expected() != 0.45 {
+		t.Fatalf("expected = %v", m.Expected())
+	}
+}
+
 func TestMonitorWindowResets(t *testing.T) {
 	m := NewMonitor(MonitorConfig{WindowRequests: 50, SLOThreshold: 0.9, HitRateDivergence: 0.1}, 0.8)
 	// One drifting window, then healthy windows: only one trigger.

@@ -5,6 +5,8 @@
 package workload
 
 import (
+	"time"
+
 	"vectorliterag/internal/dataset"
 	"vectorliterag/internal/des"
 	"vectorliterag/internal/rng"
@@ -33,6 +35,13 @@ type Request struct {
 	LLMStart    des.Time // admitted into an LLM instance's prefill
 	FirstToken  des.Time // first output token (TTFT endpoint)
 	Done        des.Time // last output token
+
+	// HitRate is the work-weighted fraction of this query's scan bytes
+	// actually served from GPU-resident clusters, recorded by the
+	// retrieval engine when the request's batch is routed. It is the
+	// per-request observation the paper's runtime monitor accumulates
+	// (§IV-B3); mid-reload CPU diverts therefore show up as misses.
+	HitRate float64
 }
 
 // TTFT returns time-to-first-token; callers must only use it after
@@ -49,11 +58,18 @@ func (r *Request) QueueingDelay() des.Time { return r.SearchStart - r.ArrivalAt 
 func (r *Request) SearchLatency() des.Time { return r.SearchDone - r.SearchStart }
 
 // Generator produces Poisson arrivals of requests drawn from a
-// workload's query distribution.
+// workload's query distribution. With a Sched installed the process is
+// an *inhomogeneous* Poisson stream realized by thinning; otherwise it
+// is the classic constant-rate stream (bit-identical to before Sched
+// existed).
 type Generator struct {
 	RatePerSec float64
 	Shape      Shape
 	W          *dataset.Workload
+	// Sched, when non-nil, overrides RatePerSec with a time-varying rate
+	// (ramps, bursts, diurnal cycles — the non-stationary workloads of
+	// drift studies).
+	Sched Schedule
 
 	r      *rng.Rand
 	nextID int
@@ -65,29 +81,68 @@ func NewGenerator(w *dataset.Workload, rate float64, shape Shape, seed uint64) *
 	return &Generator{RatePerSec: rate, Shape: shape, W: w, r: rng.New(seed)}
 }
 
+// NewScheduledGenerator returns an open-loop generator driven by a rate
+// schedule instead of a constant rate.
+func NewScheduledGenerator(w *dataset.Workload, sched Schedule, shape Shape, seed uint64) *Generator {
+	return &Generator{Sched: sched, Shape: shape, W: w, r: rng.New(seed)}
+}
+
 // Start schedules arrivals on the simulator until the given deadline,
 // invoking submit for each new request at its arrival time.
 func (g *Generator) Start(sim *des.Sim, until des.Time, submit func(*Request)) {
+	if g.Sched != nil {
+		g.startThinned(sim, until, submit)
+		return
+	}
 	var schedule func(at des.Time)
 	schedule = func(at des.Time) {
 		if at > until {
 			return
 		}
 		sim.At(at, func() {
-			req := &Request{
-				ID:        g.nextID,
-				Query:     g.W.Sample(g.r),
-				Shape:     g.Shape,
-				ArrivalAt: sim.Now(),
-			}
-			g.nextID++
-			submit(req)
+			g.emit(sim, submit)
 			gap := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
 			schedule(sim.Now() + gap)
 		})
 	}
 	first := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
 	schedule(first)
+}
+
+// startThinned realizes the inhomogeneous Poisson process by Lewis'
+// thinning: candidate arrivals are drawn at the schedule's MaxRate and
+// each is accepted with probability RateAt(t)/MaxRate — exact for any
+// bounded rate function, and deterministic under a fixed seed.
+func (g *Generator) startThinned(sim *des.Sim, until des.Time, submit func(*Request)) {
+	rmax := g.Sched.MaxRate()
+	var schedule func(at des.Time)
+	schedule = func(at des.Time) {
+		if at > until {
+			return
+		}
+		sim.At(at, func() {
+			now := sim.Now()
+			if g.r.Float64()*rmax <= g.Sched.RateAt(time.Duration(now)) {
+				g.emit(sim, submit)
+			}
+			gap := des.Time(g.r.ExpFloat64() / rmax * 1e9)
+			schedule(now + gap)
+		})
+	}
+	first := des.Time(g.r.ExpFloat64() / rmax * 1e9)
+	schedule(first)
+}
+
+// emit materializes one request at the current instant.
+func (g *Generator) emit(sim *des.Sim, submit func(*Request)) {
+	req := &Request{
+		ID:        g.nextID,
+		Query:     g.W.Sample(g.r),
+		Shape:     g.Shape,
+		ArrivalAt: sim.Now(),
+	}
+	g.nextID++
+	submit(req)
 }
 
 // Count returns how many requests have been generated so far.

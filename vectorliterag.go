@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"vectorliterag/internal/adapt"
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
 	"vectorliterag/internal/experiments"
@@ -48,6 +49,28 @@ type (
 	PartitionResult = partition.Result
 	// RebuildTiming is the stage breakdown of an online index update.
 	RebuildTiming = update.RebuildTiming
+	// DriftEvent schedules a mid-run popularity rotation (query drift).
+	DriftEvent = dataset.DriftEvent
+	// RateSchedule drives arrivals as a time-varying (inhomogeneous
+	// Poisson) stream; build one with ConstantRate, RampRate, BurstRate,
+	// or DiurnalRate.
+	RateSchedule = workload.Schedule
+	// MonitorConfig sets the adaptive controller's drift-detection
+	// thresholds.
+	MonitorConfig = update.MonitorConfig
+	// RebuildRecord is one background update cycle the adaptive
+	// controller ran (trigger, stage timings, swap, coverage change).
+	RebuildRecord = adapt.RebuildRecord
+	// AttainmentWindow is one bucket of an attainment-over-time series.
+	AttainmentWindow = metrics.Window
+)
+
+// Rate-schedule constructors for non-stationary workloads.
+var (
+	ConstantRate = workload.Constant
+	RampRate     = workload.Ramp
+	BurstRate    = workload.Bursts
+	DiurnalRate  = workload.Diurnal
 )
 
 // The paper's evaluation datasets (§V-A).
@@ -238,6 +261,14 @@ type ServeOptions struct {
 	// is how a *stale* plan is evaluated after workload drift.
 	Prebuilt *BuiltSystem
 	Seed     uint64
+
+	// Drift schedules popularity rotations on the virtual timeline, so a
+	// single run contains the query drift of paper §IV-B3. The workload
+	// is restored to its pre-run rotation afterwards.
+	Drift []DriftEvent
+	// RateSchedule, when non-nil, replaces the constant Rate with a
+	// time-varying arrival process (ramps, bursts, diurnal cycles).
+	RateSchedule RateSchedule
 }
 
 // Report is the outcome of one serving run.
@@ -247,7 +278,14 @@ type Report struct {
 	Rho      float64
 	AvgBatch float64
 	Mu0      float64
+	// Timeline is the attainment-over-time series at 30-second windows
+	// (ServeAdaptive honors its TimelineBucket override) — flat for a
+	// stationary run, and the degradation/recovery curve under drift.
+	Timeline []AttainmentWindow
 }
+
+// defaultTimelineBucket is the Report.Timeline resolution.
+const defaultTimelineBucket = 30 * time.Second
 
 // ragOptions fills defaults and translates the public options into the
 // internal composition layer's.
@@ -266,6 +304,7 @@ func ragOptions(opts ServeOptions) rag.Options {
 		Kind: opts.System, Rate: opts.Rate, Duration: opts.Duration,
 		Shape: opts.Shape, SLOSearch: opts.SLOSearch, SLOGen: opts.SLOGen,
 		DisableDispatcher: opts.DisableDispatcher, Seed: opts.Seed,
+		Drift: opts.Drift, RateSchedule: opts.RateSchedule,
 	}
 	if opts.Prebuilt != nil {
 		ro.Plan = opts.Prebuilt.Plan
@@ -286,6 +325,67 @@ func Serve(opts ServeOptions) (*Report, error) {
 		Rho:      res.Rho,
 		AvgBatch: res.AvgBatch,
 		Mu0:      res.Mu0,
+		Timeline: metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
+	}, nil
+}
+
+// AdaptiveServeOptions configures an adaptive vLiteRAG serving run:
+// the usual options (typically with Drift and/or a RateSchedule so
+// there is something to adapt to) plus the in-loop controller's
+// drift-detection thresholds.
+type AdaptiveServeOptions struct {
+	ServeOptions
+	// Monitor tunes drift detection. A zero WindowRequests derives a
+	// window of ~10 seconds of traffic at the nominal rate.
+	Monitor MonitorConfig
+	// TimelineBucket sets the attainment-over-time resolution of the
+	// report (default 30s).
+	TimelineBucket time.Duration
+}
+
+// AdaptiveReport is the outcome of one adaptive serving run: the usual
+// serving report (whose Timeline shows degradation and recovery inside
+// the run) plus the control-plane record — every background rebuild
+// the controller executed.
+type AdaptiveReport struct {
+	Report
+	// ExpectedHitRate is the initial plan's model-expected mean hit rate
+	// (the monitor's first anchor).
+	ExpectedHitRate float64
+	Rebuilds        []RebuildRecord
+	// Pending is a rebuild still in flight when the run ended (nil when
+	// every triggered cycle completed). Lengthen Duration or Drain past
+	// the cycle's total time to let it finish.
+	Pending *RebuildRecord
+}
+
+// ServeAdaptive runs the end-to-end pipeline with the online adaptation
+// controller attached (paper §IV-B3): drift detection on the live
+// request stream, background re-profile → re-partition → re-split →
+// shard reload priced in virtual time, CPU fallback for mid-reload
+// shards, and an atomic plan swap — all inside one simulated run.
+func ServeAdaptive(opts AdaptiveServeOptions) (*AdaptiveReport, error) {
+	ro := rag.AdaptiveOptions{Options: ragOptions(opts.ServeOptions), Monitor: opts.Monitor}
+	res, err := rag.RunAdaptive(ro)
+	if err != nil {
+		return nil, err
+	}
+	bucket := opts.TimelineBucket
+	if bucket <= 0 {
+		bucket = defaultTimelineBucket
+	}
+	return &AdaptiveReport{
+		Report: Report{
+			Summary:  res.Summary,
+			SLOTotal: res.SLOTotal,
+			Rho:      res.Rho,
+			AvgBatch: res.AvgBatch,
+			Mu0:      res.Mu0,
+			Timeline: metrics.Timeline(res.Requests, res.SLOTotal, bucket),
+		},
+		ExpectedHitRate: res.ExpectedHitRate,
+		Rebuilds:        res.Rebuilds,
+		Pending:         res.Pending,
 	}, nil
 }
 
@@ -333,6 +433,7 @@ func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
 			Rho:      res.Rho,
 			AvgBatch: res.AvgBatch,
 			Mu0:      res.Mu0,
+			Timeline: metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
 		},
 		Policy: res.Policy,
 	}
@@ -354,11 +455,12 @@ func Capacity(node Node, model ModelSpec) (float64, error) {
 func Experiments() []string { return experiments.Names() }
 
 // RunExperiment regenerates one table or figure and returns its
-// rendered text. Quick mode shrinks sweeps for fast runs.
+// rendered text. Quick mode shrinks sweeps for fast runs. An unknown ID
+// returns an error listing every valid one.
 func RunExperiment(id string, quick bool) (string, error) {
-	runner, ok := experiments.Registry()[id]
-	if !ok {
-		return "", fmt.Errorf("vectorliterag: unknown experiment %q (have %v)", id, experiments.Names())
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		return "", fmt.Errorf("vectorliterag: %w", err)
 	}
 	res, err := runner(experiments.Config{Quick: quick, Seed: 1})
 	if err != nil {
@@ -371,9 +473,9 @@ func RunExperiment(id string, quick bool) (string, error) {
 // rows as CSV (the paper artifact's log format). Experiments without a
 // CSV exporter return an error naming the text renderer instead.
 func RunExperimentCSV(id string, quick bool) (string, error) {
-	runner, ok := experiments.Registry()[id]
-	if !ok {
-		return "", fmt.Errorf("vectorliterag: unknown experiment %q (have %v)", id, experiments.Names())
+	runner, err := experiments.Lookup(id)
+	if err != nil {
+		return "", fmt.Errorf("vectorliterag: %w", err)
 	}
 	res, err := runner(experiments.Config{Quick: quick, Seed: 1})
 	if err != nil {

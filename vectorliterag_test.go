@@ -146,11 +146,15 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 18 {
-		t.Fatalf("got %d experiments, want 18: %v", len(names), names)
+	if len(names) != 19 {
+		t.Fatalf("got %d experiments, want 19: %v", len(names), names)
 	}
-	if _, err := vlr.RunExperiment("nope", true); err == nil {
+	_, err := vlr.RunExperiment("nope", true)
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "adapt") || !strings.Contains(err.Error(), "fig11") {
+		t.Fatalf("unknown-experiment error does not list valid ids: %v", err)
 	}
 	out, err := vlr.RunExperiment("fig3", true)
 	if err != nil {
@@ -158,6 +162,53 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	if !strings.Contains(out, "Fig 3") {
 		t.Fatalf("unexpected output: %q", out)
+	}
+}
+
+func TestServeAdaptiveAPI(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	rep, err := vlr.ServeAdaptive(vlr.AdaptiveServeOptions{
+		ServeOptions: vlr.ServeOptions{
+			Workload: w, Rate: 28, Seed: 1,
+			Duration: 240 * time.Second, SLOSearch: 100 * time.Millisecond,
+			Drift: []vlr.DriftEvent{{At: 45 * time.Second, Rotate: w.DefaultDriftRotation()}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExpectedHitRate <= 0 || rep.ExpectedHitRate > 1 {
+		t.Fatalf("expected hit rate %v", rep.ExpectedHitRate)
+	}
+	if len(rep.Rebuilds) == 0 {
+		t.Fatal("drift did not trigger a rebuild through the public API")
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("report has no attainment timeline")
+	}
+	last := rep.Timeline[len(rep.Timeline)-1]
+	if last.MeanHitRate < rep.ExpectedHitRate-0.1 {
+		t.Fatalf("final window hit %.3f never recovered toward %.3f", last.MeanHitRate, rep.ExpectedHitRate)
+	}
+	// Non-hybrid systems are rejected.
+	if _, err := vlr.ServeAdaptive(vlr.AdaptiveServeOptions{
+		ServeOptions: vlr.ServeOptions{Workload: w, System: vlr.CPUOnly, Rate: 10},
+	}); err == nil {
+		t.Fatal("adaptive CPU-only accepted")
+	}
+}
+
+func TestRateScheduleAPI(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	rep, err := vlr.Serve(vlr.ServeOptions{
+		Workload: w, Rate: 12, Seed: 1, Duration: 60 * time.Second,
+		RateSchedule: vlr.BurstRate(10, 25, 30*time.Second, 8*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.N == 0 {
+		t.Fatal("scheduled arrivals produced no requests")
 	}
 }
 
