@@ -1,9 +1,17 @@
 # Developer entry points. CI runs `make verify`, `make bench-smoke`,
-# and `make examples-smoke`.
+# `make examples-smoke`, `make fuzz-smoke`, and `make cover-check`.
 
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-search bench-smoke examples-smoke fmt
+# Per-target budget for fuzz-smoke runs.
+FUZZTIME ?= 5s
+
+# Coverage ratchet: `make cover-check` fails below this total (the
+# measured baseline at the time the gate was added was 76.6%). Raise it
+# when coverage improves; never lower it to make CI pass.
+COVER_MIN ?= 76.0
+
+.PHONY: verify build test vet race bench bench-search bench-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
 verify: vet build race
 
@@ -41,6 +49,31 @@ examples-smoke:
 		echo "==> $$d"; \
 		$(GO) run "$$d" -quick; \
 	done
+
+# Run each native fuzz target briefly (seed corpora are checked in
+# under testdata/fuzz). CI runs this so the targets cannot rot; local
+# deep fuzzing just raises FUZZTIME.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzScanCodes$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzScanCodesIDs$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzTopK$$' -fuzztime=$(FUZZTIME) ./internal/vecmath
+
+# Per-package coverage plus the total.
+cover:
+	$(GO) test -cover -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+
+# Ratcheting coverage gate: fail when total statement coverage drops
+# below COVER_MIN. cover-ratchet only inspects an existing cover.out,
+# so CI can produce the profile from its (race) test run instead of
+# running the suite twice.
+cover-check: cover cover-ratchet
+
+cover-ratchet:
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub("%","",$$3); print $$3}'); \
+	awk -v t=$$total -v min=$(COVER_MIN) 'BEGIN { \
+		if (t+0 < min+0) { printf "FAIL: coverage %.1f%% below ratchet %.1f%%\n", t, min; exit 1 } \
+		printf "coverage %.1f%% >= ratchet %.1f%%\n", t, min }'
 
 fmt:
 	gofmt -l -w .

@@ -10,6 +10,9 @@
 //	vliterag serve -replicas 2 -policy least-loaded -rate 60
 //	vliterag serve -adapt -dataset orcas2k -rate 20 -slo 150ms \
 //	    -drift-at 45s -duration 6m     # online adaptation under drift
+//	vliterag serve -tenants 3 -tiers gold,silver,bronze -rate 15 \
+//	    -rate-pattern burst            # SLO-tiered multi-tenant serving
+//	vliterag serve -tenants 3 -shared-queue -rate 15 -rate-pattern burst
 //	vliterag build -dataset orcas2k    # offline partitioning only
 package main
 
@@ -206,6 +209,9 @@ func serveCmd(args []string) error {
 	replicas := fs.Int("replicas", 1, "independent node pipelines behind the front-end router")
 	policy := fs.String("policy", "least-loaded", "cluster routing policy (round-robin|least-loaded)")
 	adaptive := fs.Bool("adapt", false, "vLiteRAG with in-loop drift detection and background index rebuilds")
+	tenants := fs.Int("tenants", 0, "serve N SLO-tiered tenants sharing the node (joint HBM allocation + fair scheduling)")
+	tiers := fs.String("tiers", "gold,silver,bronze", "comma-separated tier per tenant, cycled to -tenants (gold|silver|bronze)")
+	sharedQueue := fs.Bool("shared-queue", false, "multi-tenant baseline: one unmetered queue instead of the FairScheduler")
 	driftAt := fs.Duration("drift-at", 0, "inject a popularity rotation at this virtual time (0 = no drift)")
 	driftRotate := fs.Int("drift-rotate", 0, "rotation size in templates (0 = a third of the template pool)")
 	pattern := fs.String("rate-pattern", "constant", "arrival process: constant|ramp|burst|diurnal")
@@ -231,6 +237,12 @@ func serveCmd(args []string) error {
 	}
 	if *adaptive && vlr.System(*system) != vlr.VLiteRAG {
 		return fmt.Errorf("-adapt requires the hot-swappable vLiteRAG runtime, not %s", *system)
+	}
+	if *tenants > 0 && (*adaptive || *replicas > 1) {
+		return fmt.Errorf("-tenants is its own serving mode; drop -adapt/-replicas")
+	}
+	if *tenants > 0 {
+		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo, prof)
 	}
 	if err := prof.start(); err != nil {
 		return err
@@ -301,6 +313,98 @@ func serveCmd(args []string) error {
 	if adaptRep != nil {
 		printAdaptive(adaptRep)
 	}
+	return nil
+}
+
+// serveTenants runs the multi-tenant serving mode: n tenants on one
+// shared corpus, tiers cycled from the -tiers list, the total -rate
+// split across tenants in proportion to tier weight. A non-constant
+// -rate-pattern drives the last (lowest-listed) tenant's arrivals —
+// the "bursty bronze neighbor" demo — while the others stay steady.
+func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.ModelSpec, node vlr.Node,
+	rate float64, dur time.Duration, seed uint64, pattern string, slo time.Duration, prof *profiler) error {
+	if strings.TrimSpace(tiers) == "" {
+		return fmt.Errorf("-tiers is empty")
+	}
+	names := strings.Split(tiers, ",")
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "vliterag:", err)
+		}
+	}()
+	fmt.Printf("building %s workload (trains a real IVF-PQ index)...\n", spec.Name)
+	w, err := vlr.NewWorkload(spec)
+	if err != nil {
+		return err
+	}
+	specs := make([]vlr.TenantSpec, n)
+	totalWeight := 0
+	parsed := make([]vlr.Tier, n)
+	for i := 0; i < n; i++ {
+		tier, err := vlr.ParseTier(strings.TrimSpace(names[i%len(names)]))
+		if err != nil {
+			return err
+		}
+		parsed[i] = tier
+		totalWeight += tier.Weight()
+	}
+	for i := 0; i < n; i++ {
+		share := rate * float64(parsed[i].Weight()) / float64(totalWeight)
+		specs[i] = vlr.TenantSpec{
+			Name:      fmt.Sprintf("%s-%d", parsed[i], i),
+			Tier:      parsed[i],
+			Workload:  w,
+			Rate:      share,
+			SLOSearch: slo,
+		}
+	}
+	// The rate pattern drives only the last tenant, re-anchored at that
+	// tenant's own share so its baseline matches what the joint
+	// allocator provisioned it for. The burst shape is the exception:
+	// its peak stays relative to the *total* rate, because the scenario
+	// it exists for is a noisy neighbor bursting past the node's
+	// provisioning, not a tenant fluctuating within its own share.
+	share := specs[n-1].Rate
+	var sched vlr.RateSchedule
+	if strings.EqualFold(pattern, "burst") {
+		sched = vlr.BurstRate(share, rate*1.5, 60*time.Second, 15*time.Second)
+	} else {
+		var err error
+		sched, err = ratePattern(pattern, share, dur)
+		if err != nil {
+			return err
+		}
+	}
+	if sched != nil {
+		specs[n-1].RateSchedule = sched
+	}
+	rep, err := vlr.ServeTenants(vlr.MultiTenantServeOptions{
+		Tenants: specs, Node: node, Model: m,
+		Duration: dur, Seed: seed, SharedQueue: sharedQueue,
+	})
+	if err != nil {
+		return err
+	}
+	mode := "fair-scheduled"
+	if rep.SharedQueue {
+		mode = "shared-queue baseline"
+	}
+	fmt.Printf("%d tenants (%s) | %s | %s @ %.1f req/s total\n", n, mode, spec.Name, m.Name, rate)
+	for _, tr := range rep.Tenants {
+		met := "MISS"
+		if tr.Met {
+			met = "met "
+		}
+		fmt.Printf("  %-10s %-6s rate %5.1f  rho %.3f  attainment %.3f (target %.2f %s)  TTFT p90 %v  peak queue %d\n",
+			tr.Name, tr.Tier, tr.Rate, tr.Alloc.Rho, tr.Summary.Attainment, tr.Target, met,
+			tr.Summary.TTFT.P90, tr.PeakQueue)
+	}
+	fmt.Printf("  aggregate attainment %.3f  Jain fairness %.3f\n", rep.Attainment, rep.Fairness)
+	fmt.Printf("  HBM: index budget %.1f GB, used %.1f GB; LLM throughput %.1f -> %.1f req/s\n",
+		float64(rep.BudgetBytes)/1e9, float64(rep.UsedBytes)/1e9, rep.Mu0, rep.MuLLM)
 	return nil
 }
 

@@ -1,0 +1,82 @@
+// Multi-tenant SLO-tiered serving: three tenants — a steady gold
+// tenant on ORCAS-1K, a steady silver tenant on Wiki-All, and a bronze
+// tenant that bursts to well past node capacity — share one node's
+// HBM, CPU, and LLM. The joint allocator (Algorithm 1 generalized to N
+// tenants) splits the GPU index budget by marginal
+// SLO-attainment-per-byte with tier weights and per-tenant floors; the
+// FairScheduler meters admission with weighted round-robin, tier-aware
+// preemption ordering, and per-tenant slot caps.
+//
+// The experiment here is the isolation A/B: the same tenants, the same
+// allocation, and the same arrival traces served twice — once through
+// the FairScheduler and once through a single shared queue. Under the
+// shared queue the bronze burst floods the common path and gold's TTFT
+// blows through its budget; under the FairScheduler the surplus waits
+// in bronze's own queue and gold holds its tier target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	vlr "vectorliterag"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter run for smoke tests")
+	flag.Parse()
+
+	fmt.Println("building ORCAS-1K and Wiki-All workloads (trains real IVF-PQ indexes)...")
+	goldW, err := vlr.NewWorkload(vlr.Orcas1K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	silverW, err := vlr.NewWorkload(vlr.WikiAll)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	duration := 4 * time.Minute
+	if *quick {
+		duration = 2 * time.Minute
+	}
+	tenants := []vlr.TenantSpec{
+		{Name: "gold", Tier: vlr.GoldTier, Workload: goldW, Rate: 9,
+			SLOSearch: 350 * time.Millisecond},
+		{Name: "silver", Tier: vlr.SilverTier, Workload: silverW, Rate: 3,
+			SLOSearch: 500 * time.Millisecond},
+		// The noisy neighbor: 2.5 req/s baseline, bursting to 45 req/s
+		// (~1.5x node capacity) for 15s of every minute.
+		{Name: "bronze", Tier: vlr.BronzeTier, Workload: goldW, Rate: 2.5,
+			SLOSearch:    300 * time.Millisecond,
+			RateSchedule: vlr.BurstRate(2.5, 45, time.Minute, 15*time.Second)},
+	}
+
+	fmt.Printf("\nbronze bursts to 45 req/s for 15s of every minute; %v of traffic\n\n", duration)
+	for _, sharedQueue := range []bool{false, true} {
+		rep, err := vlr.ServeTenants(vlr.MultiTenantServeOptions{
+			Tenants: tenants, Duration: duration, Seed: 1, SharedQueue: sharedQueue,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "FairScheduler (weighted round-robin, tier preemption, per-tenant caps)"
+		if sharedQueue {
+			mode = "shared-queue baseline (no admission metering)"
+		}
+		fmt.Println(mode)
+		for _, tr := range rep.Tenants {
+			verdict := "MISSED"
+			if tr.Met {
+				verdict = "met"
+			}
+			fmt.Printf("  %-7s attainment %.3f vs target %.2f (%s)  TTFT p90 %-12v peak queue %d\n",
+				tr.Name, tr.Summary.Attainment, tr.Target, verdict, tr.Summary.TTFT.P90, tr.PeakQueue)
+		}
+		fmt.Printf("  Jain fairness %.3f; index HBM %.1f GB of %.1f GB budget\n\n",
+			rep.Fairness, float64(rep.UsedBytes)/1e9, float64(rep.BudgetBytes)/1e9)
+	}
+	fmt.Println("the allocation is identical in both runs — only the admission policy differs.")
+}

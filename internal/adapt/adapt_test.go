@@ -238,3 +238,88 @@ func TestControllerValidation(t *testing.T) {
 		t.Fatal("empty inputs accepted")
 	}
 }
+
+// feedBad drives n drifting observations without closing a window
+// boundary unless n reaches the window size.
+func (f *fixture) feedBad(n int) {
+	for i := 0; i < n; i++ {
+		req := &workload.Request{HitRate: 0.3, ArrivalAt: f.sim.Now()}
+		req.FirstToken = req.ArrivalAt + int64(time.Second)
+		f.ctrl.Observe(req)
+	}
+}
+
+// TestControllerTriggersExactlyAtWindowEdge: drift only acts when a
+// monitor window closes — 49 of 50 drifting observations must schedule
+// nothing, and the 50th (the window edge itself) must start the cycle.
+func TestControllerTriggersExactlyAtWindowEdge(t *testing.T) {
+	f := setup(t, Config{})
+	f.feedBad(49)
+	if f.sim.Pending() != 0 || len(f.ctrl.Rebuilds()) != 0 {
+		t.Fatal("partial window scheduled a rebuild")
+	}
+	f.feedBad(1)
+	if f.sim.Pending() == 0 {
+		t.Fatal("window-edge observation did not trigger the cycle")
+	}
+}
+
+// TestControllerCooldownBoundaries: table-driven sweep of the post-swap
+// settle period — exactly CooldownWindows drifting windows are
+// suppressed, and the first window past the boundary re-triggers.
+func TestControllerCooldownBoundaries(t *testing.T) {
+	cases := []struct {
+		name       string
+		cooldown   int // Config.CooldownWindows (0 = default of 1, negative = disabled)
+		suppressed int // drifting windows ignored after the swap
+	}{
+		{"disabled", -1, 0},
+		{"default one window", 0, 1},
+		{"explicit one window", 1, 1},
+		{"two windows", 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := setup(t, Config{CooldownWindows: tc.cooldown})
+			f.feedWindow(0.3, false)
+			f.sim.Run()
+			if len(f.ctrl.Rebuilds()) != 1 {
+				t.Fatalf("first cycle: %d records", len(f.ctrl.Rebuilds()))
+			}
+			for i := 0; i < tc.suppressed; i++ {
+				f.feedWindow(0.3, false)
+				if f.sim.Pending() != 0 {
+					t.Fatalf("drifting window %d inside the cooldown started a cycle", i+1)
+				}
+			}
+			f.feedWindow(0.3, false)
+			if f.sim.Pending() == 0 {
+				t.Fatal("first drifting window past the cooldown did not trigger")
+			}
+			f.sim.Run()
+			if got := len(f.ctrl.Rebuilds()); got != 2 {
+				t.Fatalf("expected the second cycle to complete, have %d records", got)
+			}
+		})
+	}
+}
+
+// TestControllerBackToBackDriftEventsSingleCycle: a second drift signal
+// landing while a rebuild is already in flight must not start a
+// concurrent cycle — the in-flight chain absorbs it.
+func TestControllerBackToBackDriftEventsSingleCycle(t *testing.T) {
+	f := setup(t, Config{})
+	f.feedWindow(0.3, false)
+	pending := f.sim.Pending()
+	if pending == 0 {
+		t.Fatal("first drift did not trigger")
+	}
+	f.feedWindow(0.2, false) // second drift event, mid-rebuild
+	if f.sim.Pending() != pending {
+		t.Fatal("back-to-back drift spawned a concurrent cycle")
+	}
+	f.sim.Run()
+	if got := len(f.ctrl.Rebuilds()); got != 1 {
+		t.Fatalf("want exactly one completed cycle, have %d", got)
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -15,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "adapt"}
+		"cluster", "bench", "adapt", "tenants"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -463,5 +465,70 @@ func TestBenchShape(t *testing.T) {
 	}
 	if out := r.Render(); !strings.Contains(out, "ivf_search") {
 		t.Errorf("render missing kernels:\n%s", out)
+	}
+}
+
+// tenantsQuick caches the quick-mode Tenants run: it is the most
+// expensive experiment in this suite (two full multi-tenant
+// simulations) and deterministic, so both tests below share one run.
+var tenantsQuick *TenantsResult
+
+func tenantsQuickResult(t *testing.T) *TenantsResult {
+	t.Helper()
+	if tenantsQuick == nil {
+		r, err := Tenants(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenantsQuick = r
+	}
+	return tenantsQuick
+}
+
+// TestTenantsIsolation: the headline multi-tenant artifact — with a
+// bursty bronze tenant, gold holds its tier target only under the
+// joint allocator + FairScheduler, not under the shared queue.
+func TestTenantsIsolation(t *testing.T) {
+	r := tenantsQuickResult(t)
+	fair, shared := r.Arm("fair"), r.Arm("shared-queue")
+	if fair == nil || shared == nil {
+		t.Fatalf("arms missing: %+v", r.Arms)
+	}
+	g := fair.Row("gold")
+	if g == nil || !g.Met {
+		t.Fatalf("fair arm gold misses its tier target: %+v", g)
+	}
+	if s := fair.Row("silver"); s == nil || !s.Met {
+		t.Errorf("fair arm silver misses its tier target: %+v", s)
+	}
+	if g2 := shared.Row("gold"); g2 == nil || g2.Met {
+		t.Fatalf("shared-queue baseline unexpectedly holds gold's target: %+v", g2)
+	}
+	// The bronze surplus must visibly wait in its own queue under fair
+	// scheduling and nowhere under the shared queue.
+	if b := fair.Row("bronze"); b == nil || b.PeakQueue == 0 {
+		t.Errorf("fair arm bronze queue never grew: %+v", b)
+	}
+	if b := shared.Row("bronze"); b == nil || b.PeakQueue != 0 {
+		t.Errorf("shared-queue arm reports a per-tenant queue: %+v", b)
+	}
+	out := r.Render()
+	for _, want := range []string{"gold", "silver", "bronze", "fair", "shared-queue", "Jain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestTenantsGoldenPinned: the quick-mode artifact is bit-identical
+// across runs with the same seed; the golden file pins it.
+func TestTenantsGoldenPinned(t *testing.T) {
+	got := tenantsQuickResult(t).CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "tenants_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("tenants quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

@@ -52,6 +52,7 @@ func Registry() map[string]Runner {
 		"cluster":   func(c Config) (Renderer, error) { return Cluster(c) },
 		"bench":     func(c Config) (Renderer, error) { return Bench(c) },
 		"adapt":     func(c Config) (Renderer, error) { return Adapt(c) },
+		"tenants":   func(c Config) (Renderer, error) { return Tenants(c) },
 	}
 }
 

@@ -1,0 +1,21 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over per-tenant values
+// (typically SLO attainments): (Σx)² / (n·Σx²). It is 1 when every
+// tenant fares equally and approaches 1/n as one tenant monopolizes
+// the good outcomes. An empty or all-zero input returns 0 (nothing was
+// served, so no fairness can be claimed).
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}

@@ -1,0 +1,34 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"all zero", []float64{0, 0, 0}, 0},
+		{"equal", []float64{0.9, 0.9, 0.9}, 1},
+		{"single", []float64{0.5}, 1},
+		{"monopoly", []float64{1, 0, 0, 0}, 0.25},
+		{"skewed", []float64{1, 0.5}, (1.5 * 1.5) / (2 * 1.25)},
+	}
+	for _, tc := range cases {
+		if got := JainIndex(tc.values); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: JainIndex = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	vals := []float64{0.93, 0.41, 0.77, 0.12, 0.99}
+	j := JainIndex(vals)
+	if j < 1.0/float64(len(vals)) || j > 1 {
+		t.Fatalf("Jain index %v outside [1/n, 1]", j)
+	}
+}

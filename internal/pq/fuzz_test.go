@@ -1,0 +1,108 @@
+package pq
+
+import (
+	"testing"
+
+	"vectorliterag/internal/vecmath"
+)
+
+// fuzzLUT deterministically derives a LUT, a code block, and a top-k
+// size from raw fuzz bytes. The table is built directly (not via
+// BuildLUT) so the fuzzer controls every entry; entries are
+// non-negative, which is the invariant the early-abandon path relies
+// on (prefix sums are monotone).
+func fuzzLUT(data []byte) (lut *LUT, codes []byte, k int, ok bool) {
+	if len(data) < 3 {
+		return nil, nil, 0, false
+	}
+	m := int(data[0])%12 + 1
+	k = int(data[1])%9 + 1
+	tab := make([]float32, m*lutStride)
+	// Fill the addressable entries from the fuzz bytes, cycling; scale
+	// some rows up so abandon bounds trip at different subspace depths.
+	body := data[2:]
+	for i := range tab {
+		b := body[i%len(body)]
+		tab[i] = float32(b) * float32(1+i%3)
+	}
+	lut = &LUT{M: m, K: lutStride, tab: tab}
+	nCodes := len(body) / m
+	if nCodes == 0 {
+		return nil, nil, 0, false
+	}
+	if nCodes > 200 {
+		nCodes = 200
+	}
+	codes = body[:nCodes*m]
+	return lut, codes, k, true
+}
+
+// refScan is the naive reference: every candidate fully evaluated with
+// Distance and pushed in index order — the semantics ScanCodes'
+// unrolling and early abandonment must preserve bit for bit.
+func refScan(lut *LUT, codes []byte, push func(i int, d float32)) {
+	cs := lut.M
+	for i := 0; i*cs < len(codes); i++ {
+		push(i, lut.Distance(codes[i*cs:(i+1)*cs]))
+	}
+}
+
+func neighborsEqual(t *testing.T, got, want []vecmath.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("result sizes differ: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("neighbor %d differs: got %+v, want %+v\nall got:  %v\nall want: %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// FuzzScanCodes: the unrolled early-abandon block scan must fill the
+// collector bit-identically to a full naive evaluation, for any table
+// contents, code block, M, and k.
+func FuzzScanCodes(f *testing.F) {
+	f.Add([]byte("\x03\x02the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte("\x07\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x0b\x08\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7\xf6\xf5\xf4\xf3\xf2\xf1\xf0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lut, codes, k, ok := fuzzLUT(data)
+		if !ok {
+			t.Skip()
+		}
+		const base = 37
+		want := vecmath.NewTopK(k)
+		refScan(lut, codes, func(i int, d float32) { want.Push(base+i, d) })
+		got := vecmath.NewTopK(k)
+		lut.ScanCodes(codes, base, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
+// FuzzScanCodesIDs: the inverted-list scan (including the M=8
+// specialized kernel) must match the naive reference bit for bit.
+func FuzzScanCodesIDs(f *testing.F) {
+	// M=8 seeds exercise scanIDs8, the specialized hot path.
+	f.Add([]byte("\x07\x03pack my box with five dozen liquor jugs"))
+	f.Add([]byte("\x07\x01\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f\x10"))
+	f.Add([]byte("\x04\x05abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lut, codes, k, ok := fuzzLUT(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / lut.M
+		ids := make([]int32, n)
+		for i := range ids {
+			// Non-monotone IDs so ordering bugs cannot hide.
+			ids[i] = int32((i*2654435761 + 11) % 100003)
+		}
+		want := vecmath.NewTopK(k)
+		refScan(lut, codes, func(i int, d float32) { want.Push(int(ids[i]), d) })
+		got := vecmath.NewTopK(k)
+		lut.ScanCodesIDs(codes, ids, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}

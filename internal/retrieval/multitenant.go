@@ -1,0 +1,229 @@
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/workload"
+)
+
+// TenantSlot is one tenant's runtime state inside the shared
+// multi-tenant engine: its corpus, its split plan (the slice of GPU
+// memory the joint allocator granted it), and the CPU cost model fitted
+// to its corpus geometry.
+type TenantSlot struct {
+	W        *dataset.Workload
+	Plan     *splitter.Plan
+	CPUModel costmodel.SearchModel
+	// Priority orders the shared CPU cold scan within a batch (lower
+	// scans first): the CPU serializes miss work, and the §IV-B2
+	// callback mechanism completes each query at its prefix, so putting
+	// a gold query's misses ahead of a bronze burst's is the engine-
+	// level half of tier-aware preemption ordering. Ties keep batch
+	// (arrival) order.
+	Priority int
+	// blockScale converts one physical probed cluster into its logical
+	// thread-block count (NProbe/PhysNProbe), per tenant because the
+	// probe geometry is a corpus property.
+	blockScale int
+}
+
+// MultiTenant is the hybrid engine generalized to N tenants sharing
+// one node: a single CPU forms dynamic batches from the (scheduler-
+// metered) shared queue, so a batch may mix tenants; each query routes
+// through its own tenant's mapping tables, its GPU-resident clusters
+// scan on the shard kernels of the GPU hosting them (one kernel per
+// GPU, over the combined per-tenant work), and the cold remainder joins
+// the shared CPU scan. Because the CPU and GPUs are one physical
+// resource, one tenant's burst inflates every tenant's batch — exactly
+// the interference the FairScheduler's admission metering bounds.
+//
+// Per-tenant service times price each stage with the owning tenant's
+// cost model: coarse quantization and the cold scan serialize on the
+// CPU, so the batch pays the sum of per-tenant sub-batch costs.
+type MultiTenant struct {
+	batcher
+	slots    []TenantSlot
+	gpus     []*gpu.State
+	gpuModel costmodel.GPUScanModel
+	// Dispatcher toggles early query promotion, as on the single-tenant
+	// hybrid engine.
+	Dispatcher bool
+
+	// Per-batch work areas, reused across batches (see Hybrid).
+	shardBytes   []int64
+	shardBlocks  []int
+	cpuWork      []int64
+	cpuDone      []des.Time
+	perTenant    []int   // batch members per tenant
+	missByTenant []int64 // CPU miss bytes per tenant
+	scanOrder    []int   // batch indices in CPU scan order
+}
+
+// NewMultiTenant wires the shared engine. Every slot's plan must have
+// one shard per GPU in gpus; slot order defines tenant IDs (a request's
+// Tenant field indexes slots).
+func NewMultiTenant(cfg Config, slots []TenantSlot, gpus []*gpu.State, gm costmodel.GPUScanModel) (*MultiTenant, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("retrieval: multi-tenant engine needs at least one tenant slot")
+	}
+	for i := range slots {
+		if slots[i].W == nil || slots[i].Plan == nil {
+			return nil, fmt.Errorf("retrieval: tenant slot %d missing workload or plan", i)
+		}
+		if slots[i].Plan.NumShards != len(gpus) {
+			return nil, fmt.Errorf("retrieval: tenant slot %d has %d shards for %d GPUs",
+				i, slots[i].Plan.NumShards, len(gpus))
+		}
+		slots[i].blockScale = slots[i].W.Spec.NProbe / slots[i].W.Gen.PhysNProbe
+	}
+	e := &MultiTenant{
+		batcher:    batcher{cfg: cfg},
+		slots:      append([]TenantSlot(nil), slots...),
+		gpus:       gpus,
+		gpuModel:   gm,
+		Dispatcher: true,
+	}
+	e.run = e.runBatch
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *MultiTenant) Name() string {
+	return fmt.Sprintf("multi-tenant(%d)", len(e.slots))
+}
+
+// Slots returns the tenant runtime slots (diagnostics and tests).
+func (e *MultiTenant) Slots() []TenantSlot { return e.slots }
+
+// slot resolves a request's tenant, clamping strays to tenant 0 the
+// same way the FairScheduler does.
+func (e *MultiTenant) slot(req *workload.Request) int {
+	if req.Tenant < 0 || req.Tenant >= len(e.slots) {
+		return 0
+	}
+	return req.Tenant
+}
+
+func (e *MultiTenant) runBatch(batch []*workload.Request) {
+	sim := e.cfg.Sim
+	b := len(batch)
+
+	// Coarse quantization serializes on the shared CPU: each tenant's
+	// sub-batch is priced with its own model and the batch pays the sum.
+	perTenant := resize(&e.perTenant, len(e.slots))
+	for _, req := range batch {
+		perTenant[e.slot(req)]++
+	}
+	var cq des.Time
+	for t, n := range perTenant {
+		if n > 0 {
+			cq += des.Time(e.slots[t].CPUModel.CQTime(n))
+		}
+	}
+	tCQ := sim.Now() + cq
+
+	// Route every query through its tenant's mapping tables. Shard g of
+	// every tenant's plan lives on GPU g, so per-GPU work accumulates
+	// across tenants.
+	shardBytes := resize(&e.shardBytes, len(e.gpus))
+	shardBlocks := resize(&e.shardBlocks, len(e.gpus))
+	cpuWork := resize(&e.cpuWork, b)
+	missByTenant := resize(&e.missByTenant, len(e.slots))
+	for i, req := range batch {
+		s := &e.slots[e.slot(req)]
+		perShard, cpuClusters := s.Plan.Route(s.W.Probes(req.Query))
+		for g, resident := range perShard {
+			if len(resident) == 0 {
+				continue
+			}
+			shardBytes[g] += s.W.ScanBytes(req.Query, resident)
+			shardBlocks[g] += len(resident) * s.blockScale
+		}
+		cpuWork[i] = s.W.ScanBytes(req.Query, cpuClusters)
+		missByTenant[e.slot(req)] += cpuWork[i]
+		req.HitRate = servedHitRate(s.W.ScanBytesAll(req.Query), cpuWork[i])
+	}
+
+	// GPU shard kernels start once CQ delivers the cluster lists; one
+	// kernel per GPU covers every tenant's resident clusters there.
+	gpuReady := tCQ
+	for g := range shardBytes {
+		if shardBytes[g] == 0 && shardBlocks[g] == 0 {
+			continue
+		}
+		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
+		end := tCQ + des.Time(t)
+		e.gpus[g].MarkRetrievalBusy(end)
+		if end > gpuReady {
+			gpuReady = end
+		}
+	}
+
+	// CPU cold scan: per-tenant miss work priced with the owning
+	// tenant's model, summed (the CPU serializes); query completion
+	// follows the byte-proportional prefix in batch order, as on the
+	// single-tenant engine.
+	var missTotal int64
+	var cpuTotal des.Time
+	for t, miss := range missByTenant {
+		if miss > 0 {
+			cpuTotal += des.Time(e.slots[t].CPUModel.LUTTime(miss, perTenant[t]))
+			missTotal += miss
+		}
+	}
+	cpuDone := resize(&e.cpuDone, b)
+	scanOrder := resize(&e.scanOrder, b)
+	for i := range scanOrder {
+		scanOrder[i] = i
+	}
+	// Scan in tenant-priority order, stable within a tier, so a high-
+	// tier query's prefix excludes lower-tier miss work queued behind
+	// it.
+	sort.SliceStable(scanOrder, func(a, b int) bool {
+		return e.slots[e.slot(batch[scanOrder[a]])].Priority < e.slots[e.slot(batch[scanOrder[b]])].Priority
+	})
+	var prefix int64
+	for _, i := range scanOrder {
+		prefix += cpuWork[i]
+		if missTotal > 0 {
+			cpuDone[i] = tCQ + des.Time(float64(cpuTotal)*float64(prefix)/float64(missTotal))
+		} else {
+			cpuDone[i] = tCQ
+		}
+	}
+	batchEnd := tCQ + cpuTotal
+	if gpuReady > batchEnd {
+		batchEnd = gpuReady
+	}
+
+	if e.Dispatcher {
+		for i, req := range batch {
+			req := req
+			at := cpuDone[i]
+			if gpuReady > at {
+				at = gpuReady
+			}
+			at += des.Time(mergeCost)
+			sim.At(at, func() {
+				req.SearchDone = sim.Now()
+				e.cfg.Forward(req)
+			})
+		}
+	} else {
+		at := batchEnd + des.Time(mergeCost)
+		sim.At(at, func() {
+			now := sim.Now()
+			for _, req := range batch {
+				req.SearchDone = now
+				e.cfg.Forward(req)
+			}
+		})
+	}
+	sim.At(batchEnd, e.done)
+}

@@ -1,0 +1,152 @@
+package retrieval
+
+import (
+	"testing"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/gpu"
+	"vectorliterag/internal/workload"
+)
+
+// TestMultiTenantSingleTenantMatchesHybrid: with one tenant the shared
+// engine must be the hybrid engine — same batching, same routing, same
+// stage pricing — so per-request SearchDone and HitRate are
+// bit-identical.
+func TestMultiTenantSingleTenantMatchesHybrid(t *testing.T) {
+	f := setup(t)
+	plan := f.plan(t, 0.3, f.node.NumGPUs)
+
+	run := func(mk func(cfg Config, gpus []*gpu.State) Engine) []*workload.Request {
+		var sim des.Sim
+		var done []*workload.Request
+		cfg := f.cfg
+		cfg.Sim = &sim
+		cfg.Forward = func(r *workload.Request) { done = append(done, r) }
+		e := mk(cfg, gpu.NewStates(f.node))
+		reqs := f.requests(40)
+		// Two waves so dynamic batching forms multi-request batches.
+		sim.At(0, func() {
+			for _, r := range reqs[:25] {
+				e.Submit(r)
+			}
+		})
+		sim.At(des.Time(1e6), func() {
+			for _, r := range reqs[25:] {
+				e.Submit(r)
+			}
+		})
+		sim.Run()
+		return done
+	}
+
+	hybrid := run(func(cfg Config, gpus []*gpu.State) Engine {
+		return NewHybrid(cfg, plan, gpus, f.gm)
+	})
+	multi := run(func(cfg Config, gpus []*gpu.State) Engine {
+		e, err := NewMultiTenant(cfg, []TenantSlot{{W: f.w, Plan: plan, CPUModel: cfg.CPUModel}}, gpus, f.gm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	})
+
+	if len(hybrid) != len(multi) || len(hybrid) != 40 {
+		t.Fatalf("completion counts differ: hybrid %d, multi %d", len(hybrid), len(multi))
+	}
+	for i := range hybrid {
+		h, m := hybrid[i], multi[i]
+		if h.ID != m.ID {
+			t.Fatalf("completion order diverges at %d: %d vs %d", i, h.ID, m.ID)
+		}
+		if h.SearchDone != m.SearchDone || h.SearchStart != m.SearchStart {
+			t.Fatalf("req %d timing differs: hybrid [%d,%d], multi [%d,%d]",
+				h.ID, h.SearchStart, h.SearchDone, m.SearchStart, m.SearchDone)
+		}
+		if h.HitRate != m.HitRate {
+			t.Fatalf("req %d hit rate differs: %v vs %v", h.ID, h.HitRate, m.HitRate)
+		}
+	}
+}
+
+// TestMultiTenantMixedBatchRoutesPerTenant: two tenants with disjoint
+// coverage (one fully resident, one CPU-only) inside one batch must
+// record tenant-appropriate hit rates and all complete.
+func TestMultiTenantMixedBatchRoutesPerTenant(t *testing.T) {
+	f := setup(t)
+	full := f.plan(t, 1.0, f.node.NumGPUs)
+	none := f.plan(t, 0.0, f.node.NumGPUs)
+
+	var done []*workload.Request
+	cfg := f.cfg
+	cfg.Forward = func(r *workload.Request) { done = append(done, r) }
+	e, err := NewMultiTenant(cfg, []TenantSlot{
+		{W: f.w, Plan: full, CPUModel: cfg.CPUModel},
+		{W: f.w, Plan: none, CPUModel: cfg.CPUModel},
+	}, f.gpus, f.gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := f.requests(20)
+	for i, r := range reqs {
+		r.Tenant = i % 2
+	}
+	f.sim.At(0, func() {
+		for _, r := range reqs {
+			e.Submit(r)
+		}
+	})
+	f.sim.Run()
+	if len(done) != 20 {
+		t.Fatalf("forwarded %d of 20", len(done))
+	}
+	for _, r := range done {
+		switch r.Tenant {
+		case 0:
+			if r.HitRate != 1 {
+				t.Errorf("fully resident tenant recorded hit rate %v", r.HitRate)
+			}
+		case 1:
+			if r.HitRate != 0 {
+				t.Errorf("CPU-only tenant recorded hit rate %v", r.HitRate)
+			}
+		}
+	}
+	if e.AvgBatch() <= 1 {
+		t.Errorf("no dynamic batching happened: avg batch %v", e.AvgBatch())
+	}
+}
+
+// TestMultiTenantStrayTenantClamps: out-of-range tenant IDs ride slot 0
+// rather than panicking.
+func TestMultiTenantStrayTenantClamps(t *testing.T) {
+	f := setup(t)
+	plan := f.plan(t, 0.5, f.node.NumGPUs)
+	e, err := NewMultiTenant(f.cfg, []TenantSlot{{W: f.w, Plan: plan, CPUModel: f.cfg.CPUModel}}, f.gpus, f.gm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := f.requests(1)[0]
+	req.Tenant = 7
+	f.sim.At(0, func() { e.Submit(req) })
+	f.sim.Run()
+	if len(f.done) != 1 {
+		t.Fatal("stray-tenant request never completed")
+	}
+}
+
+func TestMultiTenantValidation(t *testing.T) {
+	f := setup(t)
+	if _, err := NewMultiTenant(f.cfg, nil, f.gpus, f.gm); err == nil {
+		t.Error("empty slot set accepted")
+	}
+	if _, err := NewMultiTenant(f.cfg, []TenantSlot{{W: f.w}}, f.gpus, f.gm); err == nil {
+		t.Error("nil plan accepted")
+	}
+	badShards := f.plan(t, 0.5, 2)
+	if f.node.NumGPUs == 2 {
+		t.Skip("fixture node has 2 GPUs; shard-mismatch case vacuous")
+	}
+	if _, err := NewMultiTenant(f.cfg, []TenantSlot{{W: f.w, Plan: badShards, CPUModel: f.cfg.CPUModel}}, f.gpus, f.gm); err == nil {
+		t.Error("shard/GPU mismatch accepted")
+	}
+}

@@ -37,6 +37,10 @@ func (a *Arrivals) Start(sim *des.Sim, until des.Time, into Sink) {
 // Count returns how many requests the source has emitted so far.
 func (a *Arrivals) Count() int { return a.gen.Count() }
 
+// SetTenant stamps every request this source emits with the tenant ID
+// (multi-tenant runs start one source per tenant on a shared timeline).
+func (a *Arrivals) SetTenant(id int) { a.gen.Tenant = id }
+
 // Admission is the front-door dispatch stage: it registers every
 // arriving request with the collector and forwards it downstream. In a
 // cluster composition its downstream neighbor is the Router, making it

@@ -1,0 +1,99 @@
+package vecmath
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// fuzzPushes decodes a fuzz payload into a k and a push sequence:
+// every two bytes become one distance (signed, so negatives and ties
+// occur), pushed under index 0,1,2,...
+func fuzzPushes(data []byte) (k int, dists []float32, ok bool) {
+	if len(data) < 3 {
+		return 0, nil, false
+	}
+	k = int(data[0])%12 + 1
+	body := data[1:]
+	n := len(body) / 2
+	if n == 0 {
+		return 0, nil, false
+	}
+	if n > 500 {
+		n = 500
+	}
+	dists = make([]float32, n)
+	for i := range dists {
+		raw := int16(binary.LittleEndian.Uint16(body[i*2 : i*2+2]))
+		dists[i] = float32(raw) / 8
+	}
+	return k, dists, true
+}
+
+// FuzzTopK: the hand-rolled bounded max-heap must return exactly the k
+// smallest distances in ascending order, with indices that map back to
+// pushed values, for any push sequence (including duplicates, negative
+// values, and fewer pushes than k).
+func FuzzTopK(f *testing.F) {
+	f.Add([]byte("\x04sphinx of black quartz judge my vow"))
+	f.Add([]byte("\x01\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x0b\xff\x7f\x00\x80\x01\x00\x02\x00\x01\x00\x02\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, dists, ok := fuzzPushes(data)
+		if !ok {
+			t.Skip()
+		}
+		top := NewTopK(k)
+		for i, d := range dists {
+			top.Push(i, d)
+		}
+		if full := len(dists) >= k; full != (top.Len() == k) {
+			t.Fatalf("Len %d with %d pushes at k=%d", top.Len(), len(dists), k)
+		}
+		worst, wasFull := top.Worst()
+
+		got := top.Sorted()
+		// Reference: ascending sort of every pushed distance, truncated
+		// to k — the k smallest as a multiset.
+		want := append([]float32(nil), dists...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("returned %d neighbors, want %d", len(got), len(want))
+		}
+		seen := map[int]bool{}
+		for i, nb := range got {
+			if nb.Dist != want[i] {
+				t.Fatalf("sorted dist %d = %v, want %v (got %v)", i, nb.Dist, want[i], got)
+			}
+			if nb.Index < 0 || nb.Index >= len(dists) {
+				t.Fatalf("neighbor index %d out of range", nb.Index)
+			}
+			if dists[nb.Index] != nb.Dist {
+				t.Fatalf("index %d was pushed with %v, returned with %v", nb.Index, dists[nb.Index], nb.Dist)
+			}
+			if seen[nb.Index] {
+				t.Fatalf("index %d returned twice", nb.Index)
+			}
+			seen[nb.Index] = true
+		}
+		if wasFull && len(got) > 0 && worst != got[len(got)-1].Dist {
+			t.Fatalf("Worst() %v != largest kept %v", worst, got[len(got)-1].Dist)
+		}
+
+		// Reset/reuse must behave like a fresh collector (the search
+		// scratch path).
+		top.Reset(k)
+		for i, d := range dists {
+			top.Push(i, d)
+		}
+		again := top.Sorted()
+		for i := range got {
+			if again[i] != got[i] {
+				t.Fatalf("reused collector diverged at %d: %+v vs %+v", i, again[i], got[i])
+			}
+		}
+	})
+}

@@ -28,6 +28,11 @@ type Request struct {
 	ID    int
 	Query dataset.QueryID
 	Shape Shape
+	// Tenant identifies which tenant's stream the request belongs to in
+	// a multi-tenant run (0 in single-tenant runs, where it is unused).
+	// It indexes the per-tenant queues of serve.FairScheduler and the
+	// per-tenant corpora of the multi-tenant retrieval engine.
+	Tenant int
 
 	ArrivalAt   des.Time // enters the system
 	SearchStart des.Time // its retrieval batch begins
@@ -70,6 +75,9 @@ type Generator struct {
 	// (ramps, bursts, diurnal cycles — the non-stationary workloads of
 	// drift studies).
 	Sched Schedule
+	// Tenant stamps every emitted request (multi-tenant runs multiplex
+	// one generator per tenant onto a shared simulator timeline).
+	Tenant int
 
 	r      *rng.Rand
 	nextID int
@@ -139,6 +147,7 @@ func (g *Generator) emit(sim *des.Sim, submit func(*Request)) {
 		ID:        g.nextID,
 		Query:     g.W.Sample(g.r),
 		Shape:     g.Shape,
+		Tenant:    g.Tenant,
 		ArrivalAt: sim.Now(),
 	}
 	g.nextID++

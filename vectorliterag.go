@@ -18,6 +18,7 @@ import (
 	"vectorliterag/internal/rag"
 	"vectorliterag/internal/serve"
 	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/tenant"
 	"vectorliterag/internal/update"
 	"vectorliterag/internal/workload"
 )
@@ -63,6 +64,12 @@ type (
 	RebuildRecord = adapt.RebuildRecord
 	// AttainmentWindow is one bucket of an attainment-over-time series.
 	AttainmentWindow = metrics.Window
+	// Tier is an SLO service class (GoldTier, SilverTier, BronzeTier)
+	// ordering both the joint allocator's weighting and the
+	// FairScheduler's dispatch priority.
+	Tier = tenant.Tier
+	// TenantAllocation is one tenant's slice of the joint HBM decision.
+	TenantAllocation = tenant.Allocation
 )
 
 // Rate-schedule constructors for non-stationary workloads.
@@ -106,6 +113,19 @@ const (
 	RoundRobin  = serve.RoundRobin
 	LeastLoaded = serve.LeastLoaded
 )
+
+// The SLO service tiers of multi-tenant serving.
+const (
+	GoldTier   = tenant.Gold
+	SilverTier = tenant.Silver
+	BronzeTier = tenant.Bronze
+)
+
+// Tiers lists the supported service tiers, highest class first.
+func Tiers() []Tier { return tenant.Tiers() }
+
+// ParseTier validates a tier name ("gold", "silver", "bronze").
+func ParseTier(s string) (Tier, error) { return tenant.ParseTier(s) }
 
 // H100Node returns the 8xH100 evaluation node.
 func H100Node() Node { return hw.H100Node() }
@@ -440,6 +460,128 @@ func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
 	for _, r := range res.PerReplica {
 		rep.PerReplica = append(rep.PerReplica, ReplicaReport{
 			Submitted: r.Submitted, Summary: r.Summary, AvgBatch: r.AvgBatch,
+		})
+	}
+	return rep, nil
+}
+
+// TenantSpec describes one tenant of a multi-tenant serving run: its
+// own corpus, traffic, and SLO tier.
+type TenantSpec struct {
+	Name string
+	Tier Tier
+	// Workload is the tenant's corpus (own index, probe lists, skew).
+	Workload *Workload
+	// Rate is the tenant's nominal arrival rate (requests per virtual
+	// second); it also sizes the tenant's slice in the joint allocation.
+	Rate float64
+	// RateSchedule, when non-nil, drives this tenant's arrivals as a
+	// time-varying stream (e.g. BurstRate for a flash-crowd tenant).
+	RateSchedule RateSchedule
+	// SLOSearch defaults to the tenant dataset's Table-I value.
+	SLOSearch time.Duration
+}
+
+// MultiTenantServeOptions configures one multi-tenant serving run: N
+// tenants with their own corpora and SLO tiers sharing one node's HBM,
+// CPU, and LLM.
+type MultiTenantServeOptions struct {
+	Tenants []TenantSpec
+	// Node defaults to the H100 node; Model to Qwen3-32B.
+	Node  Node
+	Model ModelSpec
+	// Duration is the virtual arrival window (default 120 s).
+	Duration time.Duration
+	Shape    Shape
+	Seed     uint64
+	// SharedQueue disables the FairScheduler: every tenant's arrivals
+	// share one unmetered queue into the retrieval engine (the
+	// baseline a tenant isolation study compares against). The joint
+	// HBM allocation is unchanged.
+	SharedQueue bool
+}
+
+// TenantReport is one tenant's share of a multi-tenant run.
+type TenantReport struct {
+	Name     string
+	Tier     Tier
+	Rate     float64
+	SLOTotal time.Duration
+	// Target is the tier's attainment objective; Met reports whether
+	// the tenant's measured attainment reached it.
+	Target  float64
+	Met     bool
+	Summary Summary
+	// Alloc is the tenant's slice of the joint HBM decision.
+	Alloc TenantAllocation
+	// PeakQueue is the high-water mark of the tenant's admission queue
+	// (zero under SharedQueue).
+	PeakQueue int
+}
+
+// MultiTenantReport is the outcome of one multi-tenant serving run.
+type MultiTenantReport struct {
+	Tenants []TenantReport
+	// Fairness is Jain's index over per-tenant SLO attainment.
+	Fairness float64
+	// Attainment is the request-weighted aggregate attainment.
+	Attainment  float64
+	Mu0         float64
+	MuLLM       float64
+	BudgetBytes int64
+	UsedBytes   int64
+	AvgBatch    float64
+	SharedQueue bool
+}
+
+// ServeTenants runs the multi-tenant pipeline in virtual time: the
+// joint allocator splits HBM across the tenants' GPU index caches by
+// marginal SLO-attainment-per-byte (tier-weighted, with per-tenant
+// floors), every tenant's arrival stream multiplexes onto one
+// simulated timeline, and the FairScheduler meters admission into the
+// shared retrieval engine with weighted round-robin and tier-aware
+// preemption ordering.
+func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
+	if opts.Node.NumGPUs == 0 {
+		opts.Node = hw.H100Node()
+	}
+	if opts.Model.Params == 0 {
+		opts.Model = llm.Qwen3_32B
+	}
+	ro := rag.MultiTenantOptions{
+		Node: opts.Node, Model: opts.Model,
+		Duration: opts.Duration, Shape: opts.Shape, Seed: opts.Seed,
+		SharedQueue: opts.SharedQueue,
+	}
+	for _, ts := range opts.Tenants {
+		ro.Tenants = append(ro.Tenants, rag.TenantConfig{
+			Name: ts.Name, Tier: ts.Tier, W: ts.Workload,
+			Rate: ts.Rate, RateSchedule: ts.RateSchedule, SLOSearch: ts.SLOSearch,
+		})
+	}
+	res, err := rag.RunMultiTenant(ro)
+	if err != nil {
+		return nil, err
+	}
+	rep := &MultiTenantReport{
+		Fairness:    res.Fairness,
+		Attainment:  res.Attainment,
+		Mu0:         res.Mu0,
+		MuLLM:       res.MuLLM,
+		BudgetBytes: res.BudgetBytes,
+		UsedBytes:   res.UsedBytes,
+		AvgBatch:    res.AvgBatch,
+		SharedQueue: res.SharedQueue,
+	}
+	for _, tr := range res.Tenants {
+		rep.Tenants = append(rep.Tenants, TenantReport{
+			Name: tr.Name, Tier: tr.Tier, Rate: tr.Rate,
+			SLOTotal:  tr.SLOTotal,
+			Target:    tr.Tier.Target(),
+			Met:       tr.Summary.Attainment >= tr.Tier.Target(),
+			Summary:   tr.Summary,
+			Alloc:     tr.Alloc,
+			PeakQueue: tr.PeakQueue,
 		})
 	}
 	return rep, nil

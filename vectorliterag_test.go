@@ -146,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 19 {
-		t.Fatalf("got %d experiments, want 19: %v", len(names), names)
+	if len(names) != 20 {
+		t.Fatalf("got %d experiments, want 20: %v", len(names), names)
 	}
 	_, err := vlr.RunExperiment("nope", true)
 	if err == nil {
@@ -221,5 +221,55 @@ func TestDriftRotationAPI(t *testing.T) {
 	w.SetPopularityRotation(-1)
 	if w.PopularityRotation() != w.Templates()-1 {
 		t.Fatalf("negative rotation not normalized: %d", w.PopularityRotation())
+	}
+}
+
+func TestServeTenantsAPI(t *testing.T) {
+	gold := smallWorkload(t, vlr.Orcas1K)
+	bronze := smallWorkload(t, vlr.WikiAll)
+	opts := vlr.MultiTenantServeOptions{
+		Tenants: []vlr.TenantSpec{
+			{Name: "gold", Tier: vlr.GoldTier, Workload: gold, Rate: 8},
+			{Name: "bronze", Tier: vlr.BronzeTier, Workload: bronze, Rate: 4,
+				RateSchedule: vlr.BurstRate(4, 25, 30*time.Second, 10*time.Second)},
+		},
+		Duration: 40 * time.Second, Seed: 1,
+	}
+	rep, err := vlr.ServeTenants(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("got %d tenant reports", len(rep.Tenants))
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Summary.N == 0 {
+			t.Errorf("tenant %s saw no traffic", tr.Name)
+		}
+		if tr.Target <= 0 || tr.SLOTotal <= 0 {
+			t.Errorf("tenant %s report incomplete: %+v", tr.Name, tr)
+		}
+	}
+	if rep.Fairness <= 0 || rep.Fairness > 1 {
+		t.Fatalf("fairness %v outside (0,1]", rep.Fairness)
+	}
+	if rep.UsedBytes > rep.BudgetBytes {
+		t.Fatalf("allocation overran budget")
+	}
+
+	// The tier helpers round-trip.
+	if len(vlr.Tiers()) != 3 {
+		t.Fatalf("tiers: %v", vlr.Tiers())
+	}
+	if tier, err := vlr.ParseTier("silver"); err != nil || tier != vlr.SilverTier {
+		t.Fatalf("ParseTier: %v %v", tier, err)
+	}
+	if _, err := vlr.ParseTier("platinum"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+
+	// Validation propagates.
+	if _, err := vlr.ServeTenants(vlr.MultiTenantServeOptions{}); err == nil {
+		t.Fatal("empty tenant set accepted")
 	}
 }
