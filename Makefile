@@ -11,7 +11,7 @@ FUZZTIME ?= 5s
 # when coverage improves; never lower it to make CI pass.
 COVER_MIN ?= 76.0
 
-.PHONY: verify build test vet race bench bench-search bench-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
+.PHONY: verify build test vet race bench bench-search bench-serve bench-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
 verify: vet build race
 
@@ -36,10 +36,20 @@ bench:
 bench-search:
 	$(GO) test -run=NONE -bench=Search -benchmem -benchtime=2s ./...
 
-# One-iteration compile-and-run of the search kernel benchmarks; CI runs
-# this so the benchmarks cannot rot.
+# Timed end-to-end serving benchmarks — simulated-requests/sec,
+# wall-clock per simulated second, and allocs/request for the serving
+# scenarios, recorded with before/after rows in BENCH_serve.json (see
+# also `vliterag run -exp bench-serve`, which honors
+# -cpuprofile/-memprofile for profiling the serving loop directly).
+bench-serve:
+	$(GO) run ./cmd/vliterag run -exp bench-serve
+
+# One-iteration compile-and-run of the search kernel benchmarks plus a
+# quick-mode bench-serve pass; CI runs this so neither benchmark can
+# rot.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
+	$(GO) run ./cmd/vliterag run -exp bench-serve -quick
 
 # Run every example binary in quick mode. `go test` only compiles the
 # examples; this actually executes them, so their output paths cannot

@@ -5,10 +5,23 @@
 // Time is int64 nanoseconds. Events scheduled for the same instant fire
 // in scheduling order (FIFO), which makes multi-component pipelines
 // deterministic without fragile epsilon offsets.
+//
+// The event queue is a hand-rolled 4-ary min-heap over concrete event
+// structs: no container/heap interface boxing, no per-push allocation.
+// Because every event's (at, seq) key is unique, the heap's pop order
+// is a strict total order — identical for any correct heap arity —
+// which is what keeps the golden serving artifacts bit-stable across
+// queue implementations (heap_property_test.go pins this against a
+// container/heap reference).
+//
+// Scheduling itself can also be allocation-free: the hot paths of the
+// serving pipeline pre-bind one callback per component at construction
+// and pass per-event state through AtArg's arg word (a pointer, which
+// an interface holds without boxing), instead of capturing it in a new
+// closure per event.
 package des
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -16,16 +29,47 @@ import (
 type Time = int64
 
 // Sim is the event loop. The zero value is ready to use.
+//
+// The heap is stored as two parallel arrays: a dense key array (16
+// bytes per event — what every sift comparison touches, so a node's
+// four children span at most two cache lines) and a payload array with
+// the callbacks. Sift swaps move both; comparisons touch only keys.
+//
+// In front of the heap sits a one-event min register: fKey/fPay hold
+// the global minimum whenever fOK is set. The dominant scheduling
+// pattern of the serving pipeline — an event handler scheduling its
+// own successor as the next-soonest thing in the system (LLM decode
+// iterations, dispatcher promotions) — then bypasses the heap
+// entirely: the push lands in the register and the next Step fires it
+// with zero sift work. Misses cost one extra key comparison. The
+// register is an implementation detail of the priority queue: the
+// (at, seq) pop order is identical with or without it.
 type Sim struct {
-	now Time
-	pq  eventHeap
+	now  Time
+	fKey evKey
+	fPay evPay
+	fOK  bool
+	key  []evKey // 4-ary min-heap ordered by (at, seq)
+	pay  []evPay // pay[i] belongs to key[i]
+	seq  uint64
+}
+
+// evKey is an event's heap key: (at, seq) is unique, so the pop order
+// is a strict total order.
+type evKey struct {
+	at  Time
 	seq uint64
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// evPay is one scheduled callback: either a plain thunk (fn) or a
+// pre-bound callback plus its argument (argFn, arg). The two-form
+// layout lets hot components schedule without allocating a closure —
+// a long-lived argFn and a pointer-typed arg both fit in interface
+// words without heap boxing.
+type evPay struct {
+	fn    func()
+	argFn func(any)
+	arg   any
 }
 
 // Now returns the current virtual time.
@@ -34,34 +78,175 @@ func (s *Sim) Now() Time { return s.now }
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // fires at the current instant (never rewinds the clock).
 func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+	s.push(t, evPay{fn: fn})
+}
+
+// AtArg schedules fn(arg) at absolute virtual time t. With a pre-bound
+// fn and a pointer-typed arg this path allocates nothing, which is why
+// the per-request hooks of the serving pipeline use it instead of At.
+func (s *Sim) AtArg(t Time, fn func(any), arg any) {
+	s.push(t, evPay{argFn: fn, arg: arg})
 }
 
 // After schedules fn d nanoseconds from now; negative d means now.
 func (s *Sim) After(d time.Duration, fn func()) {
-	s.At(s.now+int64(d), fn)
+	s.push(s.now+int64(d), evPay{fn: fn})
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now; negative d means
+// now. Allocation-free under the same conditions as AtArg.
+func (s *Sim) AfterArg(d time.Duration, fn func(any), arg any) {
+	s.push(s.now+int64(d), evPay{argFn: fn, arg: arg})
+}
+
+// push clamps past deadlines, stamps the FIFO tie-break, and places
+// the event: into the min register when it is the new global minimum,
+// into the heap otherwise (displacing a beaten register holder back
+// into the heap).
+func (s *Sim) push(at Time, p evPay) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	k := evKey{at: at, seq: s.seq}
+	if s.fOK {
+		if lessKey(k, s.fKey) {
+			s.heapPush(s.fKey, s.fPay)
+			s.fKey, s.fPay = k, p
+			return
+		}
+	} else if len(s.key) == 0 || lessKey(k, s.key[0]) {
+		s.fKey, s.fPay, s.fOK = k, p, true
+		return
+	}
+	s.heapPush(k, p)
+}
+
+// heapPush appends and sifts into the 4-ary heap.
+func (s *Sim) heapPush(k evKey, p evPay) {
+	s.key = append(s.key, k)
+	s.pay = append(s.pay, p)
+	s.up(len(s.key) - 1)
 }
 
 // Step fires the next event. It reports false when no events remain.
 func (s *Sim) Step() bool {
-	if s.pq.Len() == 0 {
-		return false
+	var at Time
+	var p evPay
+	if s.fOK {
+		at, p = s.fKey.at, s.fPay
+		s.fOK = false
+		s.fPay = evPay{}
+	} else {
+		if len(s.key) == 0 {
+			return false
+		}
+		at = s.key[0].at
+		p = s.pay[0]
+		s.pop()
 	}
-	ev := heap.Pop(&s.pq).(event)
-	s.now = ev.at
-	ev.fn()
+	s.now = at
+	if p.fn != nil {
+		p.fn()
+	} else {
+		p.argFn(p.arg)
+	}
 	return true
+}
+
+// pop removes the root, restoring the heap. The vacated tail slot is
+// zeroed so the backing array does not retain callback references.
+func (s *Sim) pop() {
+	n := len(s.key) - 1
+	s.key[0] = s.key[n]
+	s.pay[0] = s.pay[n]
+	s.pay[n] = evPay{}
+	s.key = s.key[:n]
+	s.pay = s.pay[:n]
+	if n > 0 {
+		s.down(0)
+	}
+}
+
+// lessKey orders events by (at, seq) — a strict total order, since seq
+// is unique per event.
+func lessKey(a, b evKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// up sifts element i toward the root of the 4-ary heap by hole
+// percolation: beaten parents move down into the hole and the sifted
+// element lands once, halving the writes of swap-based sifting while
+// producing the identical final layout.
+func (s *Sim) up(i int) {
+	key, pay := s.key, s.pay
+	k, p := key[i], pay[i]
+	for i > 0 {
+		par := (i - 1) / 4
+		if !lessKey(k, key[par]) {
+			break
+		}
+		key[i], pay[i] = key[par], pay[par]
+		i = par
+	}
+	key[i], pay[i] = k, p
+}
+
+// down sifts element i toward the leaves of the 4-ary heap (hole
+// percolation, see up).
+func (s *Sim) down(i int) {
+	key, pay := s.key, s.pay
+	n := len(key)
+	k, p := key[i], pay[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		bk := key[first]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if lessKey(key[c], bk) {
+				best, bk = c, key[c]
+			}
+		}
+		if !lessKey(bk, k) {
+			break
+		}
+		key[i], pay[i] = bk, pay[best]
+		i = best
+	}
+	key[i], pay[i] = k, p
+}
+
+// nextAt returns the earliest pending event time; ok is false when no
+// events remain.
+func (s *Sim) nextAt() (Time, bool) {
+	if s.fOK {
+		return s.fKey.at, true
+	}
+	if len(s.key) > 0 {
+		return s.key[0].at, true
+	}
+	return 0, false
 }
 
 // RunUntil fires events until the queue is empty or the next event is
 // later than deadline; the clock is left at the last fired event (or
 // advanced to deadline if it never got there).
 func (s *Sim) RunUntil(deadline Time) {
-	for s.pq.Len() > 0 && s.pq[0].at <= deadline {
+	for {
+		at, ok := s.nextAt()
+		if !ok || at > deadline {
+			break
+		}
 		s.Step()
 	}
 	if s.now < deadline {
@@ -76,23 +261,10 @@ func (s *Sim) Run() {
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return s.pq.Len() }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (s *Sim) Pending() int {
+	n := len(s.key)
+	if s.fOK {
+		n++
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return n
 }

@@ -114,9 +114,10 @@ func Adapt(cfg Config) (*AdaptResult, error) {
 
 // attainmentFrom computes SLO attainment over requests arriving at or
 // after the cutoff (unserved count as violations, as in Summarize).
-func attainmentFrom(reqs []*workload.Request, from time.Duration, slo time.Duration) float64 {
+func attainmentFrom(reqs []workload.Request, from time.Duration, slo time.Duration) float64 {
 	n, ok := 0, 0
-	for _, r := range reqs {
+	for i := range reqs {
+		r := &reqs[i]
 		if time.Duration(r.ArrivalAt) < from {
 			continue
 		}

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "adapt", "tenants"}
+		"cluster", "bench", "bench-serve", "adapt", "tenants"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -465,6 +465,52 @@ func TestBenchShape(t *testing.T) {
 	}
 	if out := r.Render(); !strings.Contains(out, "ivf_search") {
 		t.Errorf("render missing kernels:\n%s", out)
+	}
+}
+
+// TestBenchServeShape runs the end-to-end serving benchmark in quick
+// mode and pins its contract: every scenario measured, sane rates, and
+// the steady-state allocation budget of the allocation-free serving
+// core (≤1 alloc per request, the PR-5 acceptance bound; the residual
+// is amortized buffer growth during ramp-up, not per-event garbage).
+func TestBenchServeShape(t *testing.T) {
+	r, err := BenchServe(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path != "" {
+		t.Errorf("quick-mode bench-serve wrote %s", r.Path)
+	}
+	want := map[string]bool{
+		"single_vliterag_30rps": false, "cluster_x2_least_loaded_60rps": false,
+		"adaptive_drift_20rps": false, "tenants_quick_fair": false,
+	}
+	for _, row := range r.Rows {
+		if _, ok := want[row.Config]; !ok {
+			t.Errorf("unexpected config %q", row.Config)
+			continue
+		}
+		want[row.Config] = true
+		if row.Requests <= 0 || row.SimReqPerSec <= 0 || row.WallSeconds <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", row.Config, row)
+		}
+		if row.AllocsPerReq > 1 {
+			t.Errorf("%s: %.2f allocs/request, steady-state budget is <=1", row.Config, row.AllocsPerReq)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("config %q missing from bench-serve rows", name)
+		}
+	}
+	out := r.Render()
+	for _, wantStr := range []string{"tenants_quick_fair", "vs baseline", "sim-req/s"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("render missing %q:\n%s", wantStr, out)
+		}
+	}
+	if !strings.HasPrefix(r.CSV(), "phase,config,requests") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(r.CSV(), "\n", 2)[0])
 	}
 }
 

@@ -51,8 +51,11 @@ func Registry() map[string]Runner {
 		"ablations": func(c Config) (Renderer, error) { return Ablations(c) },
 		"cluster":   func(c Config) (Renderer, error) { return Cluster(c) },
 		"bench":     func(c Config) (Renderer, error) { return Bench(c) },
-		"adapt":     func(c Config) (Renderer, error) { return Adapt(c) },
-		"tenants":   func(c Config) (Renderer, error) { return Tenants(c) },
+		"bench-serve": func(c Config) (Renderer, error) {
+			return BenchServe(c)
+		},
+		"adapt":   func(c Config) (Renderer, error) { return Adapt(c) },
+		"tenants": func(c Config) (Renderer, error) { return Tenants(c) },
 	}
 }
 

@@ -38,6 +38,22 @@ func DefaultEngineConfig() EngineConfig {
 
 // Instance is one model replica spanning TP GPUs, running an
 // iteration-level continuous-batching loop on the simulator.
+//
+// The loop is allocation-free in steady state and does O(1) work per
+// iteration plus O(1) per completion — not O(running sequences):
+// because every running decode gains exactly one token per iteration,
+// an entry's completion iteration is known the moment it joins the
+// decode set, so running entries live in a completion time-wheel
+// (buckets keyed by completion tick) instead of being swept every
+// iteration. The aggregate context size advances in bulk (+running per
+// tick), reproducing the per-entry bookkeeping of the sweep version
+// bit for bit: same completion instants, same completion order (join
+// order within a tick), same decode-step durations. Entries are stored
+// by value, the waiting queue compacts its backing array instead of
+// re-slicing it away, the prefill-completion set is tracked as a count
+// (completed prefills are always a FIFO prefix of prefilling), and the
+// two scheduler callbacks (iterate, and the post-iteration step) are
+// bound once at construction instead of captured per event.
 type Instance struct {
 	sim  *des.Sim
 	spec ModelSpec
@@ -48,11 +64,40 @@ type Instance struct {
 	kvCapacityTokens int64
 	kvUsedTokens     int64
 
-	waiting    []*entry // not yet admitted (no KV reserved)
-	prefilling []*entry // admitted, prompt tokens still being consumed
-	running    []*entry // decoding
-	sumCtx     int64    // total context tokens across running entries
+	waiting    []entry // not yet admitted (no KV reserved)
+	wHead      int     // consumed prefix of waiting (compacted on append)
+	prefilling []entry // admitted, prompt tokens still being consumed
+	sumCtx     int64   // total context tokens across running entries
 	busy       bool
+
+	// The decode set, as a completion time-wheel: wheel[t & mask] holds
+	// the entries whose last token lands on decode tick t, in join
+	// order. nRunning counts entries across all buckets; tick is the
+	// current decode iteration number. The wheel has more slots than
+	// the largest per-entry decode length, so bucket and tick can never
+	// collide between two generations of entries.
+	wheel    [][]finEntry
+	tick     int64
+	nRunning int
+
+	// Per-iteration physics constants, precomputed at construction so
+	// the (very hot) iteration loop does no redundant spec math.
+	weightBytesF  float64 // one full weight read, bytes
+	kvPerTokenF   float64 // KV bytes per context token
+	bwTotal       float64 // aggregate memory bandwidth across TP GPUs
+	prefillAggOps float64 // aggregate effective FLOP/s for prefill
+
+	// prefillDone is how many leading prefilling entries finished their
+	// prompt in the iteration currently in flight. Chunked prefill
+	// consumes the budget FIFO, so finishers are always a prefix — a
+	// count fully describes the set, and the step event needs no
+	// captured slice.
+	prefillDone int
+
+	// iterateFn / stepFn are the two loop callbacks, pre-bound so every
+	// scheduled iteration reuses them.
+	iterateFn func()
+	stepFn    func()
 
 	onFirstToken func(*workload.Request)
 	onDone       func(*workload.Request)
@@ -65,7 +110,17 @@ type entry struct {
 	req            *workload.Request
 	generated      int
 	prefillPending int   // prompt tokens not yet processed
+	outTokens      int   // decode target, cached off req.Shape
 	reserved       int64 // KV tokens reserved at admission
+}
+
+// finEntry is a decoding request parked in the completion wheel until
+// the tick its last token lands on.
+type finEntry struct {
+	req       *workload.Request
+	inTokens  int   // prompt length, for the context-sum release
+	genAtDone int   // generated count at completion (normally outTokens)
+	reserved  int64 // KV tokens to release
 }
 
 // NewInstance builds an instance over the given GPUs (len must equal
@@ -75,6 +130,12 @@ func NewInstance(sim *des.Sim, node hw.Node, spec ModelSpec, gpus []*gpu.State, 
 		return nil, fmt.Errorf("llm: %s needs %d GPUs, got %d", spec, spec.TP, len(gpus))
 	}
 	inst := &Instance{sim: sim, spec: spec, node: node, cfg: cfg, gpus: gpus}
+	inst.iterateFn = inst.iterate
+	inst.stepFn = inst.step
+	inst.weightBytesF = float64(spec.WeightBytes())
+	inst.kvPerTokenF = float64(spec.KVBytesPerToken())
+	inst.bwTotal = node.GPU.MemBWBytes * float64(spec.TP)
+	inst.prefillAggOps = node.GPU.TFLOPs * 1e12 * float64(spec.TP) * cfg.ComputeEfficiency
 	// KV pool: the minimum free memory across the instance's GPUs bounds
 	// the per-GPU KV share (paged KV is allocated symmetrically under TP).
 	perGPU := int64(1) << 62
@@ -96,14 +157,23 @@ func NewInstance(sim *des.Sim, node hw.Node, spec ModelSpec, gpus []*gpu.State, 
 func (in *Instance) KVCapacityTokens() int64 { return in.kvCapacityTokens }
 
 // Load returns the number of requests queued or running.
-func (in *Instance) Load() int { return len(in.waiting) + len(in.prefilling) + len(in.running) }
+func (in *Instance) Load() int {
+	return len(in.waiting) - in.wHead + len(in.prefilling) + in.nRunning
+}
 
 // Completed returns the number of finished requests.
 func (in *Instance) Completed() int64 { return in.completed }
 
 // Submit enqueues a request; the scheduling loop wakes if idle.
 func (in *Instance) Submit(req *workload.Request) {
-	in.waiting = append(in.waiting, &entry{req: req})
+	if in.wHead > 0 && len(in.waiting) == cap(in.waiting) {
+		// Compact the consumed prefix away before append would grow the
+		// array: the queue stays allocation-free once warm.
+		n := copy(in.waiting, in.waiting[in.wHead:])
+		in.waiting = in.waiting[:n]
+		in.wHead = 0
+	}
+	in.waiting = append(in.waiting, entry{req: req})
 	in.wake()
 }
 
@@ -112,7 +182,7 @@ func (in *Instance) wake() {
 		return
 	}
 	in.busy = true
-	in.sim.At(in.sim.Now(), in.iterate)
+	in.sim.At(in.sim.Now(), in.iterateFn)
 }
 
 // iterate runs one mixed scheduler step (chunked prefill): admit
@@ -122,36 +192,45 @@ func (in *Instance) wake() {
 // the decode read time and the prefill compute.
 func (in *Instance) iterate() {
 	// Admission: reserve KV for as many waiting requests as fit.
-	for len(in.waiting) > 0 {
-		e := in.waiting[0]
+	for in.wHead < len(in.waiting) {
+		e := in.waiting[in.wHead]
 		need := int64(e.req.Shape.InputTokens + e.req.Shape.OutputTokens)
-		if len(in.running)+len(in.prefilling)+1 > in.cfg.MaxSeqs {
+		if in.nRunning+len(in.prefilling)+1 > in.cfg.MaxSeqs {
 			break
 		}
 		if in.kvUsedTokens+need > in.kvCapacityTokens {
 			break
 		}
-		in.waiting = in.waiting[1:]
+		in.waiting[in.wHead] = entry{}
+		in.wHead++
+		if in.wHead == len(in.waiting) {
+			in.waiting = in.waiting[:0]
+			in.wHead = 0
+		}
 		e.reserved = need
 		e.prefillPending = e.req.Shape.InputTokens
+		e.outTokens = e.req.Shape.OutputTokens
 		e.req.LLMStart = in.sim.Now()
 		in.kvUsedTokens += need
 		in.prefilling = append(in.prefilling, e)
 	}
 
-	if len(in.prefilling) == 0 && len(in.running) == 0 {
+	if len(in.prefilling) == 0 && in.nRunning == 0 {
 		in.busy = false
 		return
 	}
 
-	// Consume prompt tokens FIFO within this iteration's budget.
+	// Consume prompt tokens FIFO within this iteration's budget. An
+	// entry only receives tokens once every earlier entry is done, so
+	// the finishers are exactly the first prefillDone entries.
 	budget := in.cfg.MaxPrefillTokens
 	prefillTokens := 0
-	var finishedPrefill []*entry
-	for _, e := range in.prefilling {
+	in.prefillDone = 0
+	for i := range in.prefilling {
 		if budget <= 0 {
 			break
 		}
+		e := &in.prefilling[i]
 		take := e.prefillPending
 		if take > budget {
 			take = budget
@@ -160,13 +239,13 @@ func (in *Instance) iterate() {
 		budget -= take
 		prefillTokens += take
 		if e.prefillPending == 0 {
-			finishedPrefill = append(finishedPrefill, e)
+			in.prefillDone++
 		}
 	}
 
 	// Iteration duration: decode reads + prefill compute.
 	var d time.Duration
-	if len(in.running) > 0 {
+	if in.nRunning > 0 {
 		d += in.decodeStepTime()
 	}
 	if prefillTokens > 0 {
@@ -177,61 +256,133 @@ func (in *Instance) iterate() {
 	}
 	stretched := in.stretch(d)
 
-	in.sim.After(time.Duration(stretched), func() {
-		now := in.sim.Now()
-		// Decode side: every running request gains a token.
-		kept := in.running[:0]
-		for _, e := range in.running {
-			e.generated++
-			in.tokensOut++
-			in.sumCtx++
-			if e.generated >= e.req.Shape.OutputTokens {
+	in.sim.After(time.Duration(stretched), in.stepFn)
+}
+
+// park inserts a freshly prefilled entry into the completion wheel.
+// The entry joined decoding with one token already emitted, gains one
+// per subsequent tick, and completes on the first tick where generated
+// reaches outTokens — ticks = max(1, outTokens-1) from now (even a
+// 1-token request survives one decode tick, exactly as the sweep
+// version's post-increment check behaved).
+func (in *Instance) park(e *entry) {
+	ticks := e.outTokens - 1
+	if ticks < 1 {
+		ticks = 1
+	}
+	if ticks >= len(in.wheel) {
+		in.growWheel(ticks + 1)
+	}
+	done := in.tick + int64(ticks)
+	slot := int(done & int64(len(in.wheel)-1))
+	in.wheel[slot] = append(in.wheel[slot], finEntry{
+		req:       e.req,
+		inTokens:  e.req.Shape.InputTokens,
+		genAtDone: 1 + ticks,
+		reserved:  e.reserved,
+	})
+	in.nRunning++
+}
+
+// growWheel resizes the wheel to hold at least need ticks of lookahead,
+// re-bucketing parked entries. Buckets are relocated wholesale: within
+// a bucket join order is preserved, and distinct buckets cannot merge
+// because the new size also exceeds every parked entry's remaining
+// lookahead. Fresh slots are carved out of one flat backing array with
+// a few entries of capacity each, so filling the wheel the first time
+// costs two allocations, not one per slot.
+func (in *Instance) growWheel(need int) {
+	size := 256
+	for size < need+1 {
+		size *= 2
+	}
+	old := in.wheel
+	oldMask := int64(len(old) - 1)
+	in.wheel = make([][]finEntry, size)
+	const slotCap = 4
+	backing := make([]finEntry, size*slotCap)
+	for i := range in.wheel {
+		in.wheel[i] = backing[i*slotCap : i*slotCap : (i+1)*slotCap]
+	}
+	if len(old) == 0 {
+		return
+	}
+	// Parked entries complete within len(old) ticks of now; walk the
+	// next len(old) ticks in order and move each bucket to its slot
+	// under the new mask.
+	for dt := int64(0); dt < int64(len(old)); dt++ {
+		t := in.tick + dt
+		b := old[t&oldMask]
+		if len(b) > 0 {
+			in.wheel[t&int64(size-1)] = b
+		}
+	}
+}
+
+// step applies the iteration scheduled by iterate: decode tokens land,
+// finished requests complete, fully prefilled requests emit their first
+// token, and the loop re-enters iterate at the same instant.
+func (in *Instance) step() {
+	now := in.sim.Now()
+	// Decode side: every running request gains a token — in bulk, since
+	// they advance in lockstep — and this tick's wheel bucket holds
+	// exactly the requests whose last token just landed, in join order.
+	in.tick++
+	in.tokensOut += int64(in.nRunning)
+	in.sumCtx += int64(in.nRunning)
+	if len(in.wheel) > 0 {
+		slot := int(in.tick & int64(len(in.wheel)-1))
+		bucket := in.wheel[slot]
+		if len(bucket) > 0 {
+			in.nRunning -= len(bucket)
+			for i := range bucket {
+				e := &bucket[i]
 				e.req.Done = now
 				in.kvUsedTokens -= e.reserved
-				in.sumCtx -= int64(e.req.Shape.InputTokens + e.generated)
+				in.sumCtx -= int64(e.inTokens + e.genAtDone)
 				in.completed++
 				if in.onDone != nil {
 					in.onDone(e.req)
 				}
-				continue
 			}
-			kept = append(kept, e)
+			clear(bucket)
+			in.wheel[slot] = bucket[:0]
 		}
-		in.running = kept
-		// Prefill side: fully prefilled requests emit their first token
-		// (the TTFT endpoint) and join the decode set.
-		if len(finishedPrefill) > 0 {
-			in.prefilling = in.prefilling[len(finishedPrefill):]
-			for _, e := range finishedPrefill {
-				e.req.FirstToken = now
-				e.generated = 1
-				in.tokensOut++
-				in.running = append(in.running, e)
-				in.sumCtx += int64(e.req.Shape.InputTokens + 1)
-				if in.onFirstToken != nil {
-					in.onFirstToken(e.req)
-				}
+	}
+	// Prefill side: fully prefilled requests emit their first token
+	// (the TTFT endpoint) and join the decode set.
+	if k := in.prefillDone; k > 0 {
+		in.prefillDone = 0
+		for i := range in.prefilling[:k] {
+			e := &in.prefilling[i]
+			e.req.FirstToken = now
+			e.generated = 1
+			in.tokensOut++
+			in.sumCtx += int64(e.req.Shape.InputTokens + 1)
+			in.park(e)
+			if in.onFirstToken != nil {
+				in.onFirstToken(e.req)
 			}
 		}
-		in.iterate()
-	})
+		n := copy(in.prefilling, in.prefilling[k:])
+		in.prefilling = in.prefilling[:n]
+	}
+	in.iterate()
 }
 
 // prefillTime is compute-bound: 2*Params FLOPs per token over the
 // instance's aggregate effective compute.
 func (in *Instance) prefillTime(tokens int) time.Duration {
 	flops := 2 * float64(in.spec.Params) * float64(tokens)
-	agg := in.node.GPU.TFLOPs * 1e12 * float64(in.spec.TP) * in.cfg.ComputeEfficiency
-	return in.cfg.PrefillBase + time.Duration(flops/agg*float64(time.Second))
+	return in.cfg.PrefillBase + time.Duration(flops/in.prefillAggOps*float64(time.Second))
 }
 
 // decodeStepTime is bandwidth-bound: one full weight read plus the KV
 // reads of every running sequence, across the instance's aggregate
 // memory bandwidth.
 func (in *Instance) decodeStepTime() time.Duration {
-	bw := in.node.GPU.MemBWBytes * float64(in.spec.TP)
-	bytes := float64(in.spec.WeightBytes()) + float64(in.sumCtx*in.spec.KVBytesPerToken())
-	return in.cfg.DecodeBase + time.Duration(bytes/bw*float64(time.Second))
+	bytes := in.weightBytesF + float64(in.sumCtx)*in.kvPerTokenF
+	return in.cfg.DecodeBase + time.Duration(bytes/in.bwTotal*float64(time.Second))
 }
 
 // stretch applies retrieval-kernel contention: the iteration slows by

@@ -2,9 +2,17 @@
 // attainment (fraction of requests whose TTFT meets the combined
 // budget), TTFT and end-to-end latency percentiles, and the TTFT stage
 // breakdown of Fig. 12 (queuing delay, vector search, prefill).
+//
+// Aggregation operates over []workload.Request *values* — the compact
+// per-request records the streaming serve.Collector accumulates — so
+// summarizing never needs the live (pooled, recycled) request objects.
+// The Summarizer and TimelineInto forms reuse scratch buffers across
+// calls; the package-level functions are one-shot conveniences over
+// them.
 package metrics
 
 import (
+	"slices"
 	"time"
 
 	"vectorliterag/internal/des"
@@ -36,19 +44,30 @@ type Summary struct {
 	Breakdown  Breakdown
 }
 
+// Summarizer aggregates runs into Summaries while reusing its sample
+// and sort scratch across calls — the allocation-free aggregation path
+// a collector holds for the lifetime of a run (and across runs).
+type Summarizer struct {
+	ttft, e2e, search []float64
+	sorted            []float64
+}
+
 // Summarize filters to requests that arrived at or after cutoff (warmup
 // exclusion) and aggregates. slo is the combined TTFT budget
 // (SLO_search + SLO_LLM, Table I). Requests still stuck in the system
 // at measurement time count as SLO violations — under overload a
 // backlog is a failure, not missing data — but are excluded from the
 // latency percentiles.
-func Summarize(reqs []*workload.Request, slo time.Duration, cutoff des.Time) Summary {
-	var ttft, e2e, search []float64
+func (a *Summarizer) Summarize(reqs []workload.Request, slo time.Duration, cutoff des.Time) Summary {
+	a.ttft = a.ttft[:0]
+	a.e2e = a.e2e[:0]
+	a.search = a.search[:0]
 	var sumQ, sumS, sumW, sumP float64
 	ok := 0
 	n := 0
 	unserved := 0
-	for _, r := range reqs {
+	for i := range reqs {
+		r := &reqs[i]
 		if r.ArrivalAt < cutoff {
 			continue
 		}
@@ -58,14 +77,14 @@ func Summarize(reqs []*workload.Request, slo time.Duration, cutoff des.Time) Sum
 			continue
 		}
 		t := r.TTFT()
-		ttft = append(ttft, float64(t))
+		a.ttft = append(a.ttft, float64(t))
 		if time.Duration(t) <= slo {
 			ok++
 		}
 		if r.Done > 0 {
-			e2e = append(e2e, float64(r.E2E()))
+			a.e2e = append(a.e2e, float64(r.E2E()))
 		}
-		search = append(search, float64(r.SearchLatency()))
+		a.search = append(a.search, float64(r.SearchLatency()))
 		sumQ += float64(r.QueueingDelay())
 		sumS += float64(r.SearchLatency())
 		sumW += float64(r.LLMStart - r.SearchDone)
@@ -80,9 +99,9 @@ func Summarize(reqs []*workload.Request, slo time.Duration, cutoff des.Time) Sum
 	if served == 0 {
 		return s
 	}
-	s.TTFT = quantiles(ttft)
-	s.E2E = quantiles(e2e)
-	s.Search = quantiles(search)
+	s.TTFT = a.quantiles(a.ttft)
+	s.E2E = a.quantiles(a.e2e)
+	s.Search = a.quantiles(a.search)
 	fs := float64(served)
 	s.Breakdown = Breakdown{
 		Queueing: time.Duration(sumQ / fs),
@@ -93,15 +112,31 @@ func Summarize(reqs []*workload.Request, slo time.Duration, cutoff des.Time) Sum
 	return s
 }
 
-func quantiles(sample []float64) Quantiles {
+// Summarize is the one-shot form of Summarizer.Summarize.
+func Summarize(reqs []workload.Request, slo time.Duration, cutoff des.Time) Summary {
+	var a Summarizer
+	return a.Summarize(reqs, slo, cutoff)
+}
+
+// quantiles computes the five-number summary: the mean over the sample
+// in collection order (bit-compatible with the historical float
+// summation order), the percentiles from one sorted scratch copy.
+func (a *Summarizer) quantiles(sample []float64) Quantiles {
 	if len(sample) == 0 {
 		return Quantiles{}
 	}
+	mean := stats.Mean(sample)
+	if cap(a.sorted) < len(sample) {
+		a.sorted = make([]float64, len(sample))
+	}
+	s := a.sorted[:len(sample)]
+	copy(s, sample)
+	slices.Sort(s)
 	return Quantiles{
-		Mean: time.Duration(stats.Mean(sample)),
-		P50:  time.Duration(stats.Percentile(sample, 0.50)),
-		P90:  time.Duration(stats.Percentile(sample, 0.90)),
-		P95:  time.Duration(stats.Percentile(sample, 0.95)),
-		P99:  time.Duration(stats.Percentile(sample, 0.99)),
+		Mean: time.Duration(mean),
+		P50:  time.Duration(stats.PercentileSorted(s, 0.50)),
+		P90:  time.Duration(stats.PercentileSorted(s, 0.90)),
+		P95:  time.Duration(stats.PercentileSorted(s, 0.95)),
+		P99:  time.Duration(stats.PercentileSorted(s, 0.99)),
 	}
 }

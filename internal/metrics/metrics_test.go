@@ -7,8 +7,8 @@ import (
 	"vectorliterag/internal/workload"
 )
 
-func mkReq(arrival, searchStart, searchDone, llmStart, firstToken, done int64) *workload.Request {
-	return &workload.Request{
+func mkReq(arrival, searchStart, searchDone, llmStart, firstToken, done int64) workload.Request {
+	return workload.Request{
 		ArrivalAt: arrival, SearchStart: searchStart, SearchDone: searchDone,
 		LLMStart: llmStart, FirstToken: firstToken, Done: done,
 	}
@@ -16,7 +16,7 @@ func mkReq(arrival, searchStart, searchDone, llmStart, firstToken, done int64) *
 
 func TestSummarizeBasic(t *testing.T) {
 	ms := int64(time.Millisecond)
-	reqs := []*workload.Request{
+	reqs := []workload.Request{
 		mkReq(0, 10*ms, 50*ms, 60*ms, 200*ms, 1000*ms), // TTFT 200ms ok
 		mkReq(0, 20*ms, 80*ms, 90*ms, 500*ms, 2000*ms), // TTFT 500ms violation
 		mkReq(0, 10*ms, 40*ms, 50*ms, 300*ms, 1500*ms), // TTFT 300ms ok
@@ -40,7 +40,7 @@ func TestSummarizeWarmupCut(t *testing.T) {
 	ms := int64(time.Millisecond)
 	early := mkReq(0, 1*ms, 2*ms, 3*ms, 10*ms, 20*ms)
 	late := mkReq(100*ms, 101*ms, 102*ms, 103*ms, 900*ms, 1000*ms)
-	s := Summarize([]*workload.Request{early, late}, 500*time.Millisecond, 50*ms)
+	s := Summarize([]workload.Request{early, late}, 500*time.Millisecond, 50*ms)
 	if s.N != 1 {
 		t.Fatalf("warmup cut kept %d", s.N)
 	}
@@ -52,8 +52,8 @@ func TestSummarizeWarmupCut(t *testing.T) {
 func TestSummarizeUnservedCountAsViolations(t *testing.T) {
 	ms := int64(time.Millisecond)
 	served := mkReq(0, 1*ms, 2*ms, 3*ms, 100*ms, 200*ms)
-	stuck := &workload.Request{ArrivalAt: 0} // never got a first token
-	s := Summarize([]*workload.Request{served, stuck}, 500*time.Millisecond, 0)
+	stuck := workload.Request{ArrivalAt: 0} // never got a first token
+	s := Summarize([]workload.Request{served, stuck}, 500*time.Millisecond, 0)
 	if s.N != 2 || s.Unserved != 1 {
 		t.Fatalf("N=%d unserved=%d", s.N, s.Unserved)
 	}
@@ -70,7 +70,7 @@ func TestSummarizeEmpty(t *testing.T) {
 }
 
 func TestSummarizeAllUnserved(t *testing.T) {
-	s := Summarize([]*workload.Request{{ArrivalAt: 0}, {ArrivalAt: 5}}, time.Second, 0)
+	s := Summarize([]workload.Request{{ArrivalAt: 0}, {ArrivalAt: 5}}, time.Second, 0)
 	if s.N != 2 || s.Unserved != 2 || s.Attainment != 0 {
 		t.Fatalf("summary %+v", s)
 	}
@@ -79,7 +79,7 @@ func TestSummarizeAllUnserved(t *testing.T) {
 func TestBreakdownSumsToTTFT(t *testing.T) {
 	ms := int64(time.Millisecond)
 	r := mkReq(0, 30*ms, 90*ms, 100*ms, 250*ms, 900*ms)
-	s := Summarize([]*workload.Request{r}, time.Second, 0)
+	s := Summarize([]workload.Request{r}, time.Second, 0)
 	sum := s.Breakdown.Queueing + s.Breakdown.Search + s.Breakdown.LLMWait + s.Breakdown.Prefill
 	if sum != s.TTFT.Mean {
 		t.Fatalf("breakdown sum %v != mean TTFT %v", sum, s.TTFT.Mean)

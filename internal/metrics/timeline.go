@@ -18,6 +18,12 @@ type Window struct {
 	Unserved    int
 	Attainment  float64
 	MeanHitRate float64 // over served requests; 0 when none served
+
+	// Unexported accumulators, folded into the exported fields when the
+	// bucketing pass finalizes; keeping them inline is what lets
+	// TimelineInto aggregate without per-window side slices.
+	ok, served int
+	hitSum     float64
 }
 
 // Timeline buckets requests by arrival time into fixed windows and
@@ -25,43 +31,51 @@ type Window struct {
 // system count as violations, exactly as in Summarize. Windows run from
 // time zero through the last arrival; empty windows are kept so the
 // series has no gaps.
-func Timeline(reqs []*workload.Request, slo time.Duration, width time.Duration) []Window {
+func Timeline(reqs []workload.Request, slo time.Duration, width time.Duration) []Window {
+	return TimelineInto(nil, reqs, slo, width)
+}
+
+// TimelineInto is Timeline writing into dst's backing array when it is
+// large enough — the allocation-free path for callers that rebuild the
+// series repeatedly (dst may be nil or a previous result).
+func TimelineInto(dst []Window, reqs []workload.Request, slo time.Duration, width time.Duration) []Window {
 	if width <= 0 || len(reqs) == 0 {
 		return nil
 	}
 	var last des.Time
-	for _, r := range reqs {
-		if r.ArrivalAt > last {
-			last = r.ArrivalAt
+	for i := range reqs {
+		if reqs[i].ArrivalAt > last {
+			last = reqs[i].ArrivalAt
 		}
 	}
 	n := int(last/des.Time(width)) + 1
-	wins := make([]Window, n)
-	ok := make([]int, n)
-	served := make([]int, n)
-	hit := make([]float64, n)
-	for i := range wins {
-		wins[i].Start = time.Duration(i) * width
+	if cap(dst) < n {
+		dst = make([]Window, n)
 	}
-	for _, r := range reqs {
+	wins := dst[:n]
+	for i := range wins {
+		wins[i] = Window{Start: time.Duration(i) * width}
+	}
+	for i := range reqs {
+		r := &reqs[i]
 		b := int(r.ArrivalAt / des.Time(width))
 		wins[b].N++
 		if r.FirstToken == 0 {
 			wins[b].Unserved++
 			continue
 		}
-		served[b]++
-		hit[b] += r.HitRate
+		wins[b].served++
+		wins[b].hitSum += r.HitRate
 		if time.Duration(r.TTFT()) <= slo {
-			ok[b]++
+			wins[b].ok++
 		}
 	}
 	for i := range wins {
 		if wins[i].N > 0 {
-			wins[i].Attainment = float64(ok[i]) / float64(wins[i].N)
+			wins[i].Attainment = float64(wins[i].ok) / float64(wins[i].N)
 		}
-		if served[i] > 0 {
-			wins[i].MeanHitRate = hit[i] / float64(served[i])
+		if wins[i].served > 0 {
+			wins[i].MeanHitRate = wins[i].hitSum / float64(wins[i].served)
 		}
 	}
 	return wins

@@ -9,8 +9,8 @@ import (
 	"vectorliterag/internal/workload"
 )
 
-func req(arrive, ttft time.Duration, hit float64) *workload.Request {
-	r := &workload.Request{ArrivalAt: des.Time(arrive), HitRate: hit}
+func req(arrive, ttft time.Duration, hit float64) workload.Request {
+	r := workload.Request{ArrivalAt: des.Time(arrive), HitRate: hit}
 	if ttft > 0 {
 		r.FirstToken = des.Time(arrive + ttft)
 	}
@@ -19,7 +19,7 @@ func req(arrive, ttft time.Duration, hit float64) *workload.Request {
 
 func TestTimelineBuckets(t *testing.T) {
 	slo := 100 * time.Millisecond
-	reqs := []*workload.Request{
+	reqs := []workload.Request{
 		req(1*time.Second, 50*time.Millisecond, 0.9),  // win 0, met
 		req(2*time.Second, 150*time.Millisecond, 0.8), // win 0, missed
 		req(11*time.Second, 50*time.Millisecond, 0.6), // win 1, met
@@ -56,7 +56,7 @@ func TestTimelineDegenerate(t *testing.T) {
 	if Timeline(nil, time.Second, time.Second) != nil {
 		t.Fatal("empty request list should yield nil")
 	}
-	if Timeline([]*workload.Request{req(0, time.Millisecond, 1)}, time.Second, 0) != nil {
+	if Timeline([]workload.Request{req(0, time.Millisecond, 1)}, time.Second, 0) != nil {
 		t.Fatal("zero bucket width should yield nil")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vectorliterag/internal/retrieval"
 	"vectorliterag/internal/serve"
 	"vectorliterag/internal/update"
+	"vectorliterag/internal/workload"
 )
 
 // AdaptiveOptions configures an adaptive vLiteRAG run: the usual
@@ -147,7 +148,10 @@ func RunAdaptive(opts AdaptiveOptions) (*AdaptiveResult, error) {
 		return nil, err
 	}
 	retr, gen := stageBuilders(&sim, opts.Options, d, cpuModel)
-	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, ctrl.Observe), serve.Admit(coll), retr, gen)
+	pool := &workload.Pool{}
+	// The controller observes each completed request before the pool
+	// recycles it; the release therefore goes last in the terminal Tee.
+	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, ctrl.Observe, pool.Release), serve.Admit(coll), retr, gen)
 	if err != nil {
 		return nil, err
 	}
@@ -159,11 +163,15 @@ func RunAdaptive(opts AdaptiveOptions) (*AdaptiveResult, error) {
 
 	defer installDrift(&sim, opts.Options)()
 	arr := arrivalsFor(opts.Options)
+	arr.SetPool(pool)
+	sec := beginServeSection()
 	pipe.Run(arr, opts.Duration, opts.Drain)
+	wall, allocs, bytes := sec.end()
 
 	return &AdaptiveResult{
 		Result: Result{
 			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
 			Rho: d.rho, PlanBytes: d.planBytes, Mu0: mu0, Partition: d.partition,
 			Requests:  coll.Requests(),
 			Generated: coll.Admitted(),

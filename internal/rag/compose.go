@@ -2,6 +2,8 @@ package rag
 
 import (
 	"fmt"
+	"runtime"
+	"time"
 
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/des"
@@ -15,6 +17,7 @@ import (
 	"vectorliterag/internal/retrieval"
 	"vectorliterag/internal/serve"
 	"vectorliterag/internal/splitter"
+	"vectorliterag/internal/workload"
 )
 
 // decision is a system's resource choice — coverage, split plan, LLM
@@ -197,6 +200,35 @@ func arrivalsFor(opts Options) *serve.Arrivals {
 	return serve.NewArrivals(opts.W, opts.Rate, opts.Shape, opts.Seed+7)
 }
 
+// serveSection measures the simulation section of a run — wall clock
+// and heap-allocation deltas around arrival scheduling plus the event
+// loop, excluding the offline decision work. It feeds the Serve*
+// fields of Result, the data the bench-serve experiment tracks across
+// PRs.
+type serveSection struct {
+	t0 time.Time
+	m0 runtime.MemStats
+}
+
+func beginServeSection() *serveSection {
+	s := &serveSection{}
+	// Collect the offline phase's garbage first: with the serving loop
+	// itself allocation-free, no GC cycle then lands inside the section,
+	// so the measurement is of the simulation, not of collecting the
+	// profiler's leftovers.
+	runtime.GC()
+	runtime.ReadMemStats(&s.m0)
+	s.t0 = time.Now()
+	return s
+}
+
+func (s *serveSection) end() (wall time.Duration, allocs, bytes uint64) {
+	wall = time.Since(s.t0)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	return wall, m1.Mallocs - s.m0.Mallocs, m1.TotalAlloc - s.m0.TotalAlloc
+}
+
 // installDrift schedules the drift trace's popularity rotations on the
 // virtual timeline and returns a restore hook that resets the workload
 // to its pre-run rotation, so one run's drift cannot leak into the
@@ -230,18 +262,25 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	var sim des.Sim
+	pool := &workload.Pool{}
 	coll := serve.NewCollector()
 	retr, gen := stageBuilders(&sim, opts, d, cpuModel)
-	pipe, err := serve.Compose(&sim, coll.Done, serve.Admit(coll), retr, gen)
+	// Terminal sink: finalize the collector record, then recycle the
+	// request — the pool release must come last.
+	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, pool.Release), serve.Admit(coll), retr, gen)
 	if err != nil {
 		return nil, err
 	}
 	defer installDrift(&sim, opts)()
 	arr := arrivalsFor(opts)
+	arr.SetPool(pool)
+	sec := beginServeSection()
 	pipe.Run(arr, opts.Duration, opts.Drain)
+	wall, allocs, bytes := sec.end()
 
 	res := &Result{
 		Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+		ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
 		Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
 		Requests:  coll.Requests(),
 		Generated: coll.Admitted(),
@@ -299,6 +338,7 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	}
 
 	var sim des.Sim
+	pool := &workload.Pool{}
 	coll := serve.NewCollector()
 	reps := make([]*serve.Replica, replicas)
 	repColls := make([]*serve.Collector, replicas)
@@ -307,7 +347,7 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 		repColl := serve.NewCollector()
 		retr, gen := stageBuilders(&sim, opts, d, cpuModel)
 		pipe, err := serve.Compose(&sim,
-			serve.Tee(coll.Done, repColl.Done, rep.Release),
+			serve.Tee(coll.Done, repColl.Done, rep.Release, pool.Release),
 			serve.Admit(repColl), retr, gen)
 		if err != nil {
 			return nil, err
@@ -326,11 +366,15 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	}
 	defer installDrift(&sim, opts)()
 	arr := arrivalsFor(opts)
+	arr.SetPool(pool)
+	sec := beginServeSection()
 	front.Run(arr, opts.Duration, opts.Drain)
+	wall, allocs, bytes := sec.end()
 
 	res := &ClusterResult{
 		Result: Result{
 			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
 			Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
 			Requests:  coll.Requests(),
 			Generated: coll.Admitted(),

@@ -137,7 +137,19 @@ type Result struct {
 	Rate     float64
 	SLOTotal time.Duration
 	Summary  metrics.Summary
-	Requests []*workload.Request
+	// Requests holds the per-request records in arrival order — value
+	// snapshots from the streaming collector, not the pooled (recycled)
+	// live objects.
+	Requests []workload.Request
+
+	// ServeWall is host wall-clock spent inside the run's simulation
+	// section (arrival scheduling plus the event loop), excluding the
+	// offline decision work; ServeAllocs and ServeBytes are the heap
+	// allocation deltas over the same section. They exist so bench-serve
+	// can track the simulation core's performance across PRs.
+	ServeWall   time.Duration
+	ServeAllocs uint64
+	ServeBytes  uint64
 
 	// Rho is the GPU cache coverage the system chose (1 for ALL/DED-GPU,
 	// 0 for CPU-only).

@@ -111,7 +111,14 @@ type MultiTenantResult struct {
 	LLMGPUs     int
 	SharedQueue bool
 	Generated   int
-	Requests    []*workload.Request
+	// Requests holds per-request records in arrival order (value
+	// snapshots from the streaming collector).
+	Requests []workload.Request
+	// ServeWall / ServeAllocs / ServeBytes measure the simulation
+	// section, as on Result (see beginServeSection).
+	ServeWall   time.Duration
+	ServeAllocs uint64
+	ServeBytes  uint64
 }
 
 // normalizeMT fills defaults and validates the option set, returning
@@ -293,6 +300,7 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 	}
 
 	var sim des.Sim
+	pool := &workload.Pool{}
 	coll := serve.NewCollector()
 	retr := serve.RetrievalStage(func(forward serve.Sink) (retrieval.Engine, error) {
 		// The shared config carries no Workload or CPUModel: the engine
@@ -311,7 +319,8 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 		builders = append(builders, serve.Scheduled(sched))
 	}
 	builders = append(builders, retr, gen)
-	pipe, err := serve.Compose(&sim, coll.Done, builders...)
+	terminal := serve.Tee(coll.Done, pool.Release)
+	pipe, err := serve.Compose(&sim, terminal, builders...)
 	if err != nil {
 		return nil, err
 	}
@@ -323,9 +332,10 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 		// slots, while anything queued beyond the bound would sit in
 		// downstream FIFO queues where tier priority cannot act. The
 		// completion sink installed by Compose is re-installed unchanged.
-		pipe.Generation().Cluster.SetCallbacks(sched.Release, coll.Done)
+		pipe.Generation().Cluster.SetCallbacks(sched.Release, terminal)
 	}
 
+	sec := beginServeSection()
 	for i, tc := range opts.Tenants {
 		seed := opts.Seed + 7 + 13*uint64(i)
 		var arr *serve.Arrivals
@@ -335,13 +345,17 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 			arr = serve.NewArrivals(tc.W, tc.Rate, opts.Shape, seed)
 		}
 		arr.SetTenant(i)
+		arr.SetPool(pool)
 		arr.Start(&sim, des.Time(opts.Duration), pipe.Submit)
 	}
 	sim.RunUntil(des.Time(opts.Duration + opts.Drain))
+	wall, allocs, bytes := sec.end()
 
 	// Per-tenant summaries against each tenant's own combined SLO.
+	// Records partition by tenant in arrival order, preserving the
+	// aggregation order of the pre-record implementation bit for bit.
 	all := coll.Requests()
-	byTenant := make([][]*workload.Request, len(opts.Tenants))
+	byTenant := make([][]workload.Request, len(opts.Tenants))
 	for _, req := range all {
 		t := req.Tenant
 		if t < 0 || t >= len(byTenant) {
@@ -350,6 +364,7 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 		byTenant[t] = append(byTenant[t], req)
 	}
 	res := &MultiTenantResult{
+		ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
 		Mu0:         d.mu0,
 		MuLLM:       d.alloc.MuLLM,
 		BudgetBytes: d.alloc.BudgetBytes,

@@ -82,6 +82,15 @@ func (c *Config) maxBatch() int {
 // batcher implements the shared dynamic-batching queue: subclass
 // engines provide run(batch) and call done() when the search pipeline
 // can accept the next batch.
+//
+// Batch slices cycle through a small free list instead of being
+// allocated per batch: runBatch implementations return each slice with
+// releaseBatch once its requests have been forwarded (steady state
+// holds at most two — one in service, one completing). Engines also
+// pre-bind their completion callbacks (doneFn, and a forward-one hook
+// where they promote queries individually) so the per-batch and
+// per-request events schedule through des.Sim without closure
+// allocations.
 type batcher struct {
 	cfg     Config
 	queue   []*workload.Request
@@ -89,14 +98,139 @@ type batcher struct {
 	batches int
 	total   int
 	run     func([]*workload.Request)
+	// doneFn / forwardOne / forwardGroup are pre-bound callbacks, for
+	// allocation-free scheduling.
+	doneFn       func()
+	forwardOne   func(any)
+	forwardGroup func(any)
+	freeGroups   []*fwdGroup
 	// scanBuf backs scanBytesAll; per-query scan work is consumed
 	// synchronously inside run, so one buffer serves every batch.
 	scanBuf []int64
+	// freeBatches is the batch-slice free list.
+	freeBatches [][]*workload.Request
+}
+
+// init finishes construction shared by every engine.
+func (b *batcher) init(run func([]*workload.Request)) {
+	b.run = run
+	b.doneFn = b.done
+	b.forwardOne = b.forwardOneReq
+	b.forwardGroup = b.forwardGroupReqs
+}
+
+// forwardOneReq completes one promoted query (dispatcher path); bound
+// once as forwardOne so per-request completion events schedule
+// allocation-free.
+func (b *batcher) forwardOneReq(a any) {
+	req := a.(*workload.Request)
+	req.SearchDone = b.cfg.Sim.Now()
+	b.cfg.Forward(req)
+}
+
+// fwdGroup carries the requests of one coalesced completion event;
+// the slices recycle through a free list.
+type fwdGroup struct {
+	reqs []*workload.Request
+}
+
+// forwardGroupReqs completes a run of queries whose promotion instants
+// coincide (e.g. a GPU-bound batch where the shard kernels dominate
+// every query's CPU prefix): one event forwards them in batch order.
+// The members' per-query events would have carried consecutive
+// sequence numbers — nothing else is scheduled between them — so
+// folding them into one event provably preserves the global fire
+// order.
+func (b *batcher) forwardGroupReqs(a any) {
+	g := a.(*fwdGroup)
+	now := b.cfg.Sim.Now()
+	for _, req := range g.reqs {
+		req.SearchDone = now
+		b.cfg.Forward(req)
+	}
+	clear(g.reqs)
+	g.reqs = g.reqs[:0]
+	b.freeGroups = append(b.freeGroups, g)
+}
+
+// dispatchCoalesced schedules the dispatcher-mode completion events
+// for a batch: query i promotes at max(cpuDone[i], gpuReady)+mergeCost,
+// and runs of *consecutive* queries promoting at the same instant share
+// one coalesced event (order-preserving, see forwardGroupReqs). The
+// batch slice is fully consumed — events hold only requests or group
+// snapshots — so it is released before returning.
+func (b *batcher) dispatchCoalesced(batch []*workload.Request, cpuDone []des.Time, gpuReady des.Time) {
+	sim := b.cfg.Sim
+	n := len(batch)
+	for i := 0; i < n; {
+		at := cpuDone[i]
+		if gpuReady > at {
+			at = gpuReady
+		}
+		at += des.Time(mergeCost)
+		j := i + 1
+		for j < n {
+			aj := cpuDone[j]
+			if gpuReady > aj {
+				aj = gpuReady
+			}
+			if aj+des.Time(mergeCost) != at {
+				break
+			}
+			j++
+		}
+		if j == i+1 {
+			sim.AtArg(at, b.forwardOne, batch[i])
+		} else {
+			sim.AtArg(at, b.forwardGroup, b.takeGroup(batch[i:j]))
+		}
+		i = j
+	}
+	b.releaseBatch(batch)
+}
+
+// takeGroup snapshots a sub-batch into a recycled group descriptor.
+func (b *batcher) takeGroup(reqs []*workload.Request) *fwdGroup {
+	var g *fwdGroup
+	if k := len(b.freeGroups); k > 0 {
+		g = b.freeGroups[k-1]
+		b.freeGroups[k-1] = nil
+		b.freeGroups = b.freeGroups[:k-1]
+	} else {
+		g = &fwdGroup{}
+	}
+	g.reqs = append(g.reqs[:0], reqs...)
+	return g
 }
 
 func (b *batcher) Submit(req *workload.Request) {
 	b.queue = append(b.queue, req)
 	b.kick()
+}
+
+// takeBatch returns a zero-length batch slice with capacity >= n from
+// the free list.
+func (b *batcher) takeBatch(n int) []*workload.Request {
+	if k := len(b.freeBatches); k > 0 {
+		s := b.freeBatches[k-1]
+		b.freeBatches[k-1] = nil
+		b.freeBatches = b.freeBatches[:k-1]
+		if cap(s) >= n {
+			return s[:0]
+		}
+	}
+	return make([]*workload.Request, 0, n)
+}
+
+// releaseBatch returns a batch slice to the free list once every
+// request in it has been forwarded. Entries are cleared so the free
+// list does not retain (pooled, recyclable) requests.
+func (b *batcher) releaseBatch(batch []*workload.Request) {
+	batch = batch[:cap(batch)]
+	for i := range batch {
+		batch[i] = nil
+	}
+	b.freeBatches = append(b.freeBatches, batch[:0])
 }
 
 func (b *batcher) kick() {
@@ -107,8 +241,7 @@ func (b *batcher) kick() {
 	if m := b.cfg.maxBatch(); n > m {
 		n = m
 	}
-	batch := make([]*workload.Request, n)
-	copy(batch, b.queue[:n])
+	batch := append(b.takeBatch(n), b.queue[:n]...)
 	b.queue = append(b.queue[:0], b.queue[n:]...)
 	b.busy = true
 	b.batches++
@@ -184,7 +317,7 @@ type CPUOnly struct {
 // NewCPUOnly constructs the CPU-only engine.
 func NewCPUOnly(cfg Config) *CPUOnly {
 	e := &CPUOnly{batcher{cfg: cfg}}
-	e.run = e.runBatch
+	e.init(e.runBatch)
 	return e
 }
 
@@ -204,6 +337,7 @@ func (e *CPUOnly) runBatch(batch []*workload.Request) {
 			req.SearchDone = now
 			e.cfg.Forward(req)
 		}
+		e.releaseBatch(batch)
 		e.done()
 	})
 }

@@ -28,6 +28,7 @@ type GPUSharded struct {
 	// shardBytes is the per-batch routing work area, reused across
 	// batches (fully rewritten and consumed inside runBatch).
 	shardBytes []int64
+	route      splitter.RouteScratch
 }
 
 // NewAllGPU shards the *entire* index across the given GPUs (which also
@@ -59,7 +60,7 @@ func newSharded(cfg Config, name string, plan *splitter.Plan, gpus []*gpu.State,
 		contend:    true,
 		blockScale: cfg.W.Spec.NProbe / cfg.W.Gen.PhysNProbe,
 	}
-	e.run = e.runBatch
+	e.init(e.runBatch)
 	return e
 }
 
@@ -80,7 +81,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	var missTotal int64
 	fullBlocksPerShard := b * w.Spec.NProbe
 	for _, req := range batch {
-		perShard, cpuClusters := e.plan.Route(w.Probes(req.Query))
+		perShard, cpuClusters := e.plan.RouteInto(&e.route, w.Probes(req.Query))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -119,6 +120,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 			req.SearchDone = now
 			e.cfg.Forward(req)
 		}
+		e.releaseBatch(batch)
 	})
-	sim.At(end, e.done)
+	sim.At(end, e.doneFn)
 }

@@ -38,6 +38,7 @@ type Hybrid struct {
 	shardBlocks []int
 	cpuWork     []int64
 	cpuDone     []des.Time
+	route       splitter.RouteScratch
 }
 
 // NewHybrid wires the hybrid engine. The i-th shard of the plan must
@@ -52,7 +53,7 @@ func NewHybrid(cfg Config, plan *splitter.Plan, gpus []*gpu.State, gm costmodel.
 		Dispatcher: true,
 		refreshing: make([]bool, plan.NumShards),
 	}
-	e.run = e.runBatch
+	e.init(e.runBatch)
 	return e
 }
 
@@ -104,7 +105,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	cpuWork := resize(&e.cpuWork, b)
 	var missTotal int64
 	for i, req := range batch {
-		perShard, cpuClusters := e.plan.Route(w.Probes(req.Query))
+		perShard, cpuClusters := e.plan.RouteInto(&e.route, w.Probes(req.Query))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -159,18 +160,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 		// Promote each query when its own search completes: GPU flags
 		// must all be set (shard kernels are batch-granular) and its CPU
 		// clusters scanned.
-		for i, req := range batch {
-			req := req
-			at := cpuDone[i]
-			if gpuReady > at {
-				at = gpuReady
-			}
-			at += des.Time(mergeCost)
-			sim.At(at, func() {
-				req.SearchDone = sim.Now()
-				e.cfg.Forward(req)
-			})
-		}
+		e.dispatchCoalesced(batch, cpuDone, gpuReady)
 	} else {
 		at := batchEnd + des.Time(mergeCost)
 		sim.At(at, func() {
@@ -179,8 +169,9 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 				req.SearchDone = now
 				e.cfg.Forward(req)
 			}
+			e.releaseBatch(batch)
 		})
 	}
 	// The pipeline accepts the next batch when both tiers are free.
-	sim.At(batchEnd, e.done)
+	sim.At(batchEnd, e.doneFn)
 }

@@ -2,7 +2,6 @@ package retrieval
 
 import (
 	"fmt"
-	"sort"
 
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
@@ -63,6 +62,7 @@ type MultiTenant struct {
 	perTenant    []int   // batch members per tenant
 	missByTenant []int64 // CPU miss bytes per tenant
 	scanOrder    []int   // batch indices in CPU scan order
+	route        splitter.RouteScratch
 }
 
 // NewMultiTenant wires the shared engine. Every slot's plan must have
@@ -89,7 +89,7 @@ func NewMultiTenant(cfg Config, slots []TenantSlot, gpus []*gpu.State, gm costmo
 		gpuModel:   gm,
 		Dispatcher: true,
 	}
-	e.run = e.runBatch
+	e.init(e.runBatch)
 	return e, nil
 }
 
@@ -137,7 +137,7 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 	missByTenant := resize(&e.missByTenant, len(e.slots))
 	for i, req := range batch {
 		s := &e.slots[e.slot(req)]
-		perShard, cpuClusters := s.Plan.Route(s.W.Probes(req.Query))
+		perShard, cpuClusters := s.Plan.RouteInto(&e.route, s.W.Probes(req.Query))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -184,10 +184,18 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 	}
 	// Scan in tenant-priority order, stable within a tier, so a high-
 	// tier query's prefix excludes lower-tier miss work queued behind
-	// it.
-	sort.SliceStable(scanOrder, func(a, b int) bool {
-		return e.slots[e.slot(batch[scanOrder[a]])].Priority < e.slots[e.slot(batch[scanOrder[b]])].Priority
-	})
+	// it. Insertion sort: stable (same output as any stable sort),
+	// allocation-free, and batches are at most MaxBatch long.
+	for i := 1; i < len(scanOrder); i++ {
+		v := scanOrder[i]
+		p := e.slots[e.slot(batch[v])].Priority
+		j := i - 1
+		for j >= 0 && e.slots[e.slot(batch[scanOrder[j]])].Priority > p {
+			scanOrder[j+1] = scanOrder[j]
+			j--
+		}
+		scanOrder[j+1] = v
+	}
 	var prefix int64
 	for _, i := range scanOrder {
 		prefix += cpuWork[i]
@@ -203,18 +211,10 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 	}
 
 	if e.Dispatcher {
-		for i, req := range batch {
-			req := req
-			at := cpuDone[i]
-			if gpuReady > at {
-				at = gpuReady
-			}
-			at += des.Time(mergeCost)
-			sim.At(at, func() {
-				req.SearchDone = sim.Now()
-				e.cfg.Forward(req)
-			})
-		}
+		// Promote each query when its own search completes: GPU flags
+		// must all be set (shard kernels are batch-granular) and its CPU
+		// clusters scanned.
+		e.dispatchCoalesced(batch, cpuDone, gpuReady)
 	} else {
 		at := batchEnd + des.Time(mergeCost)
 		sim.At(at, func() {
@@ -223,7 +223,8 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 				req.SearchDone = now
 				e.cfg.Forward(req)
 			}
+			e.releaseBatch(batch)
 		})
 	}
-	sim.At(batchEnd, e.done)
+	sim.At(batchEnd, e.doneFn)
 }

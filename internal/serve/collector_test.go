@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/workload"
+)
+
+// TestCollectorStreamsRecordsThroughPooling pins the streaming
+// collector's contract under request pooling: Done snapshots the
+// final timestamps, after which the same live object can be recycled
+// for a later arrival without corrupting the earlier record; requests
+// still in flight are re-read at aggregation time so mid-flight state
+// (e.g. a first token with decode unfinished) is reported exactly as
+// the pre-pooling collector saw it.
+func TestCollectorStreamsRecordsThroughPooling(t *testing.T) {
+	c := NewCollector()
+	pool := &workload.Pool{}
+
+	// Request 0 completes and is released back to the pool.
+	r0 := pool.Get()
+	r0.ID = 0
+	r0.ArrivalAt = 100
+	c.Admit(r0)
+	r0.FirstToken = 200
+	r0.Done = 300
+	c.Done(r0)
+	pool.Put(r0)
+
+	// Request 1 reuses the same object for a new identity; it stays in
+	// flight and keeps mutating after admission.
+	r1 := pool.Get()
+	if r1 != r0 {
+		t.Fatal("pool did not recycle the released request")
+	}
+	r1.ID = 1
+	r1.ArrivalAt = 1000
+	c.Admit(r1)
+	r1.FirstToken = 1600 // first token emitted, decode still running
+
+	recs := c.Requests()
+	if len(recs) != 2 || c.Admitted() != 2 || c.Completed() != 1 {
+		t.Fatalf("records=%d admitted=%d completed=%d", len(recs), c.Admitted(), c.Completed())
+	}
+	if recs[0].ID != 0 || recs[0].ArrivalAt != 100 || recs[0].FirstToken != 200 || recs[0].Done != 300 {
+		t.Fatalf("completed record corrupted by pooling: %+v", recs[0])
+	}
+	if recs[1].ID != 1 || recs[1].FirstToken != 1600 || recs[1].Done != 0 {
+		t.Fatalf("in-flight record not refreshed: %+v", recs[1])
+	}
+
+	// Summaries see the same view: one served-and-done, one served but
+	// stuck (still counted, still in the TTFT percentile set).
+	s := c.Summarize(time.Second, des.Time(0))
+	if s.N != 2 || s.Unserved != 0 {
+		t.Fatalf("summary N=%d unserved=%d", s.N, s.Unserved)
+	}
+	if s.Attainment != 1 {
+		t.Fatalf("attainment %v, both TTFTs are within the SLO", s.Attainment)
+	}
+}
+
+// TestCollectorSummarizeReusesScratch guards the allocation-free
+// aggregation path: repeated Summarize calls on a warm collector do
+// not allocate per call.
+func TestCollectorSummarizeReusesScratch(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 256; i++ {
+		r := &workload.Request{ID: i, ArrivalAt: des.Time(i) * 1000}
+		c.Admit(r)
+		r.SearchStart = r.ArrivalAt + 10
+		r.SearchDone = r.ArrivalAt + 20
+		r.LLMStart = r.ArrivalAt + 30
+		r.FirstToken = r.ArrivalAt + 40
+		r.Done = r.ArrivalAt + 50
+		c.Done(r)
+	}
+	c.Summarize(time.Second, 0) // size the scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		c.Summarize(time.Second, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Summarize allocated %.1f objects/op on a warm collector, want 0", allocs)
+	}
+}

@@ -46,7 +46,7 @@ type TenantClass struct {
 // trade weighted-fair-queueing makes with per-class limits.
 type FairScheduler struct {
 	classes     []TenantClass
-	queues      [][]*workload.Request
+	queues      []reqRing
 	rem         []int // remaining quantum this round
 	lastServed  []int // dispatch serial of the tenant's latest dispatch
 	serial      int
@@ -59,6 +59,48 @@ type FairScheduler struct {
 
 	dispatched []int // per-tenant dispatch totals (stats)
 	peakQueue  []int // per-tenant queue high-water marks (stats)
+}
+
+// reqRing is an allocation-free FIFO of requests: a power-of-two ring
+// that doubles on overflow and otherwise reuses its backing array
+// forever. The previous slice-of-slices queues re-sliced their heads
+// away (q = q[1:]), marching the backing array forward and forcing a
+// fresh allocation every time append caught up — one of the steady-
+// state allocation sources the serving-core rewrite removes.
+type reqRing struct {
+	buf        []*workload.Request
+	head, size int
+}
+
+func (q *reqRing) len() int { return q.size }
+
+func (q *reqRing) push(r *workload.Request) {
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)&(len(q.buf)-1)] = r
+	q.size++
+}
+
+func (q *reqRing) pop() *workload.Request {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.size--
+	return r
+}
+
+func (q *reqRing) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]*workload.Request, n)
+	for i := 0; i < q.size; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
 }
 
 // NewFairScheduler builds a scheduler for the given tenant classes.
@@ -75,7 +117,7 @@ func NewFairScheduler(classes []TenantClass, maxInflight int) (*FairScheduler, e
 	}
 	s := &FairScheduler{
 		classes:     append([]TenantClass(nil), classes...),
-		queues:      make([][]*workload.Request, len(classes)),
+		queues:      make([]reqRing, len(classes)),
 		rem:         make([]int, len(classes)),
 		lastServed:  make([]int, len(classes)),
 		inflightBy:  make([]int, len(classes)),
@@ -126,9 +168,9 @@ func Scheduled(s *FairScheduler) Builder {
 // dispatch as far as the in-flight bound allows.
 func (s *FairScheduler) Submit(req *workload.Request) {
 	t := s.clamp(req.Tenant) // untagged requests ride the first class
-	s.queues[t] = append(s.queues[t], req)
+	s.queues[t].push(req)
 	s.queued++
-	if n := len(s.queues[t]); n > s.peakQueue[t] {
+	if n := s.queues[t].len(); n > s.peakQueue[t] {
 		s.peakQueue[t] = n
 	}
 	s.dispatch()
@@ -169,8 +211,7 @@ func (s *FairScheduler) dispatch() {
 		if t < 0 {
 			return // every queued tenant is at its per-tenant cap
 		}
-		req := s.queues[t][0]
-		s.queues[t] = s.queues[t][1:]
+		req := s.queues[t].pop()
 		s.queued--
 		s.rem[t]--
 		s.serial++
@@ -192,7 +233,7 @@ func (s *FairScheduler) pick() int {
 	for pass := 0; pass < 2; pass++ {
 		best := -1
 		for i := range s.queues {
-			if len(s.queues[i]) == 0 || s.rem[i] <= 0 || s.inflightBy[i] >= s.caps[i] {
+			if s.queues[i].len() == 0 || s.rem[i] <= 0 || s.inflightBy[i] >= s.caps[i] {
 				continue
 			}
 			if best < 0 || s.better(i, best) {
@@ -227,7 +268,7 @@ func (s *FairScheduler) Inflight() int { return s.inflight }
 func (s *FairScheduler) Cap(t int) int { return s.caps[t] }
 
 // QueueLen returns tenant t's current queue depth.
-func (s *FairScheduler) QueueLen(t int) int { return len(s.queues[t]) }
+func (s *FairScheduler) QueueLen(t int) int { return s.queues[t].len() }
 
 // PeakQueue returns tenant t's queue high-water mark.
 func (s *FairScheduler) PeakQueue(t int) int { return s.peakQueue[t] }

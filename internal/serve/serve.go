@@ -117,35 +117,76 @@ func (p *Pipeline) Run(arr *Arrivals, duration, drain time.Duration) {
 	p.Sim.RunUntil(des.Time(duration + drain))
 }
 
-// Collector is the pipeline's terminal sink: it records every admitted
-// request and summarizes the run's metrics once the simulation drains.
+// Collector is the pipeline's terminal sink: it streams every admitted
+// request into a compact per-request record (arrival order) and
+// summarizes the run's metrics once the simulation drains.
+//
+// Records are *values*: Done copies the request's final timestamps into
+// its record, after which the pooled request object is free to be
+// recycled by a later arrival. Requests still in flight stay live (the
+// pool never sees them), and their current state is re-read at
+// aggregation time — so a request stuck mid-generation when the clock
+// stops reports exactly the fields it had then, as it did before
+// pooling existed.
 type Collector struct {
-	requests  []*workload.Request
+	records   []workload.Request  // per-request snapshots, arrival order
+	live      []*workload.Request // non-nil until the request finalizes
+	idx       map[*workload.Request]int32
 	completed int
+	agg       metrics.Summarizer
 }
 
 // NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+func NewCollector() *Collector {
+	return &Collector{idx: make(map[*workload.Request]int32)}
+}
 
 // Admit records a request entering the system (wired into the Admission
 // stage, so the record order equals the arrival order).
-func (c *Collector) Admit(req *workload.Request) { c.requests = append(c.requests, req) }
+func (c *Collector) Admit(req *workload.Request) {
+	i := int32(len(c.records))
+	c.records = append(c.records, *req)
+	c.live = append(c.live, req)
+	c.idx[req] = i
+}
 
-// Done counts a completed request (wired as the generation stage's
-// downstream sink).
-func (c *Collector) Done(*workload.Request) { c.completed++ }
+// Done finalizes a completed request's record (wired into the terminal
+// sink, upstream of the pool release). The map delete/re-insert cycle
+// reuses bucket memory, so steady state allocates nothing.
+func (c *Collector) Done(req *workload.Request) {
+	c.completed++
+	if i, ok := c.idx[req]; ok {
+		c.records[i] = *req
+		c.live[i] = nil
+		delete(c.idx, req)
+	}
+}
 
-// Requests returns every admitted request in arrival order.
-func (c *Collector) Requests() []*workload.Request { return c.requests }
+// refresh re-snapshots every still-live request so aggregate views see
+// in-flight state (e.g. a first token emitted but decode unfinished).
+func (c *Collector) refresh() {
+	for i, r := range c.live {
+		if r != nil {
+			c.records[i] = *r
+		}
+	}
+}
+
+// Requests returns every admitted request's record in arrival order.
+func (c *Collector) Requests() []workload.Request {
+	c.refresh()
+	return c.records
+}
 
 // Admitted returns the number of requests that entered the system.
-func (c *Collector) Admitted() int { return len(c.requests) }
+func (c *Collector) Admitted() int { return len(c.records) }
 
 // Completed returns the number of requests that finished generation.
 func (c *Collector) Completed() int { return c.completed }
 
 // Summarize aggregates the paper's serving metrics over the admitted
-// requests.
+// requests, reusing the collector's aggregation scratch.
 func (c *Collector) Summarize(sloTotal time.Duration, warmup des.Time) metrics.Summary {
-	return metrics.Summarize(c.requests, sloTotal, warmup)
+	c.refresh()
+	return c.agg.Summarize(c.records, sloTotal, warmup)
 }

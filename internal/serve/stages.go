@@ -41,6 +41,11 @@ func (a *Arrivals) Count() int { return a.gen.Count() }
 // (multi-tenant runs start one source per tenant on a shared timeline).
 func (a *Arrivals) SetTenant(id int) { a.gen.Tenant = id }
 
+// SetPool installs the request pool the source draws from; the
+// pipeline's terminal sink must release completed requests back into
+// it (wire workload.Pool.Release last in the terminal Tee).
+func (a *Arrivals) SetPool(p *workload.Pool) { a.gen.Pool = p }
+
 // Admission is the front-door dispatch stage: it registers every
 // arriving request with the collector and forwards it downstream. In a
 // cluster composition its downstream neighbor is the Router, making it

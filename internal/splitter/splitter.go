@@ -29,7 +29,12 @@ type Plan struct {
 	ShardBytes  []int64     // logical bytes resident per shard
 	Mapping     map[int]Loc // cluster ID → shard location
 	hotMask     []bool      // fast membership test
-	W           *dataset.Workload
+	// shardOf is the dense routing table: shardOf[c] is the hosting
+	// shard + 1, or 0 for CPU-resident clusters. RouteInto consults it
+	// instead of Mapping — cluster IDs are small and dense, and the
+	// routing loop runs for every probe of every query of every batch.
+	shardOf []int32
+	W       *dataset.Workload
 }
 
 // Build selects the hottest clusters at the given coverage and packs
@@ -61,11 +66,13 @@ func Build(p *profiler.AccessProfile, coverage float64, numShards int) (*Plan, e
 		ShardBytes:  make([]int64, numShards),
 		Mapping:     make(map[int]Loc, len(hot)),
 		hotMask:     make([]bool, nlist),
+		shardOf:     make([]int32, nlist),
 		W:           p.W,
 	}
 	for i, c := range hot {
 		g := i % numShards
 		plan.Mapping[c] = Loc{Shard: g, LocalID: len(plan.Shards[g])}
+		plan.shardOf[c] = int32(g) + 1
 		plan.Shards[g] = append(plan.Shards[g], c)
 		plan.ShardBytes[g] += p.W.ClusterBytes(c)
 		plan.hotMask[c] = true
@@ -103,15 +110,48 @@ func (p *Plan) MaxShardBytes() int64 {
 // and the CPU-resident remainder — the router's mapping-table lookup
 // (paper §IV-B1). The returned shard lists index into plan.Shards.
 func (p *Plan) Route(probes []int) (perShard [][]int, cpu []int) {
-	perShard = make([][]int, p.NumShards)
+	var s RouteScratch
+	return p.RouteInto(&s, probes)
+}
+
+// RouteScratch holds RouteInto's reusable work areas. Engines route
+// every query of every batch, so the per-call slice allocations of
+// Route dominated the serving loop's allocation profile; a per-engine
+// scratch reduces routing to zero steady-state allocations. The
+// returned slices are valid until the next RouteInto call on the same
+// scratch.
+type RouteScratch struct {
+	perShard [][]int
+	cpu      []int
+}
+
+// RouteInto is Route writing into reusable scratch buffers.
+func (p *Plan) RouteInto(s *RouteScratch, probes []int) (perShard [][]int, cpu []int) {
+	if cap(s.perShard) < p.NumShards {
+		grown := make([][]int, p.NumShards)
+		copy(grown, s.perShard)
+		s.perShard = grown
+	}
+	perShard = s.perShard[:p.NumShards]
+	for i := range perShard {
+		perShard[i] = perShard[i][:0]
+	}
+	s.cpu = s.cpu[:0]
 	for _, c := range probes {
-		if loc, ok := p.Mapping[c]; ok {
+		if uint(c) < uint(len(p.shardOf)) {
+			if g := p.shardOf[c]; g > 0 {
+				perShard[g-1] = append(perShard[g-1], c)
+				continue
+			}
+		} else if loc, ok := p.Mapping[c]; ok {
+			// Out-of-range IDs (hand-built plans in tests) fall back to
+			// the map.
 			perShard[loc.Shard] = append(perShard[loc.Shard], c)
 			continue
 		}
-		cpu = append(cpu, c)
+		s.cpu = append(s.cpu, c)
 	}
-	return perShard, cpu
+	return perShard, s.cpu
 }
 
 // IndexBytesAt returns a closure mapping coverage to resident bytes for

@@ -10,25 +10,33 @@ import (
 // linear interpolation between order statistics. It panics on an empty
 // sample.
 func Percentile(sample []float64, p float64) float64 {
-	if len(sample) == 0 {
-		panic("stats: Percentile of empty sample")
-	}
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile over an already ascending-sorted
+// sample — the allocation-free path: callers that need several
+// quantiles sort one reusable scratch copy and read them all from it.
+// It panics on an empty sample.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
 	if p <= 0 {
-		return s[0]
+		return sorted[0]
 	}
 	if p >= 1 {
-		return s[len(s)-1]
+		return sorted[len(sorted)-1]
 	}
-	pos := p * float64(len(s)-1)
+	pos := p * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return s[lo]
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Mean returns the arithmetic mean; 0 for an empty sample.

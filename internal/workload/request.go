@@ -62,6 +62,48 @@ func (r *Request) QueueingDelay() des.Time { return r.SearchStart - r.ArrivalAt 
 // SearchLatency is the retrieval service time (batch start to forward).
 func (r *Request) SearchLatency() des.Time { return r.SearchDone - r.SearchStart }
 
+// Pool recycles Request objects across a serving run. Arrival
+// generators draw from it and the pipeline's terminal sink returns
+// completed requests, so after a short ramp (the peak in-flight
+// population) the run allocates no further requests — the pooled
+// request lifecycle of the allocation-free serving core.
+//
+// A Pool is single-goroutine, like the simulator it serves.
+type Pool struct {
+	free []*Request
+	news int
+}
+
+// Get returns a zeroed request, reusing a released one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	p.news++
+	return &Request{}
+}
+
+// Put releases a request for reuse. The caller must drop every
+// reference: the next Get hands the same object to a new arrival.
+func (p *Pool) Put(r *Request) {
+	if r != nil {
+		p.free = append(p.free, r)
+	}
+}
+
+// Release is Put shaped as a pipeline sink — wire it as the *last*
+// element of the terminal serve.Tee, after every stage that still
+// reads the completed request.
+func (p *Pool) Release(r *Request) { p.Put(r) }
+
+// Allocated returns how many requests the pool actually constructed —
+// the run's peak in-flight population, not its request count.
+func (p *Pool) Allocated() int { return p.news }
+
 // Generator produces Poisson arrivals of requests drawn from a
 // workload's query distribution. With a Sched installed the process is
 // an *inhomogeneous* Poisson stream realized by thinning; otherwise it
@@ -78,9 +120,21 @@ type Generator struct {
 	// Tenant stamps every emitted request (multi-tenant runs multiplex
 	// one generator per tenant onto a shared simulator timeline).
 	Tenant int
+	// Pool, when non-nil, supplies request objects instead of the heap;
+	// a run's terminal sink releases completed requests back into it.
+	Pool *Pool
 
 	r      *rng.Rand
 	nextID int
+
+	// Start binds the remaining fields once so the self-rescheduling
+	// arrival loop reuses a single callback (allocation-free scheduling
+	// via des.Sim.At with a stored func value).
+	sim    *des.Sim
+	until  des.Time
+	submit func(*Request)
+	rmax   float64
+	step   func()
 }
 
 // NewGenerator returns an open-loop generator. rate is requests per
@@ -96,62 +150,87 @@ func NewScheduledGenerator(w *dataset.Workload, sched Schedule, shape Shape, see
 }
 
 // Start schedules arrivals on the simulator until the given deadline,
-// invoking submit for each new request at its arrival time.
+// invoking submit for each new request at its arrival time. The loop
+// pre-binds one step callback and reschedules it, so steady-state
+// arrival scheduling performs no allocation beyond the requests
+// themselves (none at all with a Pool installed).
 func (g *Generator) Start(sim *des.Sim, until des.Time, submit func(*Request)) {
+	g.sim, g.until, g.submit = sim, until, submit
 	if g.Sched != nil {
-		g.startThinned(sim, until, submit)
+		// Lewis' thinning: candidate arrivals are drawn at the schedule's
+		// MaxRate and each is accepted with probability RateAt(t)/MaxRate
+		// — exact for any bounded rate function, and deterministic under
+		// a fixed seed.
+		g.rmax = g.Sched.MaxRate()
+		g.step = g.thinnedStep
+		g.scheduleThinned(0)
 		return
 	}
-	var schedule func(at des.Time)
-	schedule = func(at des.Time) {
-		if at > until {
-			return
-		}
-		sim.At(at, func() {
-			g.emit(sim, submit)
-			gap := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
-			schedule(sim.Now() + gap)
-		})
-	}
+	g.step = g.constStep
 	first := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
-	schedule(first)
+	g.schedule(first)
 }
 
-// startThinned realizes the inhomogeneous Poisson process by Lewis'
-// thinning: candidate arrivals are drawn at the schedule's MaxRate and
-// each is accepted with probability RateAt(t)/MaxRate — exact for any
-// bounded rate function, and deterministic under a fixed seed.
-func (g *Generator) startThinned(sim *des.Sim, until des.Time, submit func(*Request)) {
-	rmax := g.Sched.MaxRate()
-	var schedule func(at des.Time)
-	schedule = func(at des.Time) {
-		if at > until {
+// schedule arms the next arrival candidate, stopping past the horizon.
+func (g *Generator) schedule(at des.Time) {
+	if at > g.until {
+		return
+	}
+	g.sim.At(at, g.step)
+}
+
+// constStep is one constant-rate Poisson arrival.
+func (g *Generator) constStep() {
+	g.emit()
+	gap := des.Time(g.r.ExpFloat64() / g.RatePerSec * 1e9)
+	g.schedule(g.sim.Now() + gap)
+}
+
+// thinnedStep fires at an accepted arrival of the thinned stream and
+// arms the next one.
+func (g *Generator) thinnedStep() {
+	g.emit()
+	g.scheduleThinned(g.sim.Now())
+}
+
+// scheduleThinned walks rejected thinning candidates inline and
+// schedules one event at the next *accepted* arrival. Rejected
+// candidates have no observable effect — they only consume draws from
+// the generator's private RNG — so collapsing their events into this
+// loop leaves the accepted arrival times and the full draw sequence
+// (gap, accept-test, gap, ... , accept-test, then the query sample at
+// the arrival instant) exactly as the event-per-candidate version
+// produced them, while scheduling ~MaxRate/mean-rate fewer events.
+func (g *Generator) scheduleThinned(from des.Time) {
+	t := from
+	for {
+		t += des.Time(g.r.ExpFloat64() / g.rmax * 1e9)
+		if t > g.until {
 			return
 		}
-		sim.At(at, func() {
-			now := sim.Now()
-			if g.r.Float64()*rmax <= g.Sched.RateAt(time.Duration(now)) {
-				g.emit(sim, submit)
-			}
-			gap := des.Time(g.r.ExpFloat64() / rmax * 1e9)
-			schedule(now + gap)
-		})
+		if g.r.Float64()*g.rmax <= g.Sched.RateAt(time.Duration(t)) {
+			g.sim.At(t, g.step)
+			return
+		}
 	}
-	first := des.Time(g.r.ExpFloat64() / rmax * 1e9)
-	schedule(first)
 }
 
-// emit materializes one request at the current instant.
-func (g *Generator) emit(sim *des.Sim, submit func(*Request)) {
-	req := &Request{
-		ID:        g.nextID,
-		Query:     g.W.Sample(g.r),
-		Shape:     g.Shape,
-		Tenant:    g.Tenant,
-		ArrivalAt: sim.Now(),
+// emit materializes one request at the current instant, from the pool
+// when one is installed.
+func (g *Generator) emit() {
+	var req *Request
+	if g.Pool != nil {
+		req = g.Pool.Get()
+	} else {
+		req = &Request{}
 	}
+	req.ID = g.nextID
+	req.Query = g.W.Sample(g.r)
+	req.Shape = g.Shape
+	req.Tenant = g.Tenant
+	req.ArrivalAt = g.sim.Now()
 	g.nextID++
-	submit(req)
+	g.submit(req)
 }
 
 // Count returns how many requests have been generated so far.
