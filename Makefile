@@ -11,7 +11,7 @@ FUZZTIME ?= 5s
 # when coverage improves; never lower it to make CI pass.
 COVER_MIN ?= 76.0
 
-.PHONY: verify build test vet race bench bench-search bench-serve bench-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
+.PHONY: verify build test vet race bench bench-search bench-serve bench-smoke scaling-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
 verify: vet build race
 
@@ -50,6 +50,13 @@ bench-serve:
 bench-smoke:
 	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
 	$(GO) run ./cmd/vliterag run -exp bench-serve -quick
+
+# Wall-clock scaling assertion for the parallel sharded engine: a
+# replicated cluster run must finish >=1.5x faster on 4 workers than on
+# 1. Needs a quiet host with >=4 cores (the test skips itself
+# otherwise), so it is its own target rather than part of `race`/`test`.
+scaling-smoke:
+	SCALING_SMOKE=1 $(GO) test ./internal/rag -run TestWorkerScalingSmoke -v -count=1
 
 # Run every example binary in quick mode. `go test` only compiles the
 # examples; this actually executes them, so their output paths cannot

@@ -8,6 +8,9 @@
 //	vliterag run -exp all  [-quick]    # regenerate everything
 //	vliterag serve -system vLiteRAG -dataset orcas1k -rate 30
 //	vliterag serve -replicas 2 -policy least-loaded -rate 60
+//	vliterag serve -replicas 16 -workers 8 -netdelay 1ms -rate 480
+//	    # parallel sharded cluster: N worker goroutines, bit-identical
+//	    # schedule for any -workers value
 //	vliterag serve -adapt -dataset orcas2k -rate 20 -slo 150ms \
 //	    -drift-at 45s -duration 6m     # online adaptation under drift
 //	vliterag serve -tenants 3 -tiers gold,silver,bronze -rate 15 \
@@ -208,6 +211,8 @@ func serveCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	replicas := fs.Int("replicas", 1, "independent node pipelines behind the front-end router")
 	policy := fs.String("policy", "least-loaded", "cluster routing policy (round-robin|least-loaded)")
+	workers := fs.Int("workers", runtime.NumCPU(), "worker goroutines for sharded cluster/tenant runs (wall-clock only; 1 = sequential)")
+	netDelay := fs.Duration("netdelay", 0, "modeled front<->replica network transit; >0 selects the parallel sharded engine (default 1ms when -workers > 1)")
 	adaptive := fs.Bool("adapt", false, "vLiteRAG with in-loop drift detection and background index rebuilds")
 	tenants := fs.Int("tenants", 0, "serve N SLO-tiered tenants sharing the node (joint HBM allocation + fair scheduling)")
 	tiers := fs.String("tiers", "gold,silver,bronze", "comma-separated tier per tenant, cycled to -tenants (gold|silver|bronze)")
@@ -238,11 +243,12 @@ func serveCmd(args []string) error {
 	if *adaptive && vlr.System(*system) != vlr.VLiteRAG {
 		return fmt.Errorf("-adapt requires the hot-swappable vLiteRAG runtime, not %s", *system)
 	}
-	if *tenants > 0 && (*adaptive || *replicas > 1) {
-		return fmt.Errorf("-tenants is its own serving mode; drop -adapt/-replicas")
+	if *tenants > 0 && *adaptive {
+		return fmt.Errorf("-tenants is its own serving mode; drop -adapt")
 	}
 	if *tenants > 0 {
-		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo, prof)
+		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo,
+			*replicas, *workers, *netDelay, vlr.RoutePolicy(*policy), prof)
 	}
 	if err := prof.start(); err != nil {
 		return err
@@ -270,6 +276,7 @@ func serveCmd(args []string) error {
 		Workload: w, System: vlr.System(*system), Rate: *rate,
 		Node: node, Model: m, Duration: *dur, Seed: *seed,
 		SLOSearch: *slo, Drift: drift, RateSchedule: sched,
+		Workers: *workers, NetDelay: *netDelay,
 	}
 	var rep *vlr.Report
 	var perReplica []vlr.ReplicaReport
@@ -322,7 +329,8 @@ func serveCmd(args []string) error {
 // -rate-pattern drives the last (lowest-listed) tenant's arrivals —
 // the "bursty bronze neighbor" demo — while the others stay steady.
 func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.ModelSpec, node vlr.Node,
-	rate float64, dur time.Duration, seed uint64, pattern string, slo time.Duration, prof *profiler) error {
+	rate float64, dur time.Duration, seed uint64, pattern string, slo time.Duration,
+	replicas, workers int, netDelay time.Duration, policy vlr.RoutePolicy, prof *profiler) error {
 	if strings.TrimSpace(tiers) == "" {
 		return fmt.Errorf("-tiers is empty")
 	}
@@ -381,16 +389,24 @@ func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.Mo
 	if sched != nil {
 		specs[n-1].RateSchedule = sched
 	}
-	rep, err := vlr.ServeTenants(vlr.MultiTenantServeOptions{
+	mto := vlr.MultiTenantServeOptions{
 		Tenants: specs, Node: node, Model: m,
 		Duration: dur, Seed: seed, SharedQueue: sharedQueue,
-	})
+	}
+	if replicas > 1 {
+		mto.Replicas, mto.Policy = replicas, policy
+		mto.Workers, mto.NetDelay = workers, netDelay
+	}
+	rep, err := vlr.ServeTenants(mto)
 	if err != nil {
 		return err
 	}
 	mode := "fair-scheduled"
 	if rep.SharedQueue {
 		mode = "shared-queue baseline"
+	}
+	if rep.Replicas > 1 {
+		mode = fmt.Sprintf("%s, x%d replicas, %d workers", mode, rep.Replicas, rep.Workers)
 	}
 	fmt.Printf("%d tenants (%s) | %s | %s @ %.1f req/s total\n", n, mode, spec.Name, m.Name, rate)
 	for _, tr := range rep.Tenants {

@@ -1,0 +1,444 @@
+// Parallel sharded simulation: a conservative (CMB-style) coordinator
+// that runs several Sims — shards — on separate goroutines and lets
+// them exchange timestamped messages over Links with a declared
+// minimum delay (the lookahead).
+//
+// # Safety rule
+//
+// Each shard owner publishes a horizon: a promise that no message it
+// has not yet sent will carry a timestamp earlier than horizon +
+// link delay. A shard may execute its next event at time t only while
+// t < bound, where bound is the minimum over its inbound links of the
+// source's horizon plus that link's delay — the classic conservative
+// condition, so no shard ever executes past a message it has not seen.
+//
+// # Determinism rule
+//
+// The merged schedule must be a pure function of the event graph, not
+// of goroutine interleaving, so the same Group produces bit-identical
+// results for any worker count. Two rules make that hold:
+//
+//   - Delivery instant: an inbound message is moved into the shard's
+//     event queue only when its timestamp is ≤ the shard's next local
+//     event time (and < bound). Delivering any earlier would give the
+//     message a smaller FIFO sequence number than local events that a
+//     not-yet-executed earlier event is still going to schedule — an
+//     ordering that would depend on how far the sender had raced
+//     ahead. Gating on the local clock makes the delivery instant
+//     logical, so same-instant ties always resolve the same way:
+//     already-scheduled local events first, then messages.
+//   - Link order: messages are drained from inbound links in link
+//     creation order. Because a message is delivered only when its
+//     timestamp is < bound, every same-instant message on every other
+//     link is already visible (an unseen one would have to carry a
+//     timestamp ≥ bound), so the iteration order is complete and the
+//     cross-link tie-break deterministic.
+//
+// With those rules, running the shards on one goroutine or sixteen
+// changes only which shard *stalls* waiting for a horizon, never the
+// order in which events fire. workers=1 is therefore not a separate
+// code path but the same algorithm on one goroutine — the reference
+// schedule is the parallel schedule.
+//
+// # Termination
+//
+// A Group is done when no shard holds an executable event at or before
+// the deadline and no relevant message is in flight. That is detected
+// with a double-scan: read the global activity counter, check every
+// shard's idle flag and every link's sent==delivered balance, read the
+// counter again; an unchanged counter proves no send or delivery raced
+// the scan. This avoids the horizon-climbing pathology of pure
+// null-message termination, where draining an idle tail of the run
+// takes (deadline − last event)/lookahead rounds.
+package des
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxTime is the "no event / no constraint" sentinel.
+const maxTime = Time(math.MaxInt64)
+
+// horizonEvery bounds how many events a shard executes between horizon
+// publications mid-burst, so peers waiting on this shard's promise are
+// never starved by a long local stretch. Publishing is one atomic
+// store; 32 keeps it well under 1% of event cost.
+const horizonEvery = 32
+
+// Msg is one cross-shard message: the link's deliver callback runs
+// with arg on the destination shard at virtual time at.
+type Msg struct {
+	at  Time
+	arg any
+}
+
+// Shard is one Sim inside a Group, owned by exactly one worker
+// goroutine at a time. All scheduling on Sim must happen from the
+// shard's own event handlers (or before Run starts).
+type Shard struct {
+	Sim Sim
+
+	id    int
+	group *Group
+	in    []*Link
+	out   []*Link
+
+	// horizon is the published promise (see package comment). Only the
+	// owning worker writes it; any shard reads it.
+	horizon atomic.Int64
+	// idle is true while the shard is blocked with no local event at or
+	// before the deadline; the quiescence scan reads it.
+	idle atomic.Bool
+
+	// Owner-local state (never touched across goroutines).
+	sincePub int
+	wasIdle  bool
+}
+
+// ID returns the shard's index in its group (creation order).
+func (s *Shard) ID() int { return s.id }
+
+// Link is a one-way FIFO message channel between two shards with a
+// minimum delay: every Send must be timestamped at least delay past
+// the sender's current virtual time. That delay is the lookahead the
+// conservative synchronization runs on.
+type Link struct {
+	src, dst *Shard
+	delay    Time
+	deliver  func(any)
+
+	// stamp is bumped once per producer append; the consumer caches the
+	// last value it drained and skips the lock while it is unchanged.
+	stamp atomic.Uint64
+	// sent counts messages timestamped at or before the group deadline;
+	// delivered counts consumer pops. The quiescence scan compares them.
+	sent      atomic.Int64
+	delivered atomic.Int64
+
+	mu  sync.Mutex
+	buf []Msg // producer side, appended under mu
+
+	// Consumer side: only the destination shard's owner touches these.
+	// pending/buf double-buffer, so steady state allocates nothing.
+	pending []Msg
+	head    int
+	seen    uint64
+}
+
+// Delay returns the link's minimum delay (its lookahead).
+func (l *Link) Delay() Time { return l.delay }
+
+// Send queues a message for delivery on the destination shard at
+// virtual time at. It must be called from the source shard's event
+// context, and at must honor the link's lookahead (now + delay);
+// violating that would let the receiver execute past an unseen
+// message, so it panics.
+func (l *Link) Send(at Time, arg any) {
+	if at < l.src.Sim.Now()+l.delay {
+		panic(fmt.Sprintf("des: link %d->%d send at t=%d violates lookahead (now=%d, delay=%d)",
+			l.src.id, l.dst.id, at, l.src.Sim.Now(), l.delay))
+	}
+	l.mu.Lock()
+	l.buf = append(l.buf, Msg{at: at, arg: arg})
+	l.mu.Unlock()
+	l.stamp.Add(1)
+	if at <= l.src.group.deadline {
+		l.sent.Add(1)
+	}
+	l.src.group.activity.Add(1)
+}
+
+// peek returns the next undelivered message without consuming it,
+// refilling the consumer buffer from the producer side when needed.
+func (l *Link) peek() (Msg, bool) {
+	if l.head < len(l.pending) {
+		return l.pending[l.head], true
+	}
+	if l.stamp.Load() == l.seen {
+		return Msg{}, false
+	}
+	l.mu.Lock()
+	l.seen = l.stamp.Load()
+	spare := l.pending[:0]
+	l.pending = l.buf
+	l.buf = spare
+	l.mu.Unlock()
+	l.head = 0
+	if len(l.pending) == 0 {
+		return Msg{}, false
+	}
+	return l.pending[0], true
+}
+
+// pop consumes the message peek returned.
+func (l *Link) pop() {
+	l.head++
+	l.delivered.Add(1)
+	l.dst.group.activity.Add(1)
+}
+
+// Drain consumes every message still undelivered after Run — messages
+// timestamped past the deadline, "in the network" when the clock
+// stopped — in send order. Call only after Run has returned.
+func (l *Link) Drain(fn func(at Time, arg any)) {
+	for _, m := range l.pending[l.head:] {
+		fn(m.at, m.arg)
+	}
+	l.pending = l.pending[:0]
+	l.head = 0
+	l.mu.Lock()
+	buf := l.buf
+	l.buf = l.buf[:0]
+	l.mu.Unlock()
+	for _, m := range buf {
+		fn(m.at, m.arg)
+	}
+}
+
+// Group is a set of shards wired by links, run to a common deadline.
+type Group struct {
+	shards []*Shard
+	links  []*Link
+
+	deadline Time
+	// activity counts every send and every delivery; the quiescence
+	// double-scan uses it to prove nothing raced the scan.
+	activity atomic.Int64
+	quiesced atomic.Bool
+	qmu      sync.Mutex
+}
+
+// NewGroup returns an empty shard group.
+func NewGroup() *Group { return &Group{} }
+
+// AddShard appends a fresh shard to the group.
+func (g *Group) AddShard() *Shard {
+	s := &Shard{id: len(g.shards), group: g}
+	g.shards = append(g.shards, s)
+	return s
+}
+
+// Shards returns the group's shards in creation order.
+func (g *Group) Shards() []*Shard { return g.shards }
+
+// Connect wires a one-way link from src to dst with the given minimum
+// delay (must be positive — zero lookahead cannot make conservative
+// progress through a cycle). deliver runs on dst's timeline, at each
+// message's timestamp, with the message's arg.
+func Connect(src, dst *Shard, delay Time, deliver func(any)) (*Link, error) {
+	if src == nil || dst == nil {
+		return nil, fmt.Errorf("des: nil shard")
+	}
+	if src.group != dst.group {
+		return nil, fmt.Errorf("des: shards belong to different groups")
+	}
+	if delay <= 0 {
+		return nil, fmt.Errorf("des: link needs positive delay (lookahead), got %d", delay)
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("des: link needs a deliver callback")
+	}
+	l := &Link{src: src, dst: dst, delay: delay, deliver: deliver}
+	src.out = append(src.out, l)
+	dst.in = append(dst.in, l)
+	src.group.links = append(src.group.links, l)
+	return l, nil
+}
+
+// Run executes the group until no event at or before deadline remains
+// anywhere, spreading shards round-robin over the given number of
+// worker goroutines. workers ≤ 1 runs everything on the calling
+// goroutine — the identical algorithm, so results match any worker
+// count bit for bit.
+func (g *Group) Run(deadline Time, workers int) {
+	g.deadline = deadline
+	g.quiesced.Store(false)
+	if workers > len(g.shards) {
+		workers = len(g.shards)
+	}
+	if workers <= 1 {
+		g.runWorker(g.shards)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		var own []*Shard
+		for i := w; i < len(g.shards); i += workers {
+			own = append(own, g.shards[i])
+		}
+		wg.Add(1)
+		go func(own []*Shard) {
+			defer wg.Done()
+			g.runWorker(own)
+		}(own)
+	}
+	wg.Wait()
+}
+
+// runWorker sweeps its owned shards, advancing each as far as the
+// conservative bound allows, until the group quiesces.
+func (g *Group) runWorker(own []*Shard) {
+	for {
+		progressed := false
+		for _, s := range own {
+			if g.advance(s) {
+				progressed = true
+			}
+		}
+		if g.quiesced.Load() {
+			return
+		}
+		if progressed {
+			continue
+		}
+		if g.checkQuiescent() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// advance runs one shard until it blocks on a peer's horizon (or runs
+// out of work), applying the delivery and link-order rules from the
+// package comment. It reports whether any event executed.
+func (g *Group) advance(s *Shard) bool {
+	progressed := false
+	bound := s.computeBound()
+	for {
+		next, ok := s.Sim.nextAt()
+		nt := maxTime
+		if ok {
+			nt = next
+		}
+		// Deliver safe inbound messages, in link order. Each delivery
+		// becomes the new next local event, so later links' same-instant
+		// messages chain in behind it deterministically.
+		for _, l := range s.in {
+			for {
+				m, okm := l.peek()
+				if !okm || m.at >= bound || m.at > nt || m.at > g.deadline {
+					break
+				}
+				s.wake()
+				s.Sim.AtArg(m.at, l.deliver, m.arg)
+				l.pop()
+				nt = m.at
+			}
+		}
+		if nt < bound && nt <= g.deadline {
+			s.wake()
+			s.Sim.Step()
+			progressed = true
+			s.sincePub++
+			if s.sincePub >= horizonEvery {
+				// Mid-burst promise: future sends fire at ≥ now + delay.
+				s.publish(s.Sim.Now())
+			}
+			continue
+		}
+		// Blocked. Peers may have published since the bound was cached;
+		// retry once with a fresh bound before stalling.
+		if nb := s.computeBound(); nb > bound {
+			bound = nb
+			continue
+		}
+		break
+	}
+	s.block(bound)
+	return progressed
+}
+
+// computeBound returns the earliest instant at which an unseen inbound
+// message could still arrive: min over inbound links of the source's
+// horizon plus the link delay.
+func (s *Shard) computeBound() Time {
+	bound := maxTime
+	for _, l := range s.in {
+		h := Time(l.src.horizon.Load())
+		b := maxTime
+		if h < maxTime-l.delay {
+			b = h + l.delay
+		}
+		if b < bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// wake clears the idle flag before the shard delivers or executes.
+// The store is sequenced before the delivery's activity bump, which is
+// what lets the quiescence double-scan trust a true idle flag.
+func (s *Shard) wake() {
+	if s.wasIdle {
+		s.idle.Store(false)
+		s.wasIdle = false
+	}
+}
+
+// block publishes the shard's stall-time horizon — the earliest
+// instant anything could still execute here: its next local event, its
+// earliest undelivered message, or the bound itself — and refreshes
+// the idle flag for the quiescence scan.
+func (s *Shard) block(bound Time) {
+	h := bound
+	nt, ok := s.Sim.nextAt()
+	if ok && nt < h {
+		h = nt
+	}
+	for _, l := range s.in {
+		if m, okm := l.peek(); okm && m.at < h {
+			h = m.at
+		}
+	}
+	s.publish(h)
+	idle := !ok || nt > s.group.deadline
+	if idle != s.wasIdle {
+		s.idle.Store(idle)
+		s.wasIdle = idle
+	}
+}
+
+// publish raises the shard's horizon (it never moves backward — the
+// promise only strengthens).
+func (s *Shard) publish(h Time) {
+	s.sincePub = 0
+	if h > Time(s.horizon.Load()) {
+		s.horizon.Store(int64(h))
+	}
+}
+
+// checkQuiescent runs the double-scan termination check: with the
+// activity counter unchanged around a scan that saw every shard idle
+// and every link balanced, no event at or before the deadline can ever
+// execute again, anywhere.
+func (g *Group) checkQuiescent() bool {
+	if g.quiesced.Load() {
+		return true
+	}
+	g.qmu.Lock()
+	defer g.qmu.Unlock()
+	if g.quiesced.Load() {
+		return true
+	}
+	c1 := g.activity.Load()
+	for _, s := range g.shards {
+		if !s.idle.Load() {
+			return false
+		}
+	}
+	for _, l := range g.links {
+		if l.sent.Load() != l.delivered.Load() {
+			return false
+		}
+	}
+	if g.activity.Load() != c1 {
+		return false
+	}
+	g.quiesced.Store(true)
+	return true
+}

@@ -1,0 +1,267 @@
+package des
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// starFixture builds the topology the serving layer uses — a front
+// shard fanning out to R replica shards over forward links, with
+// notice links back — and drives it with a tie-heavy synthetic
+// schedule: arrival gaps drawn from {0,0,1,2} ns so same-instant
+// router forwards and same-instant completion notices are the common
+// case, not the corner case.
+type starFixture struct {
+	group    *Group
+	front    *Shard
+	reps     []*Shard
+	fwd      []*Link
+	back     []*Link
+	inflight []int
+
+	// logs capture the executed schedule: one append-only log per
+	// shard, owner-written only.
+	frontLog []int64
+	repLogs  [][]int64
+
+	arrivals int
+	total    int
+	next     int
+	lcg      uint64
+	ll       bool // least-loaded routing (reads inflight feedback)
+}
+
+type starMsg struct {
+	id  int
+	rep int
+}
+
+func newStar(replicas, total int, ll bool, fwdDelay, backDelay Time) *starFixture {
+	f := &starFixture{
+		group:    NewGroup(),
+		total:    total,
+		lcg:      0x9e3779b97f4a7c15,
+		ll:       ll,
+		inflight: make([]int, replicas),
+		repLogs:  make([][]int64, replicas),
+	}
+	f.front = f.group.AddShard()
+	for i := 0; i < replicas; i++ {
+		i := i
+		rep := f.group.AddShard()
+		f.reps = append(f.reps, rep)
+		fwd, err := Connect(f.front, rep, fwdDelay, func(arg any) {
+			m := arg.(*starMsg)
+			f.repLogs[i] = append(f.repLogs[i], rep.Sim.Now(), int64(m.id))
+			// One hop of local "service", then the completion notice.
+			rep.Sim.AfterArg(1, func(a any) {
+				mm := a.(*starMsg)
+				f.back[i].Send(rep.Sim.Now()+backDelay, mm)
+			}, m)
+		})
+		if err != nil {
+			panic(err)
+		}
+		back, err := Connect(rep, f.front, backDelay, func(arg any) {
+			m := arg.(*starMsg)
+			f.inflight[m.rep]--
+			f.frontLog = append(f.frontLog, f.front.Sim.Now(), int64(m.id), int64(m.rep))
+		})
+		if err != nil {
+			panic(err)
+		}
+		f.fwd = append(f.fwd, fwd)
+		f.back = append(f.back, back)
+	}
+	f.front.Sim.At(0, f.arrive)
+	return f
+}
+
+// gap returns the next tie-heavy inter-arrival gap: 0, 0, 1, or 2 ns.
+func (f *starFixture) gap() Time {
+	f.lcg = f.lcg*6364136223846793005 + 1442695040888963407
+	return Time((f.lcg >> 33) % 4 % 3) // {0,1,2} with 0 twice as likely
+}
+
+func (f *starFixture) arrive() {
+	now := f.front.Sim.Now()
+	pick := f.next % len(f.reps)
+	if f.ll {
+		for k := 1; k < len(f.reps); k++ {
+			c := (f.next + k) % len(f.reps)
+			if f.inflight[c] < f.inflight[pick] {
+				pick = c
+			}
+		}
+	}
+	f.next++
+	f.inflight[pick]++
+	f.frontLog = append(f.frontLog, now, int64(f.arrivals), int64(pick))
+	f.fwd[pick].Send(now+f.fwd[pick].Delay(), &starMsg{id: f.arrivals, rep: pick})
+	f.arrivals++
+	if f.arrivals < f.total {
+		f.front.Sim.At(now+f.gap(), f.arrive)
+	}
+}
+
+// fingerprint hashes every shard's executed schedule.
+func (f *starFixture) fingerprint() uint64 {
+	h := fnv.New64a()
+	put := func(vs []int64) {
+		var b [8]byte
+		for _, v := range vs {
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+	}
+	put(f.frontLog)
+	for _, l := range f.repLogs {
+		put(l)
+	}
+	return h.Sum64()
+}
+
+// TestShardDeterminismAcrossWorkers pins the tentpole property at the
+// DES level: the merged schedule is bit-identical for any worker
+// count, for both routing feedback modes, under heavy same-instant
+// ties.
+func TestShardDeterminismAcrossWorkers(t *testing.T) {
+	for _, ll := range []bool{false, true} {
+		var ref uint64
+		var refN int
+		for _, workers := range []int{1, 2, 3, 8} {
+			f := newStar(8, 5000, ll, 1, 1)
+			f.group.Run(1<<40, workers)
+			if f.arrivals != 5000 {
+				t.Fatalf("ll=%v workers=%d: %d arrivals, want 5000", ll, workers, f.arrivals)
+			}
+			if got := len(f.frontLog); got != 5000*3*2 {
+				t.Fatalf("ll=%v workers=%d: front log %d entries, want %d (every arrival routed and every notice returned)",
+					ll, workers, got, 5000*3*2)
+			}
+			fp := f.fingerprint()
+			if workers == 1 {
+				ref, refN = fp, len(f.frontLog)
+				continue
+			}
+			if fp != ref || len(f.frontLog) != refN {
+				t.Fatalf("ll=%v workers=%d: schedule fingerprint %x != sequential %x", ll, workers, fp, ref)
+			}
+		}
+	}
+}
+
+// TestShardExchangeRaceStress is the targeted stress test for the
+// cross-shard exchange: many shards, minimum (1 ns) lookahead, and a
+// tie-heavy arrival schedule, run with more workers than cores. Under
+// `go test -race` this is the test that exercises the coordinator's
+// synchronization — horizon publication, link hand-off, idle flags,
+// and the quiescence double-scan — with maximal overlap.
+func TestShardExchangeRaceStress(t *testing.T) {
+	f := newStar(15, 20000, true, 1, 1)
+	f.group.Run(1<<40, 8)
+	if f.arrivals != 20000 {
+		t.Fatalf("%d arrivals, want 20000", f.arrivals)
+	}
+	want := 20000 * 3 * 2
+	if len(f.frontLog) != want {
+		t.Fatalf("front log %d entries, want %d", len(f.frontLog), want)
+	}
+	// The stress run must also match the sequential schedule exactly.
+	seq := newStar(15, 20000, true, 1, 1)
+	seq.group.Run(1<<40, 1)
+	if f.fingerprint() != seq.fingerprint() {
+		t.Fatal("8-worker stress schedule diverged from sequential")
+	}
+}
+
+// TestShardDeadlineAndDrain checks that messages timestamped past the
+// deadline are never delivered during the run and come back via Drain
+// in send order.
+func TestShardDeadlineAndDrain(t *testing.T) {
+	g := NewGroup()
+	a := g.AddShard()
+	b := g.AddShard()
+	var got []Time
+	l, err := Connect(a, b, 10, func(arg any) { got = append(got, b.Sim.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three sends: two deliverable, one past the deadline.
+	a.Sim.At(0, func() {
+		l.Send(10, nil)
+		l.Send(50, nil)
+		l.Send(200, nil)
+	})
+	g.Run(100, 2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 50 {
+		t.Fatalf("delivered %v, want [10 50]", got)
+	}
+	var leftover []Time
+	l.Drain(func(at Time, _ any) { leftover = append(leftover, at) })
+	if len(leftover) != 1 || leftover[0] != 200 {
+		t.Fatalf("drained %v, want [200]", leftover)
+	}
+	// Drain is consuming: a second pass sees nothing.
+	leftover = leftover[:0]
+	l.Drain(func(at Time, _ any) { leftover = append(leftover, at) })
+	if len(leftover) != 0 {
+		t.Fatalf("second drain returned %v", leftover)
+	}
+}
+
+// TestShardQuiescenceTerminatesFastDeadline checks that a deadline far
+// past the last event does not cost horizon-climbing rounds: the run
+// must quiesce as soon as the event graph empties, even with a
+// deadline ~2^50 ns (two weeks of virtual time) and 1 ns lookahead.
+func TestShardQuiescenceTerminatesFastDeadline(t *testing.T) {
+	f := newStar(4, 200, false, 1, 1)
+	f.group.Run(1<<50, 2) // would be ~2^50 null-message rounds without quiescence detection
+	if f.arrivals != 200 {
+		t.Fatalf("%d arrivals, want 200", f.arrivals)
+	}
+}
+
+func TestShardLookaheadViolationPanics(t *testing.T) {
+	g := NewGroup()
+	a := g.AddShard()
+	b := g.AddShard()
+	l, err := Connect(a, b, 5, func(any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Sim.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("send inside lookahead window did not panic")
+			}
+		}()
+		l.Send(104, nil) // now+4 < now+5
+	})
+	g.Run(1000, 1)
+}
+
+func TestConnectValidation(t *testing.T) {
+	g := NewGroup()
+	a := g.AddShard()
+	b := g.AddShard()
+	if _, err := Connect(a, b, 0, func(any) {}); err == nil {
+		t.Error("zero delay accepted")
+	}
+	if _, err := Connect(a, b, 1, nil); err == nil {
+		t.Error("nil deliver accepted")
+	}
+	if _, err := Connect(nil, b, 1, func(any) {}); err == nil {
+		t.Error("nil shard accepted")
+	}
+	other := NewGroup().AddShard()
+	if _, err := Connect(a, other, 1, func(any) {}); err == nil {
+		t.Error("cross-group link accepted")
+	}
+	if fmt.Sprintf("%d%d", a.ID(), b.ID()) != "01" {
+		t.Error("shard IDs not in creation order")
+	}
+}

@@ -25,6 +25,10 @@ type BenchRow struct {
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// GoMaxProcs stamps the row with the scheduler's processor limit at
+	// measurement time, so rows collected on differently provisioned
+	// hosts (or after a GOMAXPROCS change mid-process) stay comparable.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // BenchResult holds the retrieval-kernel benchmark sweep. It is the
@@ -69,6 +73,7 @@ func measureKernel(name string, target time.Duration, fn func(n int)) BenchRow {
 		NsPerOp:     ns,
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(iters),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 	if ns > 0 {
 		row.OpsPerSec = 1e9 / ns

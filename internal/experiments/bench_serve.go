@@ -31,6 +31,14 @@ type ServeBenchRow struct {
 	WallPerSimSec float64 `json:"wall_per_sim_sec"`
 	AllocsPerReq  float64 `json:"allocs_per_req"`
 	BytesPerReq   float64 `json:"bytes_per_req"`
+	// Workers is how many worker goroutines executed the run's shards
+	// (1 for the sequential single-timeline engine); GoMaxProcs is the
+	// Go scheduler's processor limit when the row was measured. Together
+	// they make every wall-clock number interpretable: a workers=8 row
+	// measured at gomaxprocs=1 is a concurrency-overhead data point, not
+	// a parallel speedup.
+	Workers    int `json:"workers"`
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // ServeBenchResult is the bench-serve sweep: one row per serving
@@ -53,9 +61,11 @@ type ServeBenchResult struct {
 // serveBenchCase is one benchmark scenario: run executes a full
 // serving run and reports (requests, serve wall, allocs, bytes).
 type serveBenchCase struct {
-	name   string
-	simSec float64
-	run    func() (int, time.Duration, uint64, uint64, error)
+	name    string
+	simSec  float64
+	workers int // worker goroutines executing the run (1 = sequential)
+	reps    int // 0 = the sweep default
+	run     func() (int, time.Duration, uint64, uint64, error)
 }
 
 // serveBenchCases assembles the four serving scenarios. The tenants
@@ -82,36 +92,87 @@ func serveBenchCases(cfg Config) ([]serveBenchCase, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []serveBenchCase{
-		{name: "single_vliterag_30rps", simSec: simSec, run: func() (int, time.Duration, uint64, uint64, error) {
+	cases := []serveBenchCase{
+		{name: "single_vliterag_30rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
 			r, err := rag.Run(single)
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
 			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
 		}},
-		{name: "cluster_x2_least_loaded_60rps", simSec: simSec, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "cluster_x2_least_loaded_60rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
 			r, err := rag.RunCluster(cluster, 2, "least-loaded")
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
 			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
 		}},
-		{name: "adaptive_drift_20rps", simSec: simSec, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "adaptive_drift_20rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
 			r, err := rag.RunAdaptive(adaptive)
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
 			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
 		}},
-		{name: "tenants_quick_fair", simSec: simSec, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "tenants_quick_fair", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
 			r, err := rag.RunMultiTenant(tenants)
 			if err != nil {
 				return 0, 0, 0, 0, err
 			}
 			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
 		}},
-	}, nil
+	}
+	return append(cases, fleetBenchCases(cfg, single)...), nil
+}
+
+// fleetBenchCases builds the parallel sharded scaling curve: one fleet
+// configuration run at each worker count, so the recorded rows trace
+// wall-clock against workers while every row's schedule is identical.
+// Full mode is the headline artifact — 100 replicas serving ~10 million
+// requests — at workers 1/2/4/8 plus the host's core count; quick mode
+// shrinks to an 8-replica fleet at workers 1 and 2 so CI's bench-smoke
+// exercises the sharded engine end to end on every commit.
+func fleetBenchCases(cfg Config, single rag.Options) []serveBenchCase {
+	fleet := single
+	fleet.Kind = rag.CPUOnly // per-event retrieval work without per-run repartitioning cost
+	fleet.NetDelay = time.Millisecond
+	replicas := 100
+	fleet.Rate = 3000
+	fleet.Duration = 3334 * time.Second // ~10M Poisson arrivals at 3000 req/s
+	fleet.Warmup = 60 * time.Second
+	fleet.Drain = 60 * time.Second
+	workerCounts := []int{1, 2, 4, 8}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 && n != 8 {
+		workerCounts = append(workerCounts, n)
+	}
+	if cfg.Quick {
+		replicas = 8
+		fleet.Rate = 240
+		fleet.Duration = 60 * time.Second
+		fleet.Warmup = 10 * time.Second
+		fleet.Drain = 30 * time.Second
+		workerCounts = []int{1, 2}
+	}
+	simSec := (fleet.Duration + fleet.Drain).Seconds()
+	var cases []serveBenchCase
+	for _, w := range workerCounts {
+		opts := fleet
+		opts.Workers = w
+		cases = append(cases, serveBenchCase{
+			name:    fmt.Sprintf("fleet_x%d_%.0frps_w%d", replicas, fleet.Rate, w),
+			simSec:  simSec,
+			workers: w,
+			reps:    1, // fleet rows are long; schedule is deterministic, wall noise amortizes
+			run: func() (int, time.Duration, uint64, uint64, error) {
+				r, err := rag.RunCluster(opts, replicas, "least-loaded")
+				if err != nil {
+					return 0, 0, 0, 0, err
+				}
+				return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+			},
+		})
+	}
+	return cases
 }
 
 // BenchServe measures end-to-end serving throughput of the simulation
@@ -130,8 +191,12 @@ func BenchServe(cfg Config) (*ServeBenchResult, error) {
 	}
 	res := &ServeBenchResult{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	for _, c := range cases {
+		crep := reps
+		if c.reps > 0 {
+			crep = c.reps
+		}
 		var best ServeBenchRow
-		for i := 0; i < reps; i++ {
+		for i := 0; i < crep; i++ {
 			n, wall, allocs, bytes, err := c.run()
 			if err != nil {
 				return nil, fmt.Errorf("bench-serve %s: %w", c.name, err)
@@ -145,6 +210,8 @@ func BenchServe(cfg Config) (*ServeBenchResult, error) {
 				WallPerSimSec: wall.Seconds() / c.simSec,
 				AllocsPerReq:  float64(allocs) / float64(n),
 				BytesPerReq:   float64(bytes) / float64(n),
+				Workers:       c.workers,
+				GoMaxProcs:    runtime.GOMAXPROCS(0),
 			}
 			if i == 0 || row.WallSeconds < best.WallSeconds {
 				best = row
@@ -192,13 +259,14 @@ func (r *ServeBenchResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "End-to-end serving benchmarks (%s/%s, GOMAXPROCS=%d)\n", r.GOOS, r.GOARCH, r.GoMaxProcs)
 	b.WriteString("wall time covers the simulation section (arrivals + event loop), best repetition\n")
-	t := &table{header: []string{"config", "requests", "sim-req/s", "wall/sim-s", "allocs/req", "B/req", "vs baseline"}}
+	t := &table{header: []string{"config", "workers", "requests", "sim-req/s", "wall/sim-s", "allocs/req", "B/req", "vs baseline"}}
 	for _, row := range r.Rows {
 		speed := "n/a"
 		if base := r.baselineFor(row.Config); base != nil && base.SimReqPerSec > 0 {
 			speed = fmt.Sprintf("%.2fx", row.SimReqPerSec/base.SimReqPerSec)
 		}
 		t.add(row.Config,
+			fmt.Sprintf("%d", row.Workers),
 			fmt.Sprintf("%d", row.Requests),
 			fmt.Sprintf("%.0f", row.SimReqPerSec),
 			fmt.Sprintf("%.6f", row.WallPerSimSec),
@@ -222,6 +290,8 @@ func (r *ServeBenchResult) CSV() string {
 		for _, row := range rs {
 			rows = append(rows, []string{
 				phase, row.Config,
+				fmt.Sprintf("%d", row.Workers),
+				fmt.Sprintf("%d", row.GoMaxProcs),
 				fmt.Sprintf("%d", row.Requests),
 				fmt.Sprintf("%.0f", row.SimSeconds),
 				fmt.Sprintf("%.6f", row.WallSeconds),
@@ -234,6 +304,6 @@ func (r *ServeBenchResult) CSV() string {
 	}
 	emit("baseline", r.Baseline)
 	emit("current", r.Rows)
-	return writeCSV([]string{"phase", "config", "requests", "sim_seconds", "wall_seconds",
+	return writeCSV([]string{"phase", "config", "workers", "gomaxprocs", "requests", "sim_seconds", "wall_seconds",
 		"sim_req_per_sec", "wall_per_sim_sec", "allocs_per_req", "bytes_per_req"}, rows)
 }

@@ -484,7 +484,12 @@ func TestBenchServeShape(t *testing.T) {
 	want := map[string]bool{
 		"single_vliterag_30rps": false, "cluster_x2_least_loaded_60rps": false,
 		"adaptive_drift_20rps": false, "tenants_quick_fair": false,
+		// Quick mode's sharded fleet: the same schedule executed
+		// sequentially and on 2 workers, so CI exercises the parallel
+		// engine end to end on every commit.
+		"fleet_x8_240rps_w1": false, "fleet_x8_240rps_w2": false,
 	}
+	var fleetReqs []int
 	for _, row := range r.Rows {
 		if _, ok := want[row.Config]; !ok {
 			t.Errorf("unexpected config %q", row.Config)
@@ -497,19 +502,30 @@ func TestBenchServeShape(t *testing.T) {
 		if row.AllocsPerReq > 1 {
 			t.Errorf("%s: %.2f allocs/request, steady-state budget is <=1", row.Config, row.AllocsPerReq)
 		}
+		if row.Workers < 1 || row.GoMaxProcs < 1 {
+			t.Errorf("%s: workers/gomaxprocs not recorded: %+v", row.Config, row)
+		}
+		if strings.HasPrefix(row.Config, "fleet_") {
+			fleetReqs = append(fleetReqs, row.Requests)
+		}
 	}
 	for name, seen := range want {
 		if !seen {
 			t.Errorf("config %q missing from bench-serve rows", name)
 		}
 	}
+	// Worker count is a wall-clock knob: both fleet rows must have
+	// simulated the identical request population.
+	if len(fleetReqs) == 2 && fleetReqs[0] != fleetReqs[1] {
+		t.Errorf("fleet request counts diverged across worker counts: %v", fleetReqs)
+	}
 	out := r.Render()
-	for _, wantStr := range []string{"tenants_quick_fair", "vs baseline", "sim-req/s"} {
+	for _, wantStr := range []string{"tenants_quick_fair", "fleet_x8_240rps_w2", "vs baseline", "sim-req/s", "workers"} {
 		if !strings.Contains(out, wantStr) {
 			t.Errorf("render missing %q:\n%s", wantStr, out)
 		}
 	}
-	if !strings.HasPrefix(r.CSV(), "phase,config,requests") {
+	if !strings.HasPrefix(r.CSV(), "phase,config,workers,gomaxprocs,requests") {
 		t.Errorf("CSV header wrong: %q", strings.SplitN(r.CSV(), "\n", 2)[0])
 	}
 }

@@ -305,6 +305,13 @@ type ClusterResult struct {
 	Result
 	Policy     serve.Policy
 	PerReplica []ReplicaResult
+	// Workers and NetDelay echo the execution configuration of a sharded
+	// run (zero on the single-timeline path): how many worker goroutines
+	// executed the shards — a wall-clock knob only, never visible in the
+	// schedule — and the modeled network transit that doubled as the
+	// conservative lookahead.
+	Workers  int
+	NetDelay time.Duration
 }
 
 // RunCluster executes one evaluation point on N independent node
@@ -316,6 +323,18 @@ type ClusterResult struct {
 func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult, error) {
 	if replicas <= 0 {
 		return nil, fmt.Errorf("rag: need at least one replica, got %d", replicas)
+	}
+	if opts.NetDelay < 0 {
+		return nil, fmt.Errorf("rag: negative NetDelay %v", opts.NetDelay)
+	}
+	// Workers > 1 needs shards to spread over; sharding needs a positive
+	// network delay for lookahead, so asking for parallelism opts into
+	// the modeled network.
+	if opts.NetDelay == 0 && opts.Workers > 1 {
+		opts.NetDelay = DefaultNetDelay
+	}
+	if opts.NetDelay > 0 {
+		return runClusterSharded(opts, replicas, policy)
 	}
 	// Resolve the policy before the expensive profiling/decision work so
 	// a typo fails fast.

@@ -88,6 +88,22 @@ type Options struct {
 	// instead of re-profiling and re-partitioning — "build once, serve
 	// many", and the way a stale plan is represented in drift studies.
 	Plan *splitter.Plan
+
+	// Workers selects how many worker goroutines a *sharded* cluster run
+	// spreads its shards over (0 = all cores). It changes wall-clock
+	// only: the merged schedule is bit-identical for any value. Workers
+	// is meaningful only where there are shards to spread — RunCluster
+	// with NetDelay > 0 (Workers > 1 turns sharding on by defaulting
+	// NetDelay); single-node Run ignores it entirely.
+	Workers int
+	// NetDelay is the modeled front-end↔replica network transit of a
+	// cluster run. Zero keeps today's single-timeline cluster semantics
+	// (router and replicas share one instantaneous simulator). A
+	// positive value switches RunCluster to the parallel sharded engine:
+	// requests reach replicas one NetDelay after routing, completion
+	// notices return one NetDelay later, and that delay is the lookahead
+	// window conservative synchronization runs on.
+	NetDelay time.Duration
 }
 
 // normalize fills defaults and derives the total SLO; it leaves opts

@@ -76,6 +76,22 @@ type MultiTenantOptions struct {
 	ProfileQueries int
 	// SLOGen overrides the measured generation-stage SLO.
 	SLOGen time.Duration
+
+	// Replicas > 1 serves the tenants on R identical multi-tenant nodes
+	// behind a front-end router, on the parallel sharded engine. Each
+	// node gets the full tenant lineup with its joint HBM allocation
+	// sized for a 1/R traffic share.
+	Replicas int
+	// Policy picks the router policy for replicated runs (default
+	// least-loaded).
+	Policy serve.Policy
+	// Workers and NetDelay mirror Options: worker goroutines for the
+	// sharded engine (wall-clock only; 0 = all cores) and the modeled
+	// front↔replica transit that doubles as the conservative lookahead.
+	// Setting either (or Replicas > 1) selects the sharded engine;
+	// NetDelay defaults to DefaultNetDelay there.
+	Workers  int
+	NetDelay time.Duration
 }
 
 // TenantResult is one tenant's share of a multi-tenant run.
@@ -119,6 +135,14 @@ type MultiTenantResult struct {
 	ServeWall   time.Duration
 	ServeAllocs uint64
 	ServeBytes  uint64
+
+	// Replicas, Workers, NetDelay, and PerReplicaSubmitted echo the
+	// sharded execution configuration (zero/nil on the single-node
+	// path); Workers changes wall-clock only, never the schedule.
+	Replicas            int
+	Workers             int
+	NetDelay            time.Duration
+	PerReplicaSubmitted []int
 }
 
 // normalizeMT fills defaults and validates the option set, returning
@@ -262,6 +286,12 @@ func decideTenants(opts *MultiTenantOptions) (*tenantDecision, error) {
 // meters admission into the shared retrieval engine — unless
 // SharedQueue selects the unmetered baseline.
 func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
+	if opts.NetDelay < 0 {
+		return nil, fmt.Errorf("rag: negative NetDelay %v", opts.NetDelay)
+	}
+	if opts.Replicas > 1 || opts.NetDelay > 0 || opts.Workers > 1 {
+		return runMultiTenantSharded(opts)
+	}
 	slos, err := opts.normalizeMT()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,19 @@
+package rng
+
+// Stream derives the seed of an independent substream from a root
+// seed and a stream index — pinned stream splitting for runs that
+// fan one logical seed out to several generators (per-tenant arrival
+// streams, per-shard scratch RNGs). The derivation is a SplitMix64
+// finalizer over root advanced by the golden-gamma multiple of
+// (id+1), so streams are decorrelated, stable across versions, and a
+// pure function of (root, id) — nothing about worker count or
+// scheduling can perturb them.
+func Stream(root, id uint64) uint64 {
+	z := root + 0x9e3779b97f4a7c15*(id+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -68,7 +68,14 @@ func (r *Request) SearchLatency() des.Time { return r.SearchDone - r.SearchStart
 // population) the run allocates no further requests — the pooled
 // request lifecycle of the allocation-free serving core.
 //
-// A Pool is single-goroutine, like the simulator it serves.
+// A Pool is single-goroutine, like the simulator it serves. In a
+// parallel sharded run the pool belongs to the *front* shard's
+// timeline: arrivals draw from it there, ownership of each request
+// travels to a replica shard with its forward message, and the
+// completion notice carries it home again, where the exchange returns
+// it to the pool. At most one shard touches a request at any instant —
+// the message links hand off ownership, never share it — so the pool
+// needs no locking even with many worker goroutines executing shards.
 type Pool struct {
 	free []*Request
 	news int

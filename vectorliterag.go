@@ -289,6 +289,18 @@ type ServeOptions struct {
 	// RateSchedule, when non-nil, replaces the constant Rate with a
 	// time-varying arrival process (ramps, bursts, diurnal cycles).
 	RateSchedule RateSchedule
+
+	// Workers spreads a *cluster* run's shard timelines over N worker
+	// goroutines (0 = all cores). It is a wall-clock knob only: the
+	// merged schedule is bit-identical for every value. Workers > 1
+	// turns the sharded engine on by defaulting NetDelay; single-node
+	// Serve ignores both fields.
+	Workers int
+	// NetDelay is the modeled front-end↔replica network transit of a
+	// cluster run. Zero keeps the single-timeline cluster semantics; a
+	// positive value selects the parallel sharded engine, with the
+	// delay doubling as its conservative-synchronization lookahead.
+	NetDelay time.Duration
 }
 
 // Report is the outcome of one serving run.
@@ -325,6 +337,7 @@ func ragOptions(opts ServeOptions) rag.Options {
 		Shape: opts.Shape, SLOSearch: opts.SLOSearch, SLOGen: opts.SLOGen,
 		DisableDispatcher: opts.DisableDispatcher, Seed: opts.Seed,
 		Drift: opts.Drift, RateSchedule: opts.RateSchedule,
+		Workers: opts.Workers, NetDelay: opts.NetDelay,
 	}
 	if opts.Prebuilt != nil {
 		ro.Plan = opts.Prebuilt.Plan
@@ -432,6 +445,11 @@ type ClusterReport struct {
 	Report
 	Policy     RoutePolicy
 	PerReplica []ReplicaReport
+	// Workers and NetDelay echo a sharded run's execution configuration
+	// (zero on the single-timeline path). Workers never shows in the
+	// schedule — only in wall clock.
+	Workers  int
+	NetDelay time.Duration
 }
 
 // ServeCluster runs the end-to-end pipeline on a cluster of identical
@@ -455,7 +473,9 @@ func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
 			Mu0:      res.Mu0,
 			Timeline: metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
 		},
-		Policy: res.Policy,
+		Policy:   res.Policy,
+		Workers:  res.Workers,
+		NetDelay: res.NetDelay,
 	}
 	for _, r := range res.PerReplica {
 		rep.PerReplica = append(rep.PerReplica, ReplicaReport{
@@ -499,6 +519,21 @@ type MultiTenantServeOptions struct {
 	// baseline a tenant isolation study compares against). The joint
 	// HBM allocation is unchanged.
 	SharedQueue bool
+
+	// Replicas > 1 serves the tenants on R identical multi-tenant nodes
+	// behind a front-end router on the parallel sharded engine; each
+	// node carries the full tenant lineup with its joint HBM allocation
+	// sized for a 1/R traffic share.
+	Replicas int
+	// Policy picks the router policy for replicated runs (default
+	// LeastLoaded).
+	Policy RoutePolicy
+	// Workers and NetDelay mirror ServeOptions: worker goroutines for
+	// the sharded engine (wall-clock only) and the modeled network
+	// transit that doubles as the conservative lookahead. Setting
+	// either — or Replicas > 1 — selects the sharded engine.
+	Workers  int
+	NetDelay time.Duration
 }
 
 // TenantReport is one tenant's share of a multi-tenant run.
@@ -532,6 +567,11 @@ type MultiTenantReport struct {
 	UsedBytes   int64
 	AvgBatch    float64
 	SharedQueue bool
+	// Replicas, Workers, and NetDelay echo a replicated (sharded) run's
+	// execution configuration; zero on the single-node path.
+	Replicas int
+	Workers  int
+	NetDelay time.Duration
 }
 
 // ServeTenants runs the multi-tenant pipeline in virtual time: the
@@ -552,6 +592,8 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 		Node: opts.Node, Model: opts.Model,
 		Duration: opts.Duration, Shape: opts.Shape, Seed: opts.Seed,
 		SharedQueue: opts.SharedQueue,
+		Replicas:    opts.Replicas, Policy: opts.Policy,
+		Workers: opts.Workers, NetDelay: opts.NetDelay,
 	}
 	for _, ts := range opts.Tenants {
 		ro.Tenants = append(ro.Tenants, rag.TenantConfig{
@@ -572,6 +614,9 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 		UsedBytes:   res.UsedBytes,
 		AvgBatch:    res.AvgBatch,
 		SharedQueue: res.SharedQueue,
+		Replicas:    res.Replicas,
+		Workers:     res.Workers,
+		NetDelay:    res.NetDelay,
 	}
 	for _, tr := range res.Tenants {
 		rep.Tenants = append(rep.Tenants, TenantReport{
