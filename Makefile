@@ -7,13 +7,14 @@ GO ?= go
 FUZZTIME ?= 5s
 
 # Coverage ratchet: `make cover-check` fails below this total (the
-# measured baseline at the time the gate was added was 76.6%). Raise it
-# when coverage improves; never lower it to make CI pass.
-COVER_MIN ?= 76.0
+# measured baseline at the time the gate was added was 76.6%; the
+# resilience layer raised it to 77.3%). Raise it when coverage
+# improves; never lower it to make CI pass.
+COVER_MIN ?= 77.0
 
-.PHONY: verify build test vet race bench bench-search bench-serve bench-smoke scaling-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
+.PHONY: verify build test vet lint race bench bench-search bench-serve bench-smoke scaling-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
-verify: vet build race
+verify: vet lint build race
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet when the tool is on PATH; a quiet no-op
+# otherwise so verify works in hermetic containers without network
+# access to install it.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -44,12 +55,14 @@ bench-search:
 bench-serve:
 	$(GO) run ./cmd/vliterag run -exp bench-serve
 
-# One-iteration compile-and-run of the search kernel benchmarks plus a
-# quick-mode bench-serve pass; CI runs this so neither benchmark can
+# One-iteration compile-and-run of the search kernel benchmarks, a
+# quick-mode bench-serve pass, and a quick faults run (the resilience
+# path end-to-end through the CLI); CI runs this so none of them can
 # rot.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
 	$(GO) run ./cmd/vliterag run -exp bench-serve -quick
+	$(GO) run ./cmd/vliterag run -exp faults -quick
 
 # Wall-clock scaling assertion for the parallel sharded engine: a
 # replicated cluster run must finish >=1.5x faster on 4 workers than on

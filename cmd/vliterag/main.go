@@ -11,6 +11,10 @@
 //	vliterag serve -replicas 16 -workers 8 -netdelay 1ms -rate 480
 //	    # parallel sharded cluster: N worker goroutines, bit-identical
 //	    # schedule for any -workers value
+//	vliterag serve -replicas 3 -rate 90 -faults crash@20s:r0:10s \
+//	    -retry 2 -timeout-ms 8000 -hedge-ms -1 -degrade
+//	    # failure storm with retries, auto-hedging, and graceful
+//	    # degradation under the capacity loss
 //	vliterag serve -adapt -dataset orcas2k -rate 20 -slo 150ms \
 //	    -drift-at 45s -duration 6m     # online adaptation under drift
 //	vliterag serve -tenants 3 -tiers gold,silver,bronze -rate 15 \
@@ -221,8 +225,26 @@ func serveCmd(args []string) error {
 	driftRotate := fs.Int("drift-rotate", 0, "rotation size in templates (0 = a third of the template pool)")
 	pattern := fs.String("rate-pattern", "constant", "arrival process: constant|ramp|burst|diurnal")
 	slo := fs.Duration("slo", 0, "search SLO override (default: dataset's Table-I value)")
+	faults := fs.String("faults", "", "scripted failure storm, e.g. crash@20s:r0:10s,straggler@35s:r1:8s:x3 (needs -replicas > 1)")
+	retry := fs.Int("retry", 0, "max re-dispatches per request after a timeout or crash (resilient cluster runs)")
+	hedgeMS := fs.Int("hedge-ms", 0, "fire a backup copy this many ms after dispatch; -1 derives the delay from the running p95")
+	timeoutMS := fs.Int("timeout-ms", 0, "per-attempt deadline in ms; expired attempts retry until -retry is exhausted")
+	degrade := fs.Bool("degrade", false, "shed retrieval depth proportionally to lost capacity while replicas are down")
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	timeoutSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "timeout-ms" {
+			timeoutSet = true
+		}
+	})
+	if err := validateServeFlags(*rate, *replicas, *workers, *timeoutMS, timeoutSet); err != nil {
+		return err
+	}
+	resilience, err := resilienceFromFlags(*faults, *retry, *hedgeMS, *timeoutMS, *degrade, *replicas)
+	if err != nil {
 		return err
 	}
 	spec, err := datasetByName(*ds)
@@ -281,6 +303,7 @@ func serveCmd(args []string) error {
 	var rep *vlr.Report
 	var perReplica []vlr.ReplicaReport
 	var adaptRep *vlr.AdaptiveReport
+	var resRep *vlr.ResilienceReport
 	label := *system
 	switch {
 	case *adaptive:
@@ -293,11 +316,12 @@ func serveCmd(args []string) error {
 	case *replicas > 1:
 		cr, err := vlr.ServeCluster(vlr.ClusterOptions{
 			ServeOptions: so, Replicas: *replicas, Policy: vlr.RoutePolicy(*policy),
+			Faults: *faults, Resilience: resilience,
 		})
 		if err != nil {
 			return err
 		}
-		rep, perReplica = &cr.Report, cr.PerReplica
+		rep, perReplica, resRep = &cr.Report, cr.PerReplica, cr.Resilience
 		label = fmt.Sprintf("%s x%d (%s)", *system, *replicas, cr.Policy)
 	default:
 		rep, err = vlr.Serve(so)
@@ -314,8 +338,22 @@ func serveCmd(args []string) error {
 		s.Breakdown.Queueing, s.Breakdown.Search, s.Breakdown.LLMWait, s.Breakdown.Prefill)
 	fmt.Printf("  retrieval       rho %.3f  avg batch %.1f\n", rep.Rho, rep.AvgBatch)
 	for i, r := range perReplica {
+		if resRep != nil {
+			// Resilient runs report per-replica routing only: retries and
+			// hedges make per-replica summaries ill-defined.
+			fmt.Printf("  replica %d       %d copies routed  avg batch %.1f\n", i, r.Submitted, r.AvgBatch)
+			continue
+		}
 		fmt.Printf("  replica %d       %d requests  attainment %.3f  avg batch %.1f\n",
 			i, r.Submitted, r.Summary.Attainment, r.AvgBatch)
+	}
+	if resRep != nil {
+		st := resRep.Stats
+		fmt.Printf("  resilience      goodput %.2f req/s  retried %d (failover %d)  hedged %d (wins %d)  timed out %d  failed %d\n",
+			resRep.Goodput, st.Retried, st.FailedOver, st.Hedged, st.HedgeWins, st.TimedOut, st.Failed)
+		for i, d := range resRep.Recoveries {
+			fmt.Printf("  crash %d         time to recover %v\n", i+1, d.Round(time.Millisecond))
+		}
 	}
 	if adaptRep != nil {
 		printAdaptive(adaptRep)

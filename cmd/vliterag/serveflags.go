@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	vlr "vectorliterag"
+)
+
+// validateServeFlags rejects nonsensical serve parameters up front, in
+// the style of serve.ResolvePolicy's error: name the knob, echo the bad
+// value, state what is accepted. timeoutSet distinguishes an explicit
+// -timeout-ms 0 (rejected — a zero deadline would fail everything) from
+// the flag never being given (timeouts simply stay off).
+func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutSet bool) error {
+	if rate <= 0 {
+		return fmt.Errorf("serve: -rate must be positive (have %g)", rate)
+	}
+	if replicas <= 0 {
+		return fmt.Errorf("serve: -replicas must be positive (have %d)", replicas)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("serve: -workers must be positive (have %d)", workers)
+	}
+	if timeoutSet && timeoutMS <= 0 {
+		return fmt.Errorf("serve: -timeout-ms must be positive (have %d)", timeoutMS)
+	}
+	return nil
+}
+
+// resilienceFromFlags translates the failure-handling flag group into a
+// ResilienceConfig, or nil when none of its flags is set. The resilient
+// path needs spare replicas to fail over to, so any flag in the group
+// requires -replicas > 1.
+func resilienceFromFlags(faults string, retry, hedgeMS, timeoutMS int, degrade bool, replicas int) (*vlr.ResilienceConfig, error) {
+	if faults == "" && retry == 0 && hedgeMS == 0 && timeoutMS == 0 && !degrade {
+		return nil, nil
+	}
+	if replicas < 2 {
+		return nil, fmt.Errorf("serve: -faults/-retry/-hedge-ms/-timeout-ms/-degrade need replicas to fail over to (have -replicas %d, want > 1)", replicas)
+	}
+	if retry < 0 {
+		return nil, fmt.Errorf("serve: -retry must be non-negative (have %d)", retry)
+	}
+	rc := &vlr.ResilienceConfig{
+		MaxRetries: retry,
+		Timeout:    time.Duration(timeoutMS) * time.Millisecond,
+		Degrade:    degrade,
+	}
+	switch {
+	case hedgeMS > 0:
+		rc.HedgeDelay = time.Duration(hedgeMS) * time.Millisecond
+	case hedgeMS < 0:
+		rc.HedgeAuto = true
+	}
+	return rc, nil
+}

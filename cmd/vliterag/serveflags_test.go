@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateServeFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		rate       float64
+		replicas   int
+		workers    int
+		timeoutMS  int
+		timeoutSet bool
+		wantErr    string // substring; "" means valid
+	}{
+		{name: "defaults", rate: 30, replicas: 1, workers: 8},
+		{name: "zero rate", rate: 0, replicas: 1, workers: 8, wantErr: "-rate"},
+		{name: "negative rate", rate: -5, replicas: 1, workers: 8, wantErr: "-rate"},
+		{name: "zero replicas", rate: 30, replicas: 0, workers: 8, wantErr: "-replicas"},
+		{name: "negative replicas", rate: 30, replicas: -2, workers: 8, wantErr: "-replicas"},
+		{name: "zero workers", rate: 30, replicas: 2, workers: 0, wantErr: "-workers"},
+		{name: "negative workers", rate: 30, replicas: 2, workers: -1, wantErr: "-workers"},
+		{name: "explicit zero timeout", rate: 30, replicas: 2, workers: 8, timeoutMS: 0, timeoutSet: true, wantErr: "-timeout-ms"},
+		{name: "negative timeout", rate: 30, replicas: 2, workers: 8, timeoutMS: -100, timeoutSet: true, wantErr: "-timeout-ms"},
+		{name: "unset timeout default", rate: 30, replicas: 2, workers: 8, timeoutMS: 0, timeoutSet: false},
+		{name: "valid timeout", rate: 30, replicas: 2, workers: 8, timeoutMS: 8000, timeoutSet: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServeFlags(tc.rate, tc.replicas, tc.workers, tc.timeoutMS, tc.timeoutSet)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted; want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name %s", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestResilienceFromFlags(t *testing.T) {
+	// No resilience flags → nil config, any replica count.
+	if rc, err := resilienceFromFlags("", 0, 0, 0, false, 1); err != nil || rc != nil {
+		t.Fatalf("bare flags: got %v, %v; want nil, nil", rc, err)
+	}
+	// Any resilience flag on a single replica is rejected.
+	if _, err := resilienceFromFlags("crash@10s:r0:5s", 0, 0, 0, false, 1); err == nil {
+		t.Fatal("-faults with -replicas 1 accepted")
+	}
+	if _, err := resilienceFromFlags("", 2, 0, 0, false, 1); err == nil {
+		t.Fatal("-retry with -replicas 1 accepted")
+	}
+	if _, err := resilienceFromFlags("", -1, 0, 0, false, 2); err == nil {
+		t.Fatal("negative -retry accepted")
+	}
+	// Full group translates faithfully.
+	rc, err := resilienceFromFlags("crash@10s:r0:5s", 2, 500, 8000, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.MaxRetries != 2 || rc.Timeout != 8*time.Second || rc.HedgeDelay != 500*time.Millisecond || rc.HedgeAuto || !rc.Degrade {
+		t.Fatalf("config %+v does not match flags", rc)
+	}
+	// Negative hedge selects the p95-derived delay.
+	rc, err = resilienceFromFlags("", 1, -1, 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.HedgeAuto || rc.HedgeDelay != 0 {
+		t.Fatalf("config %+v: -hedge-ms -1 should set HedgeAuto", rc)
+	}
+}

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "bench-serve", "adapt", "tenants"}
+		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -592,5 +592,105 @@ func TestTenantsGoldenPinned(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("tenants quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// faultsQuick caches the quick-mode Faults run (four full cluster
+// simulations under the storm) for the assertions below.
+var faultsQuick *FaultsResult
+
+func faultsQuickResult(t *testing.T) *FaultsResult {
+	t.Helper()
+	if faultsQuick == nil {
+		r, err := Faults(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultsQuick = r
+	}
+	return faultsQuick
+}
+
+// TestFaultsResilience: the headline failure-handling artifact — the
+// baseline drops the crashed replica's in-flight work, every resilient
+// arm serves the full population, hedges win a visible share of their
+// races, and degradation recovers goodput relative to plain
+// retry+hedge.
+func TestFaultsResilience(t *testing.T) {
+	r := faultsQuickResult(t)
+	base, retry := r.Arm("baseline"), r.Arm("retry")
+	hedgeArm, full := r.Arm("retry+hedge"), r.Arm("retry+hedge+degrade")
+	if base == nil || retry == nil || hedgeArm == nil || full == nil {
+		t.Fatalf("arms missing: %+v", r.Arms)
+	}
+	if base.Stats.Failed == 0 {
+		t.Fatal("baseline failed nothing; the crash hit no in-flight work")
+	}
+	if base.Recover > 0 {
+		t.Errorf("baseline reports a recovery (%v) with no retries configured", base.Recover)
+	}
+	for _, a := range []*FaultsArm{retry, hedgeArm, full} {
+		if a.Stats.Failed != 0 || a.Unserved != 0 {
+			t.Errorf("%s arm dropped requests: failed %d, unserved %d", a.Name, a.Stats.Failed, a.Unserved)
+		}
+		if a.Stats.FailedOver != base.Stats.Failed {
+			t.Errorf("%s arm failed over %d, want the baseline's %d crash victims",
+				a.Name, a.Stats.FailedOver, base.Stats.Failed)
+		}
+		if a.Recover <= 0 {
+			t.Errorf("%s arm never recovered the crash: %v", a.Name, a.Recover)
+		}
+		// Resilience costs goodput (re-served work competes with fresh
+		// arrivals) but must not collapse the run.
+		if a.Goodput < 0.9*base.Goodput {
+			t.Errorf("%s arm goodput %.2f collapsed vs baseline %.2f", a.Name, a.Goodput, base.Goodput)
+		}
+	}
+	if hedgeArm.Stats.Hedged == 0 || hedgeArm.Stats.HedgeWins == 0 {
+		t.Errorf("hedge arm fired %d backups with %d wins; the straggler tail went unhedged",
+			hedgeArm.Stats.Hedged, hedgeArm.Stats.HedgeWins)
+	}
+	// Hedging must stay rare — a hedge storm doubles load and collapses
+	// the cluster (the tuning this experiment documents).
+	if hedgeArm.Stats.Hedged > hedgeArm.N/10 {
+		t.Errorf("hedge storm: %d backups for %d requests", hedgeArm.Stats.Hedged, hedgeArm.N)
+	}
+	if full.Goodput < hedgeArm.Goodput {
+		t.Errorf("degradation lost goodput: %.2f vs retry+hedge %.2f", full.Goodput, hedgeArm.Goodput)
+	}
+	out := r.Render()
+	for _, want := range []string{"baseline", "retry+hedge+degrade", "crash@30s:r0:20s", "recover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestFaultsGoldenPinned: the quick-mode faults artifact is
+// bit-identical across runs with the same seed; the golden pins it.
+func TestFaultsGoldenPinned(t *testing.T) {
+	got := faultsQuickResult(t).CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "faults_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("faults quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFaultsDeterministicAcrossWorkers: resilient runs always execute
+// on the single shared timeline, so the artifact must be bit-identical
+// for every Workers value.
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	ref := faultsQuickResult(t).CSV()
+	for _, workers := range []int{2, 4} {
+		r, err := faultsWithWorkers(quick(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.CSV(); got != ref {
+			t.Errorf("workers=%d: faults CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
+		}
 	}
 }

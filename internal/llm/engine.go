@@ -99,6 +99,13 @@ type Instance struct {
 	iterateFn func()
 	stepFn    func()
 
+	// Straggler episode: while slowUntil is ahead of the clock, every
+	// iteration is stretched by slowFactor (a slow GPU / noisy neighbor
+	// injected by the fault layer). Inactive episodes skip the multiply
+	// entirely, so fault-free runs stay bit-identical.
+	slowFactor float64
+	slowUntil  des.Time
+
 	onFirstToken func(*workload.Request)
 	onDone       func(*workload.Request)
 
@@ -395,7 +402,17 @@ func (in *Instance) stretch(d time.Duration) des.Time {
 			busyUntil = bu
 		}
 	}
-	return gpu.StretchForContention(in.sim.Now(), des.Time(d), busyUntil, in.node.ContentionFactor)
+	out := gpu.StretchForContention(in.sim.Now(), des.Time(d), busyUntil, in.node.ContentionFactor)
+	if in.slowFactor > 1 && in.sim.Now() < in.slowUntil {
+		out = des.Time(float64(out) * in.slowFactor)
+	}
+	return out
+}
+
+// SetSlowdown installs a straggler episode: iterations stretch by
+// factor until the given virtual instant. A factor <= 1 clears it.
+func (in *Instance) SetSlowdown(factor float64, until des.Time) {
+	in.slowFactor, in.slowUntil = factor, until
 }
 
 // Cluster is a set of instances with least-loaded dispatch — the
@@ -431,6 +448,14 @@ func (c *Cluster) SetCallbacks(onFirstToken, onDone func(*workload.Request)) {
 	for _, in := range c.Instances {
 		in.onFirstToken = onFirstToken
 		in.onDone = onDone
+	}
+}
+
+// SetSlowdown installs a straggler episode on every instance (the
+// fault layer slows a whole replica's LLM side at once).
+func (c *Cluster) SetSlowdown(factor float64, until des.Time) {
+	for _, in := range c.Instances {
+		in.SetSlowdown(factor, until)
 	}
 }
 

@@ -118,6 +118,30 @@ func Summarize(reqs []workload.Request, slo time.Duration, cutoff des.Time) Summ
 	return a.Summarize(reqs, slo, cutoff)
 }
 
+// Goodput is the resilience headline number: SLO-meeting completions
+// per second of arrival window — requests that arrived in
+// [cutoff, horizon), eventually finished generation, and produced
+// their first token within slo. Failed, abandoned, and still-stuck
+// requests simply do not count, so goodput falls exactly by the work a
+// failure storm destroys.
+func Goodput(reqs []workload.Request, slo time.Duration, cutoff, horizon des.Time) float64 {
+	window := float64(horizon-cutoff) / float64(time.Second)
+	if window <= 0 {
+		return 0
+	}
+	ok := 0
+	for i := range reqs {
+		r := &reqs[i]
+		if r.ArrivalAt < cutoff || r.ArrivalAt >= horizon || r.FirstToken == 0 || r.Done == 0 {
+			continue
+		}
+		if time.Duration(r.TTFT()) <= slo {
+			ok++
+		}
+	}
+	return float64(ok) / window
+}
+
 // quantiles computes the five-number summary: the mean over the sample
 // in collection order (bit-compatible with the historical float
 // summation order), the percentiles from one sorted scratch copy.

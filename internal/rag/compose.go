@@ -247,6 +247,9 @@ func installDrift(sim *des.Sim, opts Options) (restore func()) {
 // generation → collector), and drives Poisson arrivals through it in
 // virtual time.
 func Run(opts Options) (*Result, error) {
+	if opts.resilient() {
+		return nil, fmt.Errorf("rag: fault injection and resilience need replicas to fail over to — use RunCluster")
+	}
 	sloTotal, err := opts.normalize()
 	if err != nil {
 		return nil, err
@@ -312,6 +315,10 @@ type ClusterResult struct {
 	// conservative lookahead.
 	Workers  int
 	NetDelay time.Duration
+	// Resilience reports the failure-handling addendum of a resilient
+	// run (nil on fault-free runs, which never build the resilient
+	// router).
+	Resilience *ResilienceReport
 }
 
 // RunCluster executes one evaluation point on N independent node
@@ -326,6 +333,13 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	}
 	if opts.NetDelay < 0 {
 		return nil, fmt.Errorf("rag: negative NetDelay %v", opts.NetDelay)
+	}
+	if opts.resilient() {
+		// Failure injection runs on the single shared timeline: crash
+		// failover and hedging need the router and every replica on one
+		// event queue, and the schedule is then trivially identical for
+		// any Workers value.
+		return runClusterResilient(opts, replicas, policy)
 	}
 	// Workers > 1 needs shards to spread over; sharding needs a positive
 	// network delay for lookahead, so asking for parallelism opts into

@@ -13,11 +13,13 @@ import (
 	"time"
 
 	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/fault"
 	"vectorliterag/internal/gpu"
 	"vectorliterag/internal/hw"
 	"vectorliterag/internal/llm"
 	"vectorliterag/internal/metrics"
 	"vectorliterag/internal/partition"
+	"vectorliterag/internal/serve"
 	"vectorliterag/internal/splitter"
 	"vectorliterag/internal/workload"
 )
@@ -104,6 +106,27 @@ type Options struct {
 	// notices return one NetDelay later, and that delay is the lookahead
 	// window conservative synchronization runs on.
 	NetDelay time.Duration
+
+	// Faults is the failure storm injected into a cluster run: replica
+	// crashes, straggler episodes, degraded-bandwidth episodes — all
+	// deterministic virtual-time events. A non-empty schedule (or a
+	// non-nil Resilience) switches RunCluster to the resilient serving
+	// path; empty and nil leave every existing path untouched,
+	// byte-for-byte. Single-node Run rejects fault schedules — failures
+	// need replicas to fail over to.
+	Faults fault.Schedule
+	// Resilience configures the failure-aware front end (health-tracked
+	// failover, timeouts with bounded retry, hedged requests, graceful
+	// degradation). Nil with an empty Faults schedule means the plain
+	// router; nil with faults means a resilient router with everything
+	// but health tracking disabled — crashes still fail over in-flight
+	// work, but nothing retries on slowness.
+	Resilience *serve.ResilienceConfig
+}
+
+// resilient reports whether this run takes the failure-aware path.
+func (opts *Options) resilient() bool {
+	return len(opts.Faults) > 0 || opts.Resilience != nil
 }
 
 // normalize fills defaults and derives the total SLO; it leaves opts

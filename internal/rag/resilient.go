@@ -1,0 +1,169 @@
+package rag
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/fault"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/serve"
+	"vectorliterag/internal/workload"
+)
+
+// ResilienceReport is the failure-handling addendum of a resilient
+// cluster run: what the storm did, what the router did about it, and
+// what it cost.
+type ResilienceReport struct {
+	// Faults echoes the injected schedule (useful when it was random).
+	Faults fault.Schedule
+	// Stats counts the router's failure-handling actions.
+	Stats serve.ResilienceStats
+	// Goodput is SLO-meeting completions per second of arrival window —
+	// the headline number degradation arms trade recall to protect.
+	Goodput float64
+	// Recoveries is, per crash episode, crash instant → completion of
+	// the last request failed over off the dead replica (negative when
+	// no failover completed).
+	Recoveries []time.Duration
+}
+
+// runClusterResilient is the failure-aware variant of RunCluster's
+// single-timeline path: identical replica pipelines behind a
+// ResilientRouter, with the fault schedule installed on the shared
+// simulator. It is only entered when opts.resilient() — fault-free runs
+// never touch this code, which is what keeps their goldens
+// byte-identical.
+//
+// The run always uses the single shared timeline (never the sharded
+// engine): crash failover, hedging, and retries are router↔replica
+// conversations that need one event queue. opts.Workers is accepted but
+// irrelevant to the schedule by construction.
+func runClusterResilient(opts Options, replicas int, policy serve.Policy) (*ClusterResult, error) {
+	policy, err := serve.ResolvePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.Faults.Validate(replicas); err != nil {
+		return nil, err
+	}
+	rcfg := serve.ResilienceConfig{}
+	if opts.Resilience != nil {
+		rcfg = *opts.Resilience
+	}
+	rcfg.Policy = policy
+	sloTotal, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+	d, err := decide(opts, prof, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+
+	var sim des.Sim
+	pool := &workload.Pool{}
+	coll := serve.NewCollector()
+	// The router settles every completion (collector, release, pool),
+	// but it can only be built after the replica pipelines exist — each
+	// terminal sink late-binds through this variable.
+	var router *serve.ResilientRouter
+	reps := make([]*serve.Replica, replicas)
+	for i := range reps {
+		i := i
+		rep := serve.NewReplica()
+		retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+		pipe, err := serve.Compose(&sim,
+			func(req *workload.Request) { router.Complete(i, req) },
+			retr, gen)
+		if err != nil {
+			return nil, err
+		}
+		rep.Bind(pipe)
+		reps[i] = rep
+	}
+	router, err = serve.NewResilientRouter(&sim, rcfg, reps, coll, pool)
+	if err != nil {
+		return nil, err
+	}
+	front, err := serve.Compose(&sim, router.Submit, serve.Admit(coll))
+	if err != nil {
+		return nil, err
+	}
+
+	// Wire the storm: health events hit the router; slowdown episodes
+	// hit the affected replica's engines directly.
+	fault.Install(&sim, opts.Faults, fault.Hooks{
+		Crash:   router.Crash,
+		Recover: router.Recover,
+		SlowLLM: func(r int, f float64, until des.Time) {
+			reps[r].Pipeline().Generation().Cluster.SetSlowdown(f, until)
+		},
+		SlowRetrieval: func(r int, f float64, until des.Time) {
+			if s, ok := reps[r].Pipeline().Retrieval().Engine.(retrieval.Slowdowner); ok {
+				s.SetSlowdown(f, until)
+			}
+		},
+	})
+
+	defer installDrift(&sim, opts)()
+	arr := arrivalsFor(opts)
+	arr.SetPool(pool)
+	sec := beginServeSection()
+	front.Run(arr, opts.Duration, opts.Drain)
+	wall, allocs, bytes := sec.end()
+
+	res := &ClusterResult{
+		Result: Result{
+			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
+			Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
+			Requests:  coll.Requests(),
+			Generated: coll.Admitted(),
+			Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+		},
+		Policy: policy,
+		Resilience: &ResilienceReport{
+			Faults:     opts.Faults,
+			Stats:      router.Stats(),
+			Goodput:    metrics.Goodput(coll.Requests(), sloTotal, des.Time(opts.Warmup), des.Time(opts.Duration)),
+			Recoveries: router.Recoveries(),
+		},
+	}
+	var batchSum float64
+	routed := 0
+	for _, rep := range reps {
+		pipe := rep.Pipeline()
+		// Per-replica collectors are deliberately absent on this path:
+		// retries and hedges would register one logical request with
+		// several replica collectors, and superseded (pool-recycled)
+		// copies would leave dangling live pointers behind. Per-replica
+		// reporting is therefore limited to routing counts.
+		rr := ReplicaResult{
+			Submitted: rep.Submitted(),
+			AvgBatch:  pipe.Retrieval().AvgBatch(),
+			LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
+		}
+		res.PerReplica = append(res.PerReplica, rr)
+		res.LLMGPUs += rr.LLMGPUs
+		batchSum += rr.AvgBatch * float64(rr.Submitted)
+		routed += rr.Submitted
+	}
+	if routed > 0 {
+		res.AvgBatch = batchSum / float64(routed)
+	}
+	return res, nil
+}
+
+// String renders the report's counters compactly for logs and tables.
+func (r *ResilienceReport) String() string {
+	return fmt.Sprintf("goodput=%.2f/s retried=%d failedover=%d hedged=%d hedgewins=%d timedout=%d failed=%d ghosts=%d crashes=%d",
+		r.Goodput, r.Stats.Retried, r.Stats.FailedOver, r.Stats.Hedged, r.Stats.HedgeWins, r.Stats.TimedOut, r.Stats.Failed, r.Stats.Ghosts, r.Stats.Crashes)
+}

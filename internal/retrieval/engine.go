@@ -109,6 +109,62 @@ type batcher struct {
 	scanBuf []int64
 	// freeBatches is the batch-slice free list.
 	freeBatches [][]*workload.Request
+	// Degraded-bandwidth episode (fault injection): while slowUntil is
+	// ahead of the clock, every service interval stretches by
+	// slowFactor. Inactive episodes skip the multiply entirely, so
+	// fault-free runs stay bit-identical.
+	slowFactor float64
+	slowUntil  des.Time
+}
+
+// SetSlowdown installs a degraded PCIe/HBM bandwidth episode: service
+// times stretch by factor until the given virtual instant. A factor
+// <= 1 clears it.
+func (b *batcher) SetSlowdown(factor float64, until des.Time) {
+	b.slowFactor, b.slowUntil = factor, until
+}
+
+// slowAt stretches one service interval while a bandwidth episode is
+// active; otherwise it returns d untouched.
+func (b *batcher) slowAt(d des.Time) des.Time {
+	if b.slowFactor > 1 && b.cfg.Sim.Now() < b.slowUntil {
+		return des.Time(float64(d) * b.slowFactor)
+	}
+	return d
+}
+
+// slowDur is slowAt over time.Duration operands.
+func (b *batcher) slowDur(d time.Duration) time.Duration {
+	if b.slowFactor > 1 && b.cfg.Sim.Now() < b.slowUntil {
+		return time.Duration(float64(d) * b.slowFactor)
+	}
+	return d
+}
+
+// Slowdowner is implemented by every engine built on the shared
+// batcher; the fault layer uses it to deliver bandwidth episodes
+// without knowing the concrete engine.
+type Slowdowner interface {
+	SetSlowdown(factor float64, until des.Time)
+}
+
+// degradeProbes sheds the trailing fraction of a query's probe list —
+// the graceful-degradation knob the resilient router stamps on
+// requests under capacity loss (reduced nprobe ⇒ less scan work, lower
+// recall). At least one probe always survives; a zero fraction returns
+// the slice untouched.
+func degradeProbes(probes []int, degrade float64) []int {
+	if degrade <= 0 || len(probes) == 0 {
+		return probes
+	}
+	keep := int(float64(len(probes))*(1-degrade) + 0.5)
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(probes) {
+		keep = len(probes)
+	}
+	return probes[:keep]
 }
 
 // init finishes construction shared by every engine.
@@ -330,7 +386,7 @@ func (e *CPUOnly) runBatch(batch []*workload.Request) {
 		req.HitRate = 0 // nothing is GPU-resident
 	}
 	_, total := e.scanBytesAll(batch)
-	t := e.cfg.CPUModel.CQTime(b) + e.cfg.CPUModel.LUTTime(total, b) + mergeCost
+	t := e.slowDur(e.cfg.CPUModel.CQTime(b)+e.cfg.CPUModel.LUTTime(total, b)) + mergeCost
 	e.cfg.Sim.After(t, func() {
 		now := e.cfg.Sim.Now()
 		for _, req := range batch {

@@ -72,7 +72,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	w := e.cfg.W
 	b := len(batch)
 	cq := e.cfg.CPUModel.CQTime(b)
-	tCQ := sim.Now() + des.Time(cq)
+	tCQ := sim.Now() + e.slowAt(des.Time(cq))
 
 	// Resident bytes per shard from the real routing; block count is the
 	// *unpruned* full nprobe per query per shard (the IndexIVFShards
@@ -81,7 +81,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	var missTotal int64
 	fullBlocksPerShard := b * w.Spec.NProbe
 	for _, req := range batch {
-		perShard, cpuClusters := e.plan.RouteInto(&e.route, w.Probes(req.Query))
+		perShard, cpuClusters := e.plan.RouteInto(&e.route, degradeProbes(w.Probes(req.Query), req.Degrade))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -96,7 +96,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	end := tCQ
 	for g := range shardBytes {
 		t := e.gpuModel.ShardScanTime(shardBytes[g], fullBlocksPerShard)
-		gEnd := tCQ + des.Time(t)
+		gEnd := tCQ + e.slowAt(des.Time(t))
 		if e.contend {
 			e.gpus[g].MarkRetrievalBusy(gEnd)
 		}
@@ -107,7 +107,7 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 	// Cold misses (only when the plan is partial, i.e. HedraRAG) scan on
 	// the CPU in parallel with the GPU kernels.
 	if missTotal > 0 {
-		cpuEnd := tCQ + des.Time(e.cfg.CPUModel.LUTTime(missTotal, b))
+		cpuEnd := tCQ + e.slowAt(des.Time(e.cfg.CPUModel.LUTTime(missTotal, b)))
 		if cpuEnd > end {
 			end = cpuEnd
 		}

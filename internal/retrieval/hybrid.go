@@ -97,7 +97,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	w := e.cfg.W
 	b := len(batch)
 	cq := e.cfg.CPUModel.CQTime(b)
-	tCQ := sim.Now() + des.Time(cq)
+	tCQ := sim.Now() + e.slowAt(des.Time(cq))
 
 	// Route every query through the mapping tables.
 	shardBytes := resize(&e.shardBytes, e.plan.NumShards)
@@ -105,7 +105,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	cpuWork := resize(&e.cpuWork, b)
 	var missTotal int64
 	for i, req := range batch {
-		perShard, cpuClusters := e.plan.RouteInto(&e.route, w.Probes(req.Query))
+		perShard, cpuClusters := e.plan.RouteInto(&e.route, degradeProbes(w.Probes(req.Query), req.Degrade))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -130,7 +130,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 			continue
 		}
 		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
-		end := tCQ + des.Time(t)
+		end := tCQ + e.slowAt(des.Time(t))
 		e.gpus[g].MarkRetrievalBusy(end)
 		if end > gpuReady {
 			gpuReady = end
@@ -140,7 +140,7 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	// CPU cold scan: clusters are processed grouped by query, in batch
 	// order, so query i's CPU portion completes at the prefix of its
 	// miss work (§IV-B2 callback mechanism).
-	cpuTotal := des.Time(e.cfg.CPUModel.LUTTime(missTotal, b))
+	cpuTotal := e.slowAt(des.Time(e.cfg.CPUModel.LUTTime(missTotal, b)))
 	cpuDone := resize(&e.cpuDone, b)
 	var prefix int64
 	for i := range batch {

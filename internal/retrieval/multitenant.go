@@ -126,7 +126,7 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 			cq += des.Time(e.slots[t].CPUModel.CQTime(n))
 		}
 	}
-	tCQ := sim.Now() + cq
+	tCQ := sim.Now() + e.slowAt(cq)
 
 	// Route every query through its tenant's mapping tables. Shard g of
 	// every tenant's plan lives on GPU g, so per-GPU work accumulates
@@ -137,7 +137,7 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 	missByTenant := resize(&e.missByTenant, len(e.slots))
 	for i, req := range batch {
 		s := &e.slots[e.slot(req)]
-		perShard, cpuClusters := s.Plan.RouteInto(&e.route, s.W.Probes(req.Query))
+		perShard, cpuClusters := s.Plan.RouteInto(&e.route, degradeProbes(s.W.Probes(req.Query), req.Degrade))
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -158,7 +158,7 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 			continue
 		}
 		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
-		end := tCQ + des.Time(t)
+		end := tCQ + e.slowAt(des.Time(t))
 		e.gpus[g].MarkRetrievalBusy(end)
 		if end > gpuReady {
 			gpuReady = end
@@ -177,6 +177,7 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 			missTotal += miss
 		}
 	}
+	cpuTotal = e.slowAt(cpuTotal)
 	cpuDone := resize(&e.cpuDone, b)
 	scanOrder := resize(&e.scanOrder, b)
 	for i := range scanOrder {

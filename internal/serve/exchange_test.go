@@ -2,6 +2,7 @@ package serve
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -167,6 +168,87 @@ func TestExchangeDrainArrivals(t *testing.T) {
 	x.DrainArrivals(func(r *workload.Request) { stranded = append(stranded, r.ID) })
 	if len(stranded) != 2 {
 		t.Fatalf("drained %v, want the 2 in-transit requests", stranded)
+	}
+}
+
+// TestExchangeDrainArrivalsEarlyTermination terminates a busy sharded
+// run mid-storm — arrivals still flowing, replicas mid-service,
+// notices in feedback transit — and checks the accounting invariant
+// the record merge depends on: every routed request is either delivered
+// to exactly one replica head or comes back out of DrainArrivals,
+// never both, never neither. The stranded set must also be identical
+// for any worker count, like every other observable of the exchange.
+func TestExchangeDrainArrivalsEarlyTermination(t *testing.T) {
+	const deadline = des.Time(50 * time.Millisecond)
+	run := func(workers int) (delivered map[int]int, stranded []int, arrivals int) {
+		pool := &workload.Pool{}
+		x, err := NewExchange(RoundRobin, 3, 2*time.Millisecond, 2*time.Millisecond, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = map[int]int{}
+		// Replica shards run on separate worker goroutines; the shared
+		// delivered map needs a lock (test bookkeeping only — the
+		// exchange itself shares nothing across shards).
+		var mu sync.Mutex
+		for i := 0; i < 3; i++ {
+			i := i
+			sim := x.ReplicaSim(i)
+			notice := x.NoticeSink(i)
+			x.BindReplica(i, func(req *workload.Request) {
+				mu.Lock()
+				if prev, dup := delivered[req.ID]; dup {
+					t.Errorf("request %d delivered to replica %d and %d", req.ID, prev, i)
+				}
+				delivered[req.ID] = i
+				mu.Unlock()
+				sim.AfterArg(10*time.Millisecond, func(a any) { notice(a.(*workload.Request)) }, req)
+			})
+		}
+		front := x.FrontSim()
+		n := 0
+		var arrive func()
+		arrive = func() {
+			req := pool.Get()
+			x.Submit(req)
+			n++
+			if n < 100 {
+				front.After(time.Millisecond, arrive)
+			}
+		}
+		front.At(0, arrive)
+		x.Run(deadline, workers)
+		x.DrainArrivals(func(r *workload.Request) { stranded = append(stranded, r.ID) })
+		return delivered, stranded, x.Arrivals()
+	}
+
+	delivered, stranded, arrivals := run(1)
+	if len(stranded) == 0 {
+		t.Fatal("no requests in transit at the deadline; the cut is not mid-storm")
+	}
+	if arrivals >= 100 {
+		t.Fatalf("all %d arrivals routed; the cut is not early", arrivals)
+	}
+	seen := map[int]bool{}
+	for _, id := range stranded {
+		if _, dup := delivered[id]; dup {
+			t.Errorf("request %d both delivered and drained", id)
+		}
+		if seen[id] {
+			t.Errorf("request %d drained twice", id)
+		}
+		seen[id] = true
+	}
+	if len(delivered)+len(stranded) != arrivals {
+		t.Fatalf("delivered %d + drained %d != routed %d: requests lost at termination",
+			len(delivered), len(stranded), arrivals)
+	}
+	for _, workers := range []int{2, 4} {
+		_, s, a := run(workers)
+		if a != arrivals || !reflect.DeepEqual(s, stranded) {
+			t.Fatalf("workers=%d: stranded set %v (of %d) diverged from sequential %v (of %d)",
+				workers, s, a, stranded, arrivals)
+		}
 	}
 }
 

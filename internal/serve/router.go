@@ -57,7 +57,16 @@ func (r *Replica) Bind(pipe *Pipeline) { r.pipe = pipe }
 func (r *Replica) Pipeline() *Pipeline { return r.pipe }
 
 // Release records one request leaving the replica (generation done).
-func (r *Replica) Release(*workload.Request) { r.inflight-- }
+// The gauge is guarded against underflow: resilience paths can route a
+// completion to Release after the request was already failed over away
+// from this replica (or after a crash reset the gauge), and a
+// double-release must not drive the load signal negative — a negative
+// gauge would make the least-loaded policy prefer this replica forever.
+func (r *Replica) Release(*workload.Request) {
+	if r.inflight > 0 {
+		r.inflight--
+	}
+}
 
 // Inflight returns the number of requests admitted but not completed.
 func (r *Replica) Inflight() int { return r.inflight }

@@ -162,6 +162,34 @@ func (c *Collector) Done(req *workload.Request) {
 	}
 }
 
+// Replace redirects a record's live tracking from old to new: the
+// record that admission registered under old now follows new, and old
+// is forgotten (its pooled object may be recycled safely). The
+// resilience layer uses this when a retry, failover, or hedge copy
+// supersedes the original in-flight request — the admitted record then
+// reports the attempt that actually (eventually) serves the user.
+func (c *Collector) Replace(old, new *workload.Request) {
+	if i, ok := c.idx[old]; ok {
+		delete(c.idx, old)
+		c.idx[new] = i
+		c.live[i] = new
+		c.records[i] = *new
+	}
+}
+
+// Abandon finalizes a record *now* with whatever state its request has
+// and stops tracking the live pointer — the terminal bookkeeping for a
+// request the resilience layer gives up on (retries exhausted). The
+// frozen record keeps FirstToken==0, so the request counts as unserved.
+// Unlike Done it does not count a completion.
+func (c *Collector) Abandon(req *workload.Request) {
+	if i, ok := c.idx[req]; ok {
+		c.records[i] = *req
+		c.live[i] = nil
+		delete(c.idx, req)
+	}
+}
+
 // refresh re-snapshots every still-live request so aggregate views see
 // in-flight state (e.g. a first token emitted but decode unfinished).
 func (c *Collector) refresh() {

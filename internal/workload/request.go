@@ -41,6 +41,13 @@ type Request struct {
 	FirstToken  des.Time // first output token (TTFT endpoint)
 	Done        des.Time // last output token
 
+	// Degrade is the graceful-degradation shed fraction stamped by the
+	// resilient router under capacity loss: retrieval engines drop the
+	// trailing Degrade fraction of the query's probe list (reduced
+	// nprobe), trading recall for service time. Zero — the value on
+	// every non-resilient path — changes nothing.
+	Degrade float64
+
 	// HitRate is the work-weighted fraction of this query's scan bytes
 	// actually served from GPU-resident clusters, recorded by the
 	// retrieval engine when the request's batch is routed. It is the

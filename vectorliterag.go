@@ -8,6 +8,7 @@ import (
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
 	"vectorliterag/internal/experiments"
+	"vectorliterag/internal/fault"
 	"vectorliterag/internal/hitrate"
 	"vectorliterag/internal/hw"
 	"vectorliterag/internal/llm"
@@ -70,7 +71,40 @@ type (
 	Tier = tenant.Tier
 	// TenantAllocation is one tenant's slice of the joint HBM decision.
 	TenantAllocation = tenant.Allocation
+	// FaultEvent is one scripted failure: a replica crash, a straggler
+	// episode (LLM slowdown), or a bandwidth episode (retrieval slowdown).
+	FaultEvent = fault.Event
+	// FaultSchedule is a deterministic failure storm injected into a
+	// cluster run; build one with ParseFaults or RandomFaults.
+	FaultSchedule = fault.Schedule
+	// ResilienceConfig tunes the cluster front end's failure handling:
+	// per-request timeouts, bounded-backoff retries, hedged requests, and
+	// graceful degradation under capacity loss.
+	ResilienceConfig = serve.ResilienceConfig
+	// ResilienceStats counts the router's failure-handling actions.
+	ResilienceStats = serve.ResilienceStats
+	// ResilienceReport is the failure-handling addendum of a faulted
+	// cluster run.
+	ResilienceReport = rag.ResilienceReport
 )
+
+// The fault kinds of a scripted storm.
+const (
+	CrashFault     = fault.Crash
+	StragglerFault = fault.Straggler
+	BandwidthFault = fault.Bandwidth
+)
+
+// ParseFaults parses a fault-schedule string — comma-separated events of
+// the form kind@onset:rN:duration[:xFactor], e.g.
+// "crash@20s:r0:10s,straggler@35s:r1:8s:x3".
+func ParseFaults(s string) (FaultSchedule, error) { return fault.Parse(s) }
+
+// RandomFaults draws n seeded random fault events across the replicas
+// within the horizon. The same seed always yields the same storm.
+func RandomFaults(seed uint64, replicas int, horizon time.Duration, n int) FaultSchedule {
+	return fault.Random(seed, replicas, horizon, n)
+}
 
 // Rate-schedule constructors for non-stationary workloads.
 var (
@@ -431,6 +465,18 @@ type ClusterOptions struct {
 	Replicas int
 	// Policy selects the router's dispatch rule (default LeastLoaded).
 	Policy RoutePolicy
+
+	// Faults injects a scripted failure storm, written in the ParseFaults
+	// grammar. FaultSchedule does the same with a pre-built schedule and
+	// takes precedence. Either turns the run resilient: the front end
+	// tracks replica health and fails crashed work over, governed by
+	// Resilience. Empty storms with a nil Resilience run the plain
+	// fault-free router, byte-identical to before this field existed.
+	Faults        string
+	FaultSchedule FaultSchedule
+	// Resilience tunes timeouts, retries, hedging, and degradation. Nil
+	// under a storm means defaults (generous timeout, failover only).
+	Resilience *ResilienceConfig
 }
 
 // ReplicaReport is one replica's share of a cluster run.
@@ -450,6 +496,10 @@ type ClusterReport struct {
 	// schedule — only in wall clock.
 	Workers  int
 	NetDelay time.Duration
+	// Resilience reports the failure handling of a faulted run: the
+	// injected schedule, the router's action counts, goodput, and
+	// time-to-recover per crash. Nil on fault-free runs.
+	Resilience *ResilienceReport
 }
 
 // ServeCluster runs the end-to-end pipeline on a cluster of identical
@@ -460,7 +510,17 @@ func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
 	if opts.Replicas == 0 {
 		opts.Replicas = 2
 	}
-	res, err := rag.RunCluster(ragOptions(opts.ServeOptions), opts.Replicas, opts.Policy)
+	ro := ragOptions(opts.ServeOptions)
+	ro.Faults = opts.FaultSchedule
+	if len(ro.Faults) == 0 && opts.Faults != "" {
+		sched, err := fault.Parse(opts.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("vectorliterag: %w", err)
+		}
+		ro.Faults = sched
+	}
+	ro.Resilience = opts.Resilience
+	res, err := rag.RunCluster(ro, opts.Replicas, opts.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -473,9 +533,10 @@ func ServeCluster(opts ClusterOptions) (*ClusterReport, error) {
 			Mu0:      res.Mu0,
 			Timeline: metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
 		},
-		Policy:   res.Policy,
-		Workers:  res.Workers,
-		NetDelay: res.NetDelay,
+		Policy:     res.Policy,
+		Workers:    res.Workers,
+		NetDelay:   res.NetDelay,
+		Resilience: res.Resilience,
 	}
 	for _, r := range res.PerReplica {
 		rep.PerReplica = append(rep.PerReplica, ReplicaReport{

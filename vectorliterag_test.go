@@ -146,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 21 {
-		t.Fatalf("got %d experiments, want 21: %v", len(names), names)
+	if len(names) != 22 {
+		t.Fatalf("got %d experiments, want 22: %v", len(names), names)
 	}
 	_, err := vlr.RunExperiment("nope", true)
 	if err == nil {
