@@ -20,6 +20,9 @@
 //	vliterag serve -tenants 3 -tiers gold,silver,bronze -rate 15 \
 //	    -rate-pattern burst            # SLO-tiered multi-tenant serving
 //	vliterag serve -tenants 3 -shared-queue -rate 15 -rate-pattern burst
+//	vliterag serve -ingest -ingest-rate 4 -delete-rate 1 \
+//	    -reencode-every 25s -rate 30  # live-corpus streaming ingest:
+//	    # mutations, tombstones, and freshness SLOs on the timeline
 //	vliterag build -dataset orcas2k    # offline partitioning only
 package main
 
@@ -230,17 +233,31 @@ func serveCmd(args []string) error {
 	hedgeMS := fs.Int("hedge-ms", 0, "fire a backup copy this many ms after dispatch; -1 derives the delay from the running p95")
 	timeoutMS := fs.Int("timeout-ms", 0, "per-attempt deadline in ms; expired attempts retry until -retry is exhausted")
 	degrade := fs.Bool("degrade", false, "shed retrieval depth proportionally to lost capacity while replicas are down")
+	ingest := fs.Bool("ingest", false, "stream live corpus mutations (inserts + deletes) onto the serving timeline")
+	ingestRate := fs.Float64("ingest-rate", 4, "insert rate in vectors/s (with -ingest)")
+	deleteRate := fs.Float64("delete-rate", 1, "delete rate in vectors/s (with -ingest)")
+	reencodeEvery := fs.Duration("reencode-every", 25*time.Second, "background PQ re-encode cadence (with -ingest)")
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	timeoutSet := false
+	timeoutSet, ingestTuned := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "timeout-ms" {
+		switch f.Name {
+		case "timeout-ms":
 			timeoutSet = true
+		case "ingest-rate", "delete-rate", "reencode-every":
+			ingestTuned = true
 		}
 	})
-	if err := validateServeFlags(*rate, *replicas, *workers, *timeoutMS, timeoutSet); err != nil {
+	ing := ingestFlags{
+		on:            *ingest,
+		insertRate:    *ingestRate,
+		deleteRate:    *deleteRate,
+		reencodeEvery: *reencodeEvery,
+		tuned:         ingestTuned,
+	}
+	if err := validateServeFlags(*rate, *replicas, *workers, *timeoutMS, timeoutSet, ing); err != nil {
 		return err
 	}
 	resilience, err := resilienceFromFlags(*faults, *retry, *hedgeMS, *timeoutMS, *degrade, *replicas)
@@ -267,6 +284,12 @@ func serveCmd(args []string) error {
 	}
 	if *tenants > 0 && *adaptive {
 		return fmt.Errorf("-tenants is its own serving mode; drop -adapt")
+	}
+	if *ingest && *replicas > 1 {
+		return fmt.Errorf("-ingest streams mutations into a single live pipeline; drop -replicas")
+	}
+	if *ingest && *tenants > 0 {
+		return fmt.Errorf("-tenants is its own serving mode; drop -ingest")
 	}
 	if *tenants > 0 {
 		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo,
@@ -304,8 +327,31 @@ func serveCmd(args []string) error {
 	var perReplica []vlr.ReplicaReport
 	var adaptRep *vlr.AdaptiveReport
 	var resRep *vlr.ResilienceReport
+	var liveRep *vlr.LiveReport
 	label := *system
 	switch {
+	case *ingest:
+		// -adapt alongside -ingest selects the drift-compaction arm: the
+		// adaptive controller answers drift with a cheap re-encode +
+		// tombstone purge, escalating to the full re-partition only past
+		// the skew thresholds.
+		liveRep, err = vlr.ServeLive(vlr.LiveServeOptions{
+			ServeOptions: so,
+			Ingest: vlr.LiveIngestOptions{
+				InsertRate:    *ingestRate,
+				DeleteRate:    *deleteRate,
+				ReencodeEvery: *reencodeEvery,
+				Compaction:    *adaptive,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		rep = &liveRep.Report
+		label = fmt.Sprintf("%s (live ingest)", *system)
+		if *adaptive {
+			label = fmt.Sprintf("%s (live ingest + compaction)", *system)
+		}
 	case *adaptive:
 		adaptRep, err = vlr.ServeAdaptive(vlr.AdaptiveServeOptions{ServeOptions: so})
 		if err != nil {
@@ -358,7 +404,35 @@ func serveCmd(args []string) error {
 	if adaptRep != nil {
 		printAdaptive(adaptRep)
 	}
+	if liveRep != nil {
+		printLive(liveRep)
+	}
 	return nil
+}
+
+// printLive renders the ingest-side record of a live-corpus run:
+// mutation counts, time-to-searchable, and the freshness timeline.
+func printLive(rep *vlr.LiveReport) {
+	f := rep.Freshness
+	fmt.Printf("  ingest          %d inserts  %d deletes  %d pending raw  %d re-encodes  %d compactions\n",
+		f.Inserts, f.Deletes, f.Pending, rep.Reencodes, rep.Compactions)
+	fmt.Printf("  freshness       TTS p50 %v  p99 %v  attainment %.3f (SLO %v)\n",
+		f.TTS.P50.Round(time.Millisecond), f.TTS.P99.Round(time.Millisecond), f.Attainment, rep.FreshnessSLO)
+	fmt.Printf("  drift           size skew %.2f  residual ratio %.2f\n", rep.SizeSkew, rep.ResidualRatio)
+	for i, rb := range rep.Rebuilds {
+		kind := "rebuild"
+		if rb.Compaction {
+			kind = "compaction"
+		}
+		fmt.Printf("  %s %d    triggered %v, done %v\n", kind, i+1,
+			time.Duration(rb.TriggeredAt).Round(time.Millisecond),
+			time.Duration(rb.SwappedAt).Round(time.Millisecond))
+	}
+	fmt.Println("  attainment over time (window: requests / freshness):")
+	for _, w := range rep.Timeline {
+		fmt.Printf("    %-8v att %.3f  fresh %.3f  (%d reqs, %d inserts)\n",
+			w.Start, w.Attainment, w.FreshAttainment, w.N, w.Inserts)
+	}
 }
 
 // serveTenants runs the multi-tenant serving mode: n tenants on one

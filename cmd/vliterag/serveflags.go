@@ -7,12 +7,25 @@ import (
 	vlr "vectorliterag"
 )
 
+// ingestFlags carries the streaming-ingest flag group into validation.
+// tuned records whether any tuning flag (-ingest-rate, -delete-rate,
+// -reencode-every) was explicitly given, so tuning without -ingest is
+// rejected instead of silently ignored — the same explicit-vs-default
+// distinction timeoutSet draws for -timeout-ms.
+type ingestFlags struct {
+	on            bool
+	insertRate    float64
+	deleteRate    float64
+	reencodeEvery time.Duration
+	tuned         bool
+}
+
 // validateServeFlags rejects nonsensical serve parameters up front, in
 // the style of serve.ResolvePolicy's error: name the knob, echo the bad
 // value, state what is accepted. timeoutSet distinguishes an explicit
 // -timeout-ms 0 (rejected — a zero deadline would fail everything) from
 // the flag never being given (timeouts simply stay off).
-func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutSet bool) error {
+func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutSet bool, ing ingestFlags) error {
 	if rate <= 0 {
 		return fmt.Errorf("serve: -rate must be positive (have %g)", rate)
 	}
@@ -24,6 +37,20 @@ func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutS
 	}
 	if timeoutSet && timeoutMS <= 0 {
 		return fmt.Errorf("serve: -timeout-ms must be positive (have %d)", timeoutMS)
+	}
+	if ing.tuned && !ing.on {
+		return fmt.Errorf("serve: -ingest-rate/-delete-rate/-reencode-every tune the mutation stream and need -ingest")
+	}
+	if ing.on {
+		if ing.insertRate < 0 {
+			return fmt.Errorf("serve: -ingest-rate must be non-negative (have %g)", ing.insertRate)
+		}
+		if ing.deleteRate < 0 {
+			return fmt.Errorf("serve: -delete-rate must be non-negative (have %g)", ing.deleteRate)
+		}
+		if ing.reencodeEvery <= 0 {
+			return fmt.Errorf("serve: -reencode-every must be positive (have %v)", ing.reencodeEvery)
+		}
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ func TestValidateServeFlags(t *testing.T) {
 		workers    int
 		timeoutMS  int
 		timeoutSet bool
+		ingest     ingestFlags
 		wantErr    string // substring; "" means valid
 	}{
 		{name: "defaults", rate: 30, replicas: 1, workers: 8},
@@ -27,10 +28,24 @@ func TestValidateServeFlags(t *testing.T) {
 		{name: "negative timeout", rate: 30, replicas: 2, workers: 8, timeoutMS: -100, timeoutSet: true, wantErr: "-timeout-ms"},
 		{name: "unset timeout default", rate: 30, replicas: 2, workers: 8, timeoutMS: 0, timeoutSet: false},
 		{name: "valid timeout", rate: 30, replicas: 2, workers: 8, timeoutMS: 8000, timeoutSet: true},
+		{name: "valid ingest", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, insertRate: 4, deleteRate: 1, reencodeEvery: 25 * time.Second, tuned: true}},
+		{name: "ingest zero rates", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, reencodeEvery: 25 * time.Second}},
+		{name: "ingest tuning without -ingest", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{insertRate: 4, reencodeEvery: 25 * time.Second, tuned: true}, wantErr: "-ingest"},
+		{name: "negative insert rate", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, insertRate: -4, reencodeEvery: 25 * time.Second}, wantErr: "-ingest-rate"},
+		{name: "negative delete rate", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, deleteRate: -1, reencodeEvery: 25 * time.Second}, wantErr: "-delete-rate"},
+		{name: "zero reencode interval", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, insertRate: 4}, wantErr: "-reencode-every"},
+		{name: "negative reencode interval", rate: 30, replicas: 1, workers: 8,
+			ingest: ingestFlags{on: true, insertRate: 4, reencodeEvery: -time.Second}, wantErr: "-reencode-every"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateServeFlags(tc.rate, tc.replicas, tc.workers, tc.timeoutMS, tc.timeoutSet)
+			err := validateServeFlags(tc.rate, tc.replicas, tc.workers, tc.timeoutMS, tc.timeoutSet, tc.ingest)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

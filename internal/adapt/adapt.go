@@ -58,6 +58,24 @@ type Config struct {
 	// after the swap; without a settle window those stragglers would
 	// immediately re-trigger an identical rebuild.
 	CooldownWindows int
+	// EscalateSkew and EscalateResidual gate the cheap-compaction
+	// shortcut when a Compactor is bound: a trigger whose live
+	// cluster-size skew and insert residual-norm ratio are both below
+	// these thresholds runs a compaction cycle (re-encode + tombstone
+	// purge) instead of the full Algorithm-1 re-partition — the drift is
+	// in the overlay volume, not the partition geometry. Past either
+	// threshold the trigger escalates to the full rebuild, as does a
+	// trigger recurring right after a compaction (the cheap cycle
+	// demonstrably didn't clear the drift — without that rule the
+	// controller would compact forever against partition-geometry
+	// drift). Defaults 2.0 and 2.5; the residual default sits above the
+	// ~1.7x floor in-distribution inserts carry (fresh vectors always
+	// land farther from their centroids than the corpus the quantizer
+	// was trained on), so residual escalation indicates genuinely
+	// out-of-distribution inserts. Negative disables the shortcut
+	// entirely.
+	EscalateSkew     float64
+	EscalateResidual float64
 }
 
 func (c Config) profileQueries() int {
@@ -72,6 +90,20 @@ func (c Config) calibrationReplay() int {
 		return 50000
 	}
 	return c.CalibrationReplay
+}
+
+func (c Config) escalateSkew() float64 {
+	if c.EscalateSkew == 0 {
+		return 2.0
+	}
+	return c.EscalateSkew
+}
+
+func (c Config) escalateResidual() float64 {
+	if c.EscalateResidual == 0 {
+		return 2.5
+	}
+	return c.EscalateResidual
 }
 
 func (c Config) cooldownWindows() int {
@@ -123,6 +155,22 @@ type RebuildRecord struct {
 	// Aborted names the stage that failed (empty on success); the old
 	// plan stays installed.
 	Aborted string
+	// Compaction marks a cheap-compaction cycle (re-encode + tombstone
+	// purge, plan untouched) that ran in place of a full rebuild;
+	// CompactionTime is its modeled duration.
+	Compaction     bool
+	CompactionTime time.Duration
+}
+
+// Compactor is the streaming-ingest surface the controller can drive
+// instead of a full rebuild: drift trackers (live cluster-size skew,
+// insert residual-norm ratio) plus the cheap compaction action.
+// internal/ingest.Ingester implements it.
+type Compactor interface {
+	SizeSkew() float64
+	ResidualRatio() float64
+	CompactionCost() time.Duration
+	Compact()
 }
 
 // Controller runs the monitor→rebuild→swap loop on the DES timeline.
@@ -134,6 +182,12 @@ type Controller struct {
 	rebuilding bool
 	cycles     int
 	rebuilds   []RebuildRecord
+	compactor  Compactor
+	// compactedLast is set while the most recent completed cycle was a
+	// compaction: a trigger recurring in that state escalates to the
+	// full rebuild (the cheap cycle didn't clear the drift). A completed
+	// full rebuild re-arms the shortcut.
+	compactedLast bool
 	// pending is the cycle currently in flight (nil otherwise), kept so
 	// a run whose clock stops mid-rebuild can still report the trigger.
 	pending  *RebuildRecord
@@ -164,6 +218,11 @@ func NewController(cfg Config, in Inputs) (*Controller, error) {
 
 // Bind attaches the hot-swappable engine (post-compose).
 func (c *Controller) Bind(eng retrieval.HotSwapper) { c.in.Engine = eng }
+
+// BindCompactor attaches a streaming-ingest compactor; once bound,
+// triggers whose drift trackers sit below the escalation thresholds
+// run a cheap compaction instead of a full rebuild.
+func (c *Controller) BindCompactor(comp Compactor) { c.compactor = comp }
 
 // Monitor exposes the drift monitor (tests and diagnostics).
 func (c *Controller) Monitor() *update.Monitor { return c.mon }
@@ -220,6 +279,13 @@ func (c *Controller) startRebuild() {
 	if c.in.Engine == nil {
 		return // never bound: observe-only mode
 	}
+	if c.compactor != nil && !c.compactedLast &&
+		c.cfg.escalateSkew() > 0 && c.cfg.escalateResidual() > 0 &&
+		c.compactor.SizeSkew() < c.cfg.escalateSkew() &&
+		c.compactor.ResidualRatio() < c.cfg.escalateResidual() {
+		c.startCompaction()
+		return
+	}
 	c.rebuilding = true
 	c.cycles++
 	rec := RebuildRecord{
@@ -230,6 +296,39 @@ func (c *Controller) startRebuild() {
 	rec.Timing.Profiling = update.ProfilingTime(c.in.Node, c.in.W.Spec, c.cfg.calibrationReplay())
 	c.track(rec)
 	c.in.Sim.After(rec.Timing.Profiling, func() { c.profileDone(rec) })
+}
+
+// startCompaction runs the cheap update cycle: the overlay is folded
+// and purged for its modeled cost, the plan stays installed, and the
+// monitor window resets exactly as after a swap — the drift the
+// trigger saw was overlay volume, which the fold removes.
+func (c *Controller) startCompaction() {
+	c.rebuilding = true
+	c.cycles++
+	rec := RebuildRecord{
+		TriggeredAt:    c.in.Sim.Now(),
+		OldRho:         c.in.Engine.Plan().Coverage,
+		OldExpected:    c.mon.Expected(),
+		Compaction:     true,
+		CompactionTime: c.compactor.CompactionCost(),
+	}
+	rec.NewRho = rec.OldRho
+	rec.NewExpected = rec.OldExpected
+	c.track(rec)
+	c.in.Sim.After(rec.CompactionTime, func() { c.compactDone(rec) })
+}
+
+// compactDone applies the compaction at its modeled completion instant
+// and closes the cycle.
+func (c *Controller) compactDone(rec RebuildRecord) {
+	rec.SwappedAt = c.in.Sim.Now()
+	c.compactor.Compact()
+	c.compactedLast = true
+	c.mon.ResetWindow()
+	c.windowsAtSwap = c.mon.WindowsClosed()
+	c.rebuilds = append(c.rebuilds, rec)
+	c.pending = nil
+	c.rebuilding = false
 }
 
 // track snapshots the in-flight cycle's latest state.
@@ -310,6 +409,7 @@ func (c *Controller) splitDone(rec RebuildRecord, plan *splitter.Plan) {
 func (c *Controller) swap(rec RebuildRecord, plan *splitter.Plan) {
 	rec.SwappedAt = c.in.Sim.Now()
 	c.in.Engine.SetPlan(plan)
+	c.compactedLast = false
 	c.mon.SetExpected(rec.NewExpected)
 	// Drop the partial window: it mixes old-plan observations (including
 	// the reload's CPU diverts) that would otherwise re-trigger against

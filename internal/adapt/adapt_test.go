@@ -323,3 +323,114 @@ func TestControllerBackToBackDriftEventsSingleCycle(t *testing.T) {
 		t.Fatalf("want exactly one completed cycle, have %d", got)
 	}
 }
+
+// fakeCompactor is a scripted streaming-ingest surface: fixed tracker
+// readings and a fixed compaction price.
+type fakeCompactor struct {
+	skew, residual float64
+	cost           time.Duration
+	compacts       int
+}
+
+func (c *fakeCompactor) SizeSkew() float64             { return c.skew }
+func (c *fakeCompactor) ResidualRatio() float64        { return c.residual }
+func (c *fakeCompactor) CompactionCost() time.Duration { return c.cost }
+func (c *fakeCompactor) Compact()                      { c.compacts++ }
+
+func TestControllerCompactsBelowEscalationThresholds(t *testing.T) {
+	f := setup(t, Config{})
+	comp := &fakeCompactor{skew: 1.2, residual: 1.0, cost: 80 * time.Millisecond}
+	f.ctrl.BindCompactor(comp)
+	oldPlan := f.eng.Plan()
+
+	f.feedWindow(0.3, false)
+	if f.sim.Pending() == 0 {
+		t.Fatal("drift did not schedule the compaction")
+	}
+	f.sim.Run()
+	recs := f.ctrl.Rebuilds()
+	if len(recs) != 1 || !recs[0].Compaction {
+		t.Fatalf("expected one compaction record, got %+v", recs)
+	}
+	if recs[0].CompactionTime != comp.cost {
+		t.Fatalf("compaction priced %v, want %v", recs[0].CompactionTime, comp.cost)
+	}
+	if got := recs[0].SwappedAt - recs[0].TriggeredAt; got != int64(comp.cost) {
+		t.Fatalf("compaction applied %v after trigger, want %v", time.Duration(got), comp.cost)
+	}
+	if comp.compacts != 1 {
+		t.Fatalf("compactor ran %d times", comp.compacts)
+	}
+	if f.eng.Plan() != oldPlan {
+		t.Fatal("compaction replaced the plan")
+	}
+
+	// Past the skew threshold the same trigger escalates to the full
+	// rebuild. The post-compaction cooldown costs one clean window.
+	comp.skew = 5
+	f.feedWindow(f.ctrl.Monitor().Expected(), true)
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	recs = f.ctrl.Rebuilds()
+	if len(recs) != 2 || recs[1].Compaction {
+		t.Fatalf("escalation did not run the full rebuild: %+v", recs)
+	}
+	if comp.compacts != 1 {
+		t.Fatalf("escalated cycle also compacted (%d)", comp.compacts)
+	}
+	if f.eng.Plan() == oldPlan {
+		t.Fatal("escalated rebuild never swapped the plan")
+	}
+}
+
+// TestControllerEscalatesOnRepeatTrigger: a trigger recurring right
+// after a compaction escalates to the full rebuild even with the drift
+// trackers below both thresholds — the cheap cycle demonstrably didn't
+// clear the drift. A completed full rebuild re-arms the shortcut.
+func TestControllerEscalatesOnRepeatTrigger(t *testing.T) {
+	f := setup(t, Config{})
+	comp := &fakeCompactor{skew: 1.0, residual: 1.0, cost: 50 * time.Millisecond}
+	f.ctrl.BindCompactor(comp)
+
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	if recs := f.ctrl.Rebuilds(); len(recs) != 1 || !recs[0].Compaction {
+		t.Fatalf("first trigger should compact, got %+v", recs)
+	}
+
+	// Cooldown window, then the drift recurs: trackers still read
+	// "overlay", but compaction already had its chance.
+	f.feedWindow(f.ctrl.Monitor().Expected(), true)
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	recs := f.ctrl.Rebuilds()
+	if len(recs) != 2 || recs[1].Compaction {
+		t.Fatalf("repeat trigger did not escalate: %+v", recs)
+	}
+	if comp.compacts != 1 {
+		t.Fatalf("escalated cycle also compacted (%d)", comp.compacts)
+	}
+
+	// The full rebuild re-arms the shortcut for the next drift episode.
+	f.feedWindow(f.ctrl.Monitor().Expected(), true)
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	recs = f.ctrl.Rebuilds()
+	if len(recs) != 3 || !recs[2].Compaction {
+		t.Fatalf("shortcut not re-armed after the full rebuild: %+v", recs)
+	}
+}
+
+func TestControllerCompactionCooldown(t *testing.T) {
+	f := setup(t, Config{})
+	comp := &fakeCompactor{skew: 1.0, residual: 1.0, cost: 50 * time.Millisecond}
+	f.ctrl.BindCompactor(comp)
+	f.feedWindow(0.3, false)
+	f.sim.Run()
+	// The first post-compaction window is the settle period: no second
+	// cycle, exactly as after a plan swap.
+	f.feedWindow(0.3, false)
+	if got := len(f.ctrl.Rebuilds()); got != 1 || f.sim.Pending() != 0 {
+		t.Fatalf("echo window started a cycle (records %d, pending %d)", got, f.sim.Pending())
+	}
+}

@@ -295,6 +295,22 @@ func (w *Workload) QueryVector(q QueryID, r *rng.Rand) []float32 {
 	return out
 }
 
+// InsertVector materializes a fresh database vector for a streaming
+// insert: a template is drawn from the current (possibly drift-rotated)
+// query popularity distribution, and the vector lands at that template
+// with the corpus-level Gaussian spread — live inserts concentrate in
+// the regions queries currently hit, like new documents on a trending
+// topic. The draw sequence (template, then Dim noise values) is a pure
+// function of the supplied RNG.
+func (w *Workload) InsertVector(r *rng.Rand) []float32 {
+	tpl := w.templates[w.Sample(r)]
+	out := make([]float32, len(tpl.vec))
+	for d := range out {
+		out[d] = tpl.vec[d] + float32(r.NormFloat64()*w.blobSpread)
+	}
+	return out
+}
+
 // Templates returns the number of query templates.
 func (w *Workload) Templates() int { return len(w.templates) }
 

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults"}
+		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults", "ingest"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -83,6 +83,9 @@ func TestFig4Shape(t *testing.T) {
 	if r.Throughput[0] >= last {
 		t.Errorf("tiny KV not slower: %v", r.Throughput)
 	}
+	if !strings.Contains(r.Render(), "Fig 4") {
+		t.Error("render missing title")
+	}
 }
 
 func TestFig5SkewTargets(t *testing.T) {
@@ -101,6 +104,9 @@ func TestFig5SkewTargets(t *testing.T) {
 	if orcas <= wiki {
 		t.Error("ORCAS must be more skewed than Wiki-All")
 	}
+	if !strings.Contains(r.Render(), "Fig 5") {
+		t.Error("render missing title")
+	}
 }
 
 func TestFig6CoverageImprovesHitRate(t *testing.T) {
@@ -117,6 +123,9 @@ func TestFig6CoverageImprovesHitRate(t *testing.T) {
 		if byCov[0.20].Min > 0.6 {
 			t.Errorf("%s: no long-tail queries at 20%% coverage (min=%.2f)", name, byCov[0.20].Min)
 		}
+	}
+	if !strings.Contains(r.Render(), "Fig 6") {
+		t.Error("render missing title")
 	}
 }
 
@@ -141,6 +150,9 @@ func TestFig8Curves(t *testing.T) {
 				r.Means[i], r.ModelVar[i], r.EmpVar[i])
 		}
 	}
+	if !strings.Contains(r.Render(), "Fig 8") {
+		t.Error("render missing title")
+	}
 }
 
 func TestFig9WithinEnvelope(t *testing.T) {
@@ -156,6 +168,9 @@ func TestFig9WithinEnvelope(t *testing.T) {
 			t.Errorf("%s @%v: rebuild %v outside the paper's <1min envelope",
 				row.Dataset, row.SLO, row.Timing.Total())
 		}
+	}
+	if !strings.Contains(r.Render(), "Fig 9") {
+		t.Error("render missing title")
 	}
 }
 
@@ -235,6 +250,12 @@ func TestFig12BreakdownSane(t *testing.T) {
 	if cpuSearch <= vlSearch {
 		t.Errorf("CPU-only search %.3fs not above vLiteRAG %.3fs", cpuSearch, vlSearch)
 	}
+	if !strings.Contains(r.Render(), "Fig 12") {
+		t.Error("render missing title")
+	}
+	if !strings.HasPrefix(r.CSV(), "dataset,system,rate_rps") {
+		t.Error("fig12 CSV header wrong")
+	}
 }
 
 func TestFig13HedraCachesMore(t *testing.T) {
@@ -246,6 +267,9 @@ func TestFig13HedraCachesMore(t *testing.T) {
 	// latency-bounded point (paper: 0.73 vs 0.315).
 	if r.HedraRho <= r.VLiteRho {
 		t.Errorf("hedra rho %.3f not above vLiteRAG rho %.3f", r.HedraRho, r.VLiteRho)
+	}
+	if !strings.Contains(r.Render(), "Fig 13") {
+		t.Error("render missing title")
 	}
 }
 
@@ -269,6 +293,9 @@ func TestFig14DispatcherHelps(t *testing.T) {
 			t.Errorf("rate %.0f: dispatcher hurt avg search (%v vs %v)", rate, o.AvgSearch, f.AvgSearch)
 		}
 	}
+	if !strings.Contains(r.Render(), "Fig 14") {
+		t.Error("render missing title")
+	}
 }
 
 func TestFig16TableIIMonotone(t *testing.T) {
@@ -288,6 +315,12 @@ func TestFig16TableIIMonotone(t *testing.T) {
 		if r.Table[i-1].KVCacheGB > r.Table[i].KVCacheGB+0.01 {
 			t.Errorf("KV cache not increasing with relaxed SLO: %+v", r.Table)
 		}
+	}
+	if !strings.Contains(r.Render(), "Fig 16") {
+		t.Error("render missing title")
+	}
+	if !strings.HasPrefix(r.CSV(), "slo_search_ms") {
+		t.Error("fig16 CSV header wrong")
 	}
 }
 
@@ -691,6 +724,110 @@ func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if got := r.CSV(); got != ref {
 			t.Errorf("workers=%d: faults CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
+		}
+	}
+}
+
+// ingestQuick caches the quick-mode Ingest run (three full live
+// simulations under the shared diurnal load) for the assertions below.
+var ingestQuick *IngestResult
+
+func ingestQuickResult(t *testing.T) *IngestResult {
+	t.Helper()
+	if ingestQuick == nil {
+		r, err := Ingest(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestQuick = r
+	}
+	return ingestQuick
+}
+
+// TestIngestFreshness: the headline live-corpus artifact — the frozen
+// arm stays mutation-free, the streaming arms absorb the full mutation
+// stream within the freshness SLO while holding at least 95% of the
+// frozen arm's request attainment, and the compaction arm walks the
+// escalation ladder: cheap compaction on the first drift trigger, full
+// re-partition when the trigger recurs.
+func TestIngestFreshness(t *testing.T) {
+	r := ingestQuickResult(t)
+	frozen, live, comp := r.Arm("frozen"), r.Arm("streaming"), r.Arm("streaming+compaction")
+	if frozen == nil || live == nil || comp == nil {
+		t.Fatalf("arms missing: %+v", r.Arms)
+	}
+	if frozen.Inserts != 0 || frozen.Deletes != 0 || frozen.Reencode != 0 {
+		t.Errorf("frozen arm mutated: %+v", *frozen)
+	}
+	for _, a := range []*IngestArm{live, comp} {
+		if a.Inserts == 0 || a.Deletes == 0 {
+			t.Errorf("%s arm saw no mutations: inserts %d, deletes %d", a.Name, a.Inserts, a.Deletes)
+		}
+		if a.Pending != 0 {
+			t.Errorf("%s arm left %d raw appends unfolded at run end", a.Name, a.Pending)
+		}
+		if a.Reencode == 0 {
+			t.Errorf("%s arm never re-encoded", a.Name)
+		}
+		if a.TTSP50 <= 0 || a.TTSP99 < a.TTSP50 {
+			t.Errorf("%s arm TTS percentiles inverted: p50 %v, p99 %v", a.Name, a.TTSP50, a.TTSP99)
+		}
+		if a.FreshAtt < 0.9 {
+			t.Errorf("%s arm freshness attainment %.3f; mutations queued past the SLO", a.Name, a.FreshAtt)
+		}
+		// The live corpus may cost a sliver of serving headroom, no more.
+		if a.Att < 0.95*frozen.Att {
+			t.Errorf("%s arm attainment %.3f fell past 95%% of frozen %.3f", a.Name, a.Att, frozen.Att)
+		}
+	}
+	// Identical mutation streams: the controller changes the index, not
+	// the corpus.
+	if live.Inserts != comp.Inserts || live.Deletes != comp.Deletes {
+		t.Errorf("mutation streams diverged: streaming %d/%d vs compaction %d/%d",
+			live.Inserts, live.Deletes, comp.Inserts, comp.Deletes)
+	}
+	if live.Compact != 0 || live.Rebuilds != 0 {
+		t.Errorf("streaming arm ran the controller: %d compactions, %d rebuilds", live.Compact, live.Rebuilds)
+	}
+	if comp.Compact == 0 {
+		t.Errorf("compaction arm never compacted; the drift trigger escalated straight to a rebuild")
+	}
+	if comp.Rebuilds == 0 {
+		t.Errorf("compaction arm never escalated; the repeat trigger should force the full re-partition")
+	}
+	out := r.Render()
+	for _, want := range []string{"frozen", "streaming+compaction", "tts p99", "freshness SLO", "escalat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestIngestGoldenPinned: the quick-mode ingest artifact is
+// bit-identical across runs with the same seed; the golden pins it.
+func TestIngestGoldenPinned(t *testing.T) {
+	got := ingestQuickResult(t).CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "ingest_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("ingest quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestIngestDeterministicAcrossWorkers: mutations, re-encodes, and
+// compactions all schedule on the single shared timeline, so the
+// artifact must be bit-identical for every Workers value.
+func TestIngestDeterministicAcrossWorkers(t *testing.T) {
+	ref := ingestQuickResult(t).CSV()
+	for _, workers := range []int{2, 4} {
+		r, err := ingestWithWorkers(quick(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.CSV(); got != ref {
+			t.Errorf("workers=%d: ingest CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
 		}
 	}
 }

@@ -57,6 +57,7 @@ func Registry() map[string]Runner {
 		"adapt":   func(c Config) (Renderer, error) { return Adapt(c) },
 		"tenants": func(c Config) (Renderer, error) { return Tenants(c) },
 		"faults":  func(c Config) (Renderer, error) { return Faults(c) },
+		"ingest":  func(c Config) (Renderer, error) { return Ingest(c) },
 	}
 }
 

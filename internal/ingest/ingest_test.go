@@ -1,0 +1,363 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/hw"
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/vecmath"
+	"vectorliterag/internal/workload"
+)
+
+var testW *dataset.Workload
+
+func testWorkload(t *testing.T) *dataset.Workload {
+	t.Helper()
+	if testW == nil {
+		gc := dataset.GenConfig{NCenters: 48, PerCenter: 48, Dim: 16, PhysNList: 48, PhysNProbe: 8, Templates: 192, Seed: 4}
+		w, err := dataset.Build(dataset.Orcas2K, gc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testW = w
+	}
+	return testW
+}
+
+func contains(res []vecmath.Neighbor, id int) bool {
+	for _, nb := range res {
+		if nb.Index == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFrozenStoreMatchesIndex: with no mutations applied, the store's
+// masked search path returns exactly what the plain index search does.
+func TestFrozenStoreMatchesIndex(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	r := rng.New(7)
+	for i := 0; i < 20; i++ {
+		q := w.QueryVector(w.Sample(r), r)
+		got := s.Search(q, 8, 10)
+		want := w.Index.Search(q, 8, 10)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: result sizes differ: %d vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d neighbor %d: got %+v want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestInsertLifecycle: an inserted vector is found by the live search
+// while raw-pending, survives the re-encode fold (now scanned from
+// store-owned PQ codes), and the pending scan cost collapses to
+// encoded cost at the fold.
+func TestInsertLifecycle(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	r := rng.New(11)
+	vec := w.InsertVector(r)
+	m := &workload.Mutation{Kind: workload.MutInsert, Vec: vec}
+	c := s.Insert(m)
+	if m.ID != int32(w.Index.NVectors()) {
+		t.Fatalf("first insert got ID %d, want %d", m.ID, w.Index.NVectors())
+	}
+	if s.PendingRaw() != 1 {
+		t.Fatalf("pending %d after one insert", s.PendingRaw())
+	}
+	// The exact inserted vector probed at its own cluster must be the
+	// nearest neighbor: distance 0 beats every PQ approximation.
+	res := s.Search(vec, w.Gen.PhysNProbe, 5)
+	if len(res) == 0 || res[0].Index != int(m.ID) {
+		t.Fatalf("inserted vector not top result while pending: %+v", res)
+	}
+	rawCost := s.ScanBytes(0, []int{c})
+	if enc := s.Reencode(); enc != 1 {
+		t.Fatalf("reencode folded %d vectors, want 1", enc)
+	}
+	if s.PendingRaw() != 0 {
+		t.Fatalf("pending %d after fold", s.PendingRaw())
+	}
+	res = s.Search(vec, w.Gen.PhysNProbe, 5)
+	if !contains(res, int(m.ID)) {
+		t.Fatalf("inserted vector lost after re-encode: %+v", res)
+	}
+	encCost := s.ScanBytes(0, []int{c})
+	frozen := w.ScanBytes(0, []int{c})
+	if !(encCost < rawCost && encCost > frozen) {
+		t.Fatalf("scan cost did not step down at fold: frozen %d, raw %d, encoded %d", frozen, rawCost, encCost)
+	}
+}
+
+// TestDeleteLifecycle: tombstoned vectors vanish from results in all
+// three locations (base list, pending buffer, encoded appends), keep
+// costing scan bytes until compaction, and stop costing after it.
+func TestDeleteLifecycle(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	r := rng.New(13)
+	q := w.QueryVector(w.Sample(r), r)
+	base := s.Search(q, 8, 10)
+	if len(base) == 0 {
+		t.Fatal("no baseline results")
+	}
+	victim := base[0].Index
+	// Aim the delete exactly at the victim: Pick resolves by linear
+	// probe from Pick % space, and the victim is live.
+	m := &workload.Mutation{Kind: workload.MutDelete, Pick: uint64(victim)}
+	if !s.Delete(m) || int(m.ID) != victim {
+		t.Fatalf("delete resolved to %d, want %d", m.ID, victim)
+	}
+	if s.Alive(victim) {
+		t.Fatal("victim still alive")
+	}
+	if res := s.Search(q, 8, 10); contains(res, victim) {
+		t.Fatalf("tombstoned base vector still returned: %+v", res)
+	}
+	// Tombstones are not free until purged.
+	clusters := []int{m.Cluster}
+	if got, want := s.ScanBytes(0, clusters), w.ScanBytes(0, clusters); got != want {
+		t.Fatalf("unpurged tombstone changed scan cost: %d vs %d", got, want)
+	}
+	_, purged := s.Compact()
+	if purged != 1 {
+		t.Fatalf("compaction purged %d, want 1", purged)
+	}
+	if got, want := s.ScanBytes(0, clusters), w.ScanBytes(0, clusters); got >= want {
+		t.Fatalf("purge did not reduce scan cost: %d vs frozen %d", got, want)
+	}
+
+	// Delete a pending insert: the append-buffer scan must honor it.
+	ins := &workload.Mutation{Kind: workload.MutInsert, Vec: w.InsertVector(r)}
+	s.Insert(ins)
+	del := &workload.Mutation{Kind: workload.MutDelete, Pick: uint64(ins.ID)}
+	if !s.Delete(del) || del.ID != ins.ID {
+		t.Fatalf("pending delete resolved to %d, want %d", del.ID, ins.ID)
+	}
+	if res := s.Search(ins.Vec, w.Gen.PhysNProbe, 5); contains(res, int(ins.ID)) {
+		t.Fatalf("tombstoned pending vector still returned: %+v", res)
+	}
+	// Dead pending vectors are dropped (not encoded) by the fold.
+	if enc := s.Reencode(); enc != 0 {
+		t.Fatalf("fold encoded %d dead pending vectors", enc)
+	}
+
+	// Delete an encoded append: insert, fold, then kill.
+	ins2 := &workload.Mutation{Kind: workload.MutInsert, Vec: w.InsertVector(r)}
+	s.Insert(ins2)
+	s.Reencode()
+	del2 := &workload.Mutation{Kind: workload.MutDelete, Pick: uint64(ins2.ID)}
+	if !s.Delete(del2) || del2.ID != ins2.ID {
+		t.Fatalf("encoded delete resolved to %d, want %d", del2.ID, ins2.ID)
+	}
+	if res := s.Search(ins2.Vec, w.Gen.PhysNProbe, 5); contains(res, int(ins2.ID)) {
+		t.Fatalf("tombstoned encoded vector still returned: %+v", res)
+	}
+}
+
+// TestDeleteProbesPastDead: Pick landing on a dead ID resolves to the
+// next live one, deterministically.
+func TestDeleteProbesPastDead(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	m1 := &workload.Mutation{Kind: workload.MutDelete, Pick: 5}
+	m2 := &workload.Mutation{Kind: workload.MutDelete, Pick: 5}
+	if !s.Delete(m1) || !s.Delete(m2) {
+		t.Fatal("deletes failed")
+	}
+	if m1.ID != 5 || m2.ID != 6 {
+		t.Fatalf("probe sequence got %d then %d, want 5 then 6", m1.ID, m2.ID)
+	}
+}
+
+// TestTrackers: inserts drawn from the query distribution keep the
+// residual ratio near the corpus baseline, and piling inserts into
+// clusters raises the size skew monotonically.
+func TestTrackers(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	if rr := s.ResidualRatio(); rr != 1 {
+		t.Fatalf("residual ratio %v before any insert", rr)
+	}
+	skew0 := s.SizeSkew()
+	r := rng.New(17)
+	for i := 0; i < 200; i++ {
+		s.Insert(&workload.Mutation{Kind: workload.MutInsert, Vec: w.InsertVector(r)})
+	}
+	rr := s.ResidualRatio()
+	if rr <= 0 || rr > 3 {
+		t.Fatalf("residual ratio %v implausible for in-distribution inserts", rr)
+	}
+	if s.SizeSkew() <= skew0 {
+		t.Fatalf("skew did not grow under popularity-skewed inserts: %v -> %v", skew0, s.SizeSkew())
+	}
+}
+
+// TestIngesterStation: mutations apply serially with modeled cost,
+// AppliedAt stamps service completion, and the periodic re-encode
+// occupies the station (a mutation arriving mid-fold waits).
+func TestIngesterStation(t *testing.T) {
+	w := testWorkload(t)
+	var sim des.Sim
+	store := NewStore(w)
+	horizon := des.Time(60 * time.Second)
+	ing := New(Config{Sim: &sim, Store: store, Node: hw.H100Node(), ReencodeEvery: 10 * time.Second, Horizon: horizon})
+	gen := workload.NewMutationGen(w, workload.MutInsert, 2.0, nil, 0, rng.Stream(1, 100))
+	gen.Start(&sim, horizon, ing.Submit)
+	sim.RunUntil(horizon + des.Time(30*time.Second))
+	log := ing.Log()
+	if len(log) == 0 {
+		t.Fatal("no mutations processed")
+	}
+	if ing.Reencodes() < 5 {
+		t.Fatalf("only %d re-encodes in 60s at 10s cadence", ing.Reencodes())
+	}
+	for i := range log {
+		m := &log[i]
+		if m.AppliedAt == 0 {
+			t.Fatalf("mutation %d never applied", m.Seq)
+		}
+		if m.TimeToSearchable() <= 0 {
+			t.Fatalf("mutation %d has non-positive time-to-searchable %d", m.Seq, m.TimeToSearchable())
+		}
+	}
+	if store.PendingRaw() != 0 {
+		// The last fold at t=60s should have drained anything applied
+		// before it; stragglers applied after are allowed.
+		t.Logf("pending after horizon: %d", store.PendingRaw())
+	}
+	if got := store.Inserts(); got != len(log) {
+		t.Fatalf("store applied %d inserts, log has %d", got, len(log))
+	}
+}
+
+// TestIngestDeterminism: identical seeds produce byte-identical
+// mutation logs and store state; different seeds do not.
+func TestIngestDeterminism(t *testing.T) {
+	w := testWorkload(t)
+	run := func(seed uint64) ([]workload.Mutation, int64) {
+		var sim des.Sim
+		store := NewStore(w)
+		horizon := des.Time(30 * time.Second)
+		ing := New(Config{Sim: &sim, Store: store, Node: hw.H100Node(), ReencodeEvery: 7 * time.Second, Horizon: horizon})
+		ins := workload.NewMutationGen(w, workload.MutInsert, 3.0, nil, 0, rng.Stream(seed, 100))
+		del := workload.NewMutationGen(w, workload.MutDelete, 1.0, nil, 0, rng.Stream(seed, 101))
+		ins.Start(&sim, horizon, ing.Submit)
+		del.Start(&sim, horizon, ing.Submit)
+		sim.RunUntil(horizon + des.Time(10*time.Second))
+		cost := store.ScanBytesAll(0)
+		return ing.Log(), cost
+	}
+	logA, costA := run(1)
+	logB, costB := run(1)
+	if len(logA) != len(logB) || costA != costB {
+		t.Fatalf("same seed diverged: %d/%d muts, %d/%d bytes", len(logA), len(logB), costA, costB)
+	}
+	for i := range logA {
+		// Vec slices differ by pointer; compare the applied identity.
+		a, b := logA[i], logB[i]
+		if a.Seq != b.Seq || a.Kind != b.Kind || a.ID != b.ID || a.Cluster != b.Cluster ||
+			a.ArrivalAt != b.ArrivalAt || a.AppliedAt != b.AppliedAt {
+			t.Fatalf("mutation %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	logC, _ := run(2)
+	if len(logC) == len(logA) && len(logA) > 0 && logC[0].ArrivalAt == logA[0].ArrivalAt {
+		t.Fatal("different seeds produced identical arrival sequence")
+	}
+}
+
+// TestIngesterCompactorSurface: the adapt.Compactor view of the station
+// — drift trackers delegate to the store, CompactionCost prices the
+// current pending + purgeable volumes, and Compact folds, purges, and
+// counts the cycle.
+func TestIngesterCompactorSurface(t *testing.T) {
+	w := testWorkload(t)
+	var sim des.Sim
+	store := NewStore(w)
+	horizon := des.Time(20 * time.Second)
+	ing := New(Config{Sim: &sim, Store: store, Node: hw.H100Node(), ReencodeEvery: time.Hour, Horizon: horizon})
+	ins := workload.NewMutationGen(w, workload.MutInsert, 4.0, nil, 0, rng.Stream(3, 100))
+	del := workload.NewMutationGen(w, workload.MutDelete, 1.0, nil, 0, rng.Stream(3, 101))
+	ins.Start(&sim, horizon, ing.Submit)
+	del.Start(&sim, horizon, ing.Submit)
+	sim.RunUntil(horizon + des.Time(10*time.Second))
+	if ing.Queued() != 0 {
+		t.Fatalf("station still has %d queued after drain", ing.Queued())
+	}
+	if ing.SizeSkew() != store.SizeSkew() || ing.ResidualRatio() != store.ResidualRatio() {
+		t.Fatal("compactor trackers do not delegate to the store")
+	}
+	if store.PendingRaw() == 0 || store.Deletes() == 0 {
+		t.Fatalf("run produced no work to compact: %d pending, %d deletes", store.PendingRaw(), store.Deletes())
+	}
+	if store.PurgeableLogical() <= 0 {
+		t.Fatalf("purgeable logical %d with %d applied deletes", store.PurgeableLogical(), store.Deletes())
+	}
+	cost := ing.CompactionCost()
+	if cost <= 0 {
+		t.Fatalf("compaction cost %v with pending work", cost)
+	}
+	ing.Compact()
+	if ing.Compactions() != 1 {
+		t.Fatalf("compactions = %d after one Compact", ing.Compactions())
+	}
+	if store.PendingRaw() != 0 || store.PurgeableLogical() != 0 {
+		t.Fatalf("compact left %d pending raw, %d purgeable", store.PendingRaw(), store.PurgeableLogical())
+	}
+	// An emptied store prices (almost) nothing: only the already-encoded
+	// appends remain.
+	if c2 := ing.CompactionCost(); c2 >= cost {
+		t.Fatalf("post-compaction cost %v did not drop from %v", c2, cost)
+	}
+}
+
+// TestCompactPurgesEncodedAppends: a tombstoned encoded append is
+// rewritten out by Compact — its bytes stop billing and the survivors'
+// positions stay searchable.
+func TestCompactPurgesEncodedAppends(t *testing.T) {
+	w := testWorkload(t)
+	s := NewStore(w)
+	r := rng.New(23)
+	var ids []int32
+	for i := 0; i < 8; i++ {
+		m := &workload.Mutation{Kind: workload.MutInsert, Vec: w.InsertVector(r)}
+		s.Insert(m)
+		ids = append(ids, m.ID)
+	}
+	s.Reencode() // all eight become encoded appends
+	del := &workload.Mutation{Kind: workload.MutDelete, Pick: uint64(ids[0])}
+	if !s.Delete(del) || del.ID != ids[0] {
+		t.Fatalf("delete resolved to %d, want %d", del.ID, ids[0])
+	}
+	before := s.ScanBytesAll(0)
+	_, purged := s.Compact()
+	if purged != 1 {
+		t.Fatalf("purged %d, want the one dead append", purged)
+	}
+	if after := s.ScanBytesAll(0); after >= before {
+		t.Fatalf("purging an encoded append did not shed cost: %d -> %d", before, after)
+	}
+	if s.Alive(int(ids[0])) {
+		t.Fatal("purged append still alive")
+	}
+	// Survivors must stay alive and searchable after the rewrite moved
+	// their positions.
+	for _, id := range ids[1:] {
+		if !s.Alive(int(id)) {
+			t.Fatalf("survivor %d lost by the rewrite", id)
+		}
+	}
+	if s.Alive(-1) || s.Alive(1 << 30) {
+		t.Fatal("out-of-range IDs report alive")
+	}
+}

@@ -143,6 +143,46 @@ func (ix *Index) ClusterSizes() []int {
 	return out
 }
 
+// Quantizer exposes the trained product quantizer so a live-corpus
+// layer can encode freshly inserted vectors into the same code space
+// as the built lists.
+func (ix *Index) Quantizer() *pq.Quantizer { return ix.quant }
+
+// ClusterIDs returns cluster c's inverted-list vector IDs. The slice
+// is the index's own storage — callers must treat it as read-only.
+func (ix *Index) ClusterIDs(c int) []int32 { return ix.lists[c].ids }
+
+// ClusterCodes returns cluster c's PQ codes (ClusterSize(c) ×
+// CodeSize() bytes). The slice is the index's own storage — callers
+// must treat it as read-only.
+func (ix *Index) ClusterCodes(c int) []byte { return ix.lists[c].codes }
+
+// NearestCentroid returns the cluster whose centroid is closest to v —
+// the routing step for a live insert. It uses the same norm-decomposed
+// scan as ProbeInto, so routing is consistent with query-time coarse
+// quantization.
+func (ix *Index) NearestCentroid(v []float32) int {
+	if len(v) != ix.dim {
+		panic(fmt.Sprintf("ivf: route vector dim %d != index dim %d", len(v), ix.dim))
+	}
+	c, _ := vecmath.ArgminNormScore(v, ix.centroids, ix.centNorms, ix.dim)
+	return c
+}
+
+// CentroidResidual2 returns the squared L2 distance between v and
+// cluster c's centroid — the residual norm the drift trackers watch.
+func (ix *Index) CentroidResidual2(v []float32, c int) float32 {
+	return vecmath.SquaredL2(v, ix.centroids[c*ix.dim:(c+1)*ix.dim])
+}
+
+// ScanClusterMasked is ScanCluster with a positional tombstone bitmap
+// over the inverted list: candidates whose bit is set in dead are
+// skipped (an empty bitmap scans everything).
+func (ix *Index) ScanClusterMasked(lut *pq.LUT, cluster int, dead []uint64, top *vecmath.TopK) {
+	l := &ix.lists[cluster]
+	lut.ScanCodesIDsMasked(l.codes, l.ids, dead, top)
+}
+
 // SearchScratch owns every buffer the three-stage search pipeline
 // touches — the probe heap and probe list, the per-query LUT, the
 // top-k heap, and the result slice — so steady-state search performs

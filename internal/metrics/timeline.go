@@ -19,11 +19,17 @@ type Window struct {
 	Attainment  float64
 	MeanHitRate float64 // over served requests; 0 when none served
 
+	// Freshness columns, filled by AnnotateFreshness on live-ingest
+	// runs (zero on frozen runs): inserts arriving in the window and
+	// the fraction of them searchable within the freshness SLO.
+	Inserts         int
+	FreshAttainment float64
+
 	// Unexported accumulators, folded into the exported fields when the
 	// bucketing pass finalizes; keeping them inline is what lets
 	// TimelineInto aggregate without per-window side slices.
-	ok, served int
-	hitSum     float64
+	ok, served, freshOK int
+	hitSum              float64
 }
 
 // Timeline buckets requests by arrival time into fixed windows and

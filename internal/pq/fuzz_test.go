@@ -81,6 +81,94 @@ func FuzzScanCodes(f *testing.F) {
 	})
 }
 
+// fuzzMask derives a positional tombstone bitmap over n candidates
+// from the same fuzz bytes that built the table, so the fuzzer steers
+// which positions die. The mask is sized exactly ceil(n/64) words —
+// the contract the masked scans document.
+func fuzzMask(data []byte, n int) []uint64 {
+	dead := make([]uint64, (n+63)/64)
+	if len(data) == 0 {
+		return dead
+	}
+	for i := 0; i < n; i++ {
+		// Kill roughly a third of positions, byte-steered.
+		if data[i%len(data)]%3 == 0 {
+			dead[uint(i)>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return dead
+}
+
+func isDead(dead []uint64, i int) bool {
+	return dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// FuzzScanCodesMasked: the tombstone-masked block scan must fill the
+// collector bit-identically to a naive masked full evaluation — every
+// live candidate fully evaluated and pushed in index order, every dead
+// one skipped — for any table contents, mask, M, and k.
+func FuzzScanCodesMasked(f *testing.F) {
+	f.Add([]byte("\x03\x02the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte("\x07\x03sixty zippers were quickly picked from the woven jute bag"))
+	f.Add([]byte("\x0b\x08\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7\xf6\xf5\xf4\xf3\xf2\xf1\xf0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lut, codes, k, ok := fuzzLUT(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / lut.M
+		dead := fuzzMask(data, n)
+		const base = 37
+		want := vecmath.NewTopK(k)
+		refScan(lut, codes, func(i int, d float32) {
+			if !isDead(dead, i) {
+				want.Push(base+i, d)
+			}
+		})
+		got := vecmath.NewTopK(k)
+		lut.ScanCodesMasked(codes, base, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+		// An all-zero mask must be indistinguishable from no mask.
+		clear(dead)
+		want.Reset(k)
+		refScan(lut, codes, func(i int, d float32) { want.Push(base+i, d) })
+		got.Reset(k)
+		lut.ScanCodesMasked(codes, base, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
+// FuzzScanCodesIDsMasked: the tombstone-masked inverted-list scan
+// (including the M=8 specialized kernel) must match the naive masked
+// reference bit for bit.
+func FuzzScanCodesIDsMasked(f *testing.F) {
+	// M=8 seeds exercise scanIDs8Masked, the specialized hot path.
+	f.Add([]byte("\x07\x03pack my box with five dozen liquor jugs"))
+	f.Add([]byte("\x07\x01\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c\x0d\x0e\x0f\x10"))
+	f.Add([]byte("\x04\x05abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lut, codes, k, ok := fuzzLUT(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / lut.M
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32((i*2654435761 + 11) % 100003)
+		}
+		dead := fuzzMask(data, n)
+		want := vecmath.NewTopK(k)
+		refScan(lut, codes, func(i int, d float32) {
+			if !isDead(dead, i) {
+				want.Push(int(ids[i]), d)
+			}
+		})
+		got := vecmath.NewTopK(k)
+		lut.ScanCodesIDsMasked(codes, ids, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
 // FuzzScanCodesIDs: the inverted-list scan (including the M=8
 // specialized kernel) must match the naive reference bit for bit.
 func FuzzScanCodesIDs(f *testing.F) {

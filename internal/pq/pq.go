@@ -337,6 +337,127 @@ func (t *LUT) ScanCodesIDs(codes []byte, ids []int32, top *vecmath.TopK) {
 	}
 }
 
+// ScanCodesMasked is ScanCodes with a positional tombstone bitmap: bit
+// i of dead (dead[i/64]>>(i%64)&1) marks candidate position i as
+// deleted, and masked positions are skipped without evaluation. A nil
+// or empty bitmap falls through to the unmasked scan. Live candidates
+// see the identical accumulate/abandon/push sequence as a naive masked
+// full evaluation, so the collector's contents match bit for bit. The
+// scan allocates nothing; dead must cover at least ceil(n/64) words
+// when non-empty.
+func (t *LUT) ScanCodesMasked(codes []byte, base int, dead []uint64, top *vecmath.TopK) {
+	if len(dead) == 0 {
+		t.ScanCodes(codes, base, top)
+		return
+	}
+	cs := t.M
+	n := len(codes) / cs
+	i := 0
+	// Fill phase: every live candidate is pushed until the heap fills.
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(base+i, t.Distance(codes[i*cs:(i+1)*cs]))
+	}
+	// Steady phase: abandon against the current k-th best, exactly as
+	// the unmasked scan does for the remainder loop. The 4-way unroll is
+	// not worth carrying here — the mask test already breaks the
+	// straight-line accumulate path — and per-candidate bound reads only
+	// tighten the abandon bound, which never changes the heap contents.
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+	}
+}
+
+// ScanCodesIDsMasked is ScanCodesIDs with a positional tombstone
+// bitmap (see ScanCodesMasked for the mask contract): masked list
+// positions are skipped, live ones push under ids[i]. The M=8 fast
+// path keeps its hoisted LUT rows and midpoint abandon.
+func (t *LUT) ScanCodesIDsMasked(codes []byte, ids []int32, dead []uint64, top *vecmath.TopK) {
+	if len(dead) == 0 {
+		t.ScanCodesIDs(codes, ids, top)
+		return
+	}
+	if t.M == 8 {
+		t.scanIDs8Masked(codes, ids, dead, top)
+		return
+	}
+	cs := t.M
+	n := len(codes) / cs
+	i := 0
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(int(ids[i]), t.Distance(codes[i*cs:(i+1)*cs]))
+	}
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		bound, _ := top.Worst()
+		if d, ok := t.distanceAbandon(codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+	}
+}
+
+// scanIDs8Masked is scanIDs8 with the positional tombstone test folded
+// into both phases. Accumulation order and abandon decisions over the
+// surviving candidates are identical to the unmasked fast path, so a
+// masked scan matches a naive masked full evaluation bit for bit.
+func (t *LUT) scanIDs8Masked(codes []byte, ids []int32, dead []uint64, top *vecmath.TopK) {
+	tab := t.tab[:8*lutStride]
+	t0, t1, t2, t3 := tab[0:256], tab[256:512], tab[512:768], tab[768:1024]
+	t4, t5, t6, t7 := tab[1024:1280], tab[1280:1536], tab[1536:1792], tab[1792:2048]
+	n := len(codes) / 8
+	i := 0
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if _, full := top.Worst(); full {
+			break
+		}
+		c := codes[i*8 : i*8+8 : i*8+8]
+		d := t0[c[0]] + t1[c[1]] + t2[c[2]] + t3[c[3]]
+		d = d + t4[c[4]] + t5[c[5]] + t6[c[6]] + t7[c[7]]
+		top.Push(int(ids[i]), d)
+	}
+	if i >= n {
+		return
+	}
+	bound, _ := top.Worst()
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		c := codes[i*8 : i*8+8 : i*8+8]
+		d := t0[c[0]] + t1[c[1]] + t2[c[2]] + t3[c[3]]
+		if d >= bound {
+			continue
+		}
+		d = d + t4[c[4]] + t5[c[5]] + t6[c[6]] + t7[c[7]]
+		if d < bound {
+			top.Push(int(ids[i]), d)
+			bound, _ = top.Worst()
+		}
+	}
+}
+
 // scanIDs8 is ScanCodesIDs specialized to the dominant M=8 code size:
 // the eight LUT rows are hoisted into locals (no m*K multiply, no inner
 // loop) and the early-abandon check sits inline at the subspace

@@ -147,7 +147,7 @@ func RunAdaptive(opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	retr, gen := stageBuilders(&sim, opts.Options, d, cpuModel)
+	retr, gen := stageBuilders(&sim, opts.Options, d, cpuModel, nil)
 	pool := &workload.Pool{}
 	// The controller observes each completed request before the pool
 	// recycles it; the release therefore goes last in the terminal Tee.

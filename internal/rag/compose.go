@@ -130,8 +130,10 @@ func decide(opts Options, prof *profiler.AccessProfile, cpuModel costmodel.Searc
 // states with the shared plan applied, the retrieval-engine stage, and
 // the LLM generation stage. Compose builds generation first, so the
 // engine's Forward hook points at a live cluster — the same
-// construction order the pre-pipeline monolith used.
-func stageBuilders(sim *des.Sim, opts Options, d *decision, cpuModel costmodel.SearchModel) (retr, gen serve.Builder) {
+// construction order the pre-pipeline monolith used. live, when
+// non-nil, overlays streaming-ingest scan costs on the engine's cost
+// tables (nil on every frozen-corpus path).
+func stageBuilders(sim *des.Sim, opts Options, d *decision, cpuModel costmodel.SearchModel, live retrieval.LiveCost) (retr, gen serve.Builder) {
 	states := gpu.NewStates(opts.Node)
 	gm := costmodel.GPUScanModel{GPU: opts.Node.GPU}
 	llmStates := states
@@ -172,6 +174,7 @@ func stageBuilders(sim *des.Sim, opts Options, d *decision, cpuModel costmodel.S
 			W:        opts.W,
 			CPUModel: cpuModel,
 			Forward:  forward,
+			Live:     live,
 			MaxBatch: opts.MaxBatch,
 		}), nil
 	})
@@ -267,7 +270,7 @@ func Run(opts Options) (*Result, error) {
 	var sim des.Sim
 	pool := &workload.Pool{}
 	coll := serve.NewCollector()
-	retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+	retr, gen := stageBuilders(&sim, opts, d, cpuModel, nil)
 	// Terminal sink: finalize the collector record, then recycle the
 	// request — the pool release must come last.
 	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, pool.Release), serve.Admit(coll), retr, gen)
@@ -378,7 +381,7 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	for i := range reps {
 		rep := serve.NewReplica()
 		repColl := serve.NewCollector()
-		retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+		retr, gen := stageBuilders(&sim, opts, d, cpuModel, nil)
 		pipe, err := serve.Compose(&sim,
 			serve.Tee(coll.Done, repColl.Done, rep.Release, pool.Release),
 			serve.Admit(repColl), retr, gen)

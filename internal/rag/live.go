@@ -1,0 +1,306 @@
+package rag
+
+import (
+	"fmt"
+	"time"
+
+	"vectorliterag/internal/adapt"
+	"vectorliterag/internal/costmodel"
+	"vectorliterag/internal/des"
+	"vectorliterag/internal/hitrate"
+	"vectorliterag/internal/ingest"
+	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/perfmodel"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/retrieval"
+	"vectorliterag/internal/rng"
+	"vectorliterag/internal/serve"
+	"vectorliterag/internal/update"
+	"vectorliterag/internal/workload"
+)
+
+// IngestOptions configures the streaming-ingest side of a live run:
+// insert/delete mutation streams multiplexed onto the serving
+// timeline, the background re-encode cadence, and the freshness SLO
+// the run is judged against.
+type IngestOptions struct {
+	// InsertRate and DeleteRate are constant mutation rates in
+	// mutations/second. A schedule below overrides the matching constant
+	// rate (which then only labels the run), mirroring Options.Rate vs
+	// RateSchedule.
+	InsertRate float64
+	DeleteRate float64
+	// InsertSchedule / DeleteSchedule drive the streams as inhomogeneous
+	// Poisson processes (ramps, bursts, diurnal cycles).
+	InsertSchedule workload.Schedule
+	DeleteSchedule workload.Schedule
+	// ReencodeEvery is the background fold cadence: pending raw vectors
+	// re-encode into PQ appends every such interval (default 25s). The
+	// fold occupies the ingest station for its modeled encode time, so
+	// an aggressive cadence under heavy ingest is the metastable regime.
+	ReencodeEvery time.Duration
+	// FreshnessSLO is the time-to-searchable budget (default 500ms).
+	FreshnessSLO time.Duration
+	// Compaction attaches the adaptive controller's cheap-compaction
+	// action: drift triggers below the escalation thresholds run a
+	// re-encode + tombstone purge instead of a full Algorithm-1
+	// re-partition. Requires the vLiteRAG runtime.
+	Compaction bool
+	// EscalateSkew / EscalateResidual tune the controller's
+	// compaction-vs-rebuild thresholds (zero keeps the adapt package
+	// defaults; negative disables the compaction shortcut). Runs whose
+	// insert stream tracks a drifting query distribution carry an
+	// elevated residual floor by construction and may want the residual
+	// threshold above it.
+	EscalateSkew     float64
+	EscalateResidual float64
+}
+
+// active reports whether any mutation stream is configured.
+func (io *IngestOptions) active() bool {
+	return io.InsertRate > 0 || io.DeleteRate > 0 ||
+		io.InsertSchedule != nil || io.DeleteSchedule != nil
+}
+
+// validate rejects malformed ingest knobs and fills defaults.
+func (io *IngestOptions) validate() error {
+	if io.InsertRate < 0 || io.DeleteRate < 0 {
+		return fmt.Errorf("rag: negative ingest rate (insert %v, delete %v)", io.InsertRate, io.DeleteRate)
+	}
+	if io.ReencodeEvery < 0 {
+		return fmt.Errorf("rag: negative re-encode interval %v", io.ReencodeEvery)
+	}
+	for _, s := range []workload.Schedule{io.InsertSchedule, io.DeleteSchedule} {
+		if s != nil {
+			if err := workload.ValidateSchedule(s); err != nil {
+				return fmt.Errorf("rag: %w", err)
+			}
+		}
+	}
+	if io.ReencodeEvery == 0 {
+		io.ReencodeEvery = 25 * time.Second
+	}
+	if io.FreshnessSLO == 0 {
+		io.FreshnessSLO = 500 * time.Millisecond
+	}
+	return nil
+}
+
+// LiveOptions configures a live-corpus run: the usual serving options
+// plus the mutation streams.
+type LiveOptions struct {
+	Options
+	Ingest IngestOptions
+	// Monitor tunes the compaction controller's drift detection (used
+	// only when Ingest.Compaction is set); zero fields derive defaults
+	// exactly as RunAdaptive does.
+	Monitor update.MonitorConfig
+}
+
+// LiveResult extends a run result with the ingest-side record.
+type LiveResult struct {
+	Result
+	// Freshness summarizes time-to-searchable over the mutation log
+	// (warmup excluded), against Ingest.FreshnessSLO.
+	Freshness metrics.Freshness
+	// FreshnessSLO echoes the budget the summary was computed against.
+	FreshnessSLO time.Duration
+	// Mutations is the applied-mutation log in arrival order — value
+	// snapshots, the ingest twin of Result.Requests.
+	Mutations []workload.Mutation
+	// Reencodes counts completed background folds; Compactions counts
+	// controller-driven compaction cycles.
+	Reencodes   int
+	Compactions int
+	// SizeSkew and ResidualRatio are the drift trackers' final readings.
+	SizeSkew      float64
+	ResidualRatio float64
+	// Rebuilds holds the compaction controller's cycle records (empty
+	// without Compaction); compaction cycles carry Compaction == true.
+	Rebuilds []adapt.RebuildRecord
+}
+
+// RunLive executes one live-corpus evaluation point: the serving
+// pipeline of Run with a streaming-ingest subsystem sharing its DES
+// timeline. Mutation streams feed a serial ingest station that routes
+// inserts into per-cluster append buffers and resolves deletes into
+// tombstones; the retrieval engines price every scan through the live
+// overlay (raw pending costs dominate until the periodic re-encode
+// folds them into PQ appends); and with Compaction set, the adaptive
+// controller answers drift triggers with a cheap re-encode + purge,
+// escalating to the full Algorithm-1 re-partition only past the skew
+// thresholds.
+//
+// With no ingest configured the run is exactly Run — same events, same
+// bytes — so frozen-corpus results are unchanged by construction.
+// Everything schedules on the one shared timeline, so results are
+// bit-identical for any Workers value, like every other run mode.
+func RunLive(opts LiveOptions) (*LiveResult, error) {
+	if opts.Kind == "" {
+		opts.Kind = VLiteRAG
+	}
+	if err := opts.Ingest.validate(); err != nil {
+		return nil, err
+	}
+	if !opts.Ingest.active() {
+		res, err := Run(opts.Options)
+		if err != nil {
+			return nil, err
+		}
+		return &LiveResult{Result: *res, FreshnessSLO: opts.Ingest.FreshnessSLO}, nil
+	}
+	if opts.Ingest.Compaction && opts.Kind != VLiteRAG {
+		return nil, fmt.Errorf("rag: compaction needs the hot-swappable vLiteRAG runtime, got %s", opts.Kind)
+	}
+	if opts.resilient() {
+		return nil, fmt.Errorf("rag: live ingest runs single-node — fault injection needs RunCluster")
+	}
+	sloTotal, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profileFor(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	cpuModel := costmodel.NewSearchModel(opts.Node.CPU, opts.W.Spec)
+	d, err := decide(opts.Options, prof, cpuModel)
+	if err != nil {
+		return nil, err
+	}
+
+	var sim des.Sim
+	store := ingest.NewStore(opts.W)
+	ing := ingest.New(ingest.Config{
+		Sim:           &sim,
+		Store:         store,
+		Node:          opts.Node,
+		ReencodeEvery: opts.Ingest.ReencodeEvery,
+		Horizon:       des.Time(opts.Duration + opts.Drain),
+	})
+
+	// Mutation sources: seeds split off the run seed on their own stream
+	// IDs, so the request stream (Seed+7) and the profiling sample
+	// (Seed+1) are untouched — the frozen half of a frozen-vs-live A/B
+	// replays identically.
+	var aux []serve.Aux
+	if opts.Ingest.InsertRate > 0 || opts.Ingest.InsertSchedule != nil {
+		g := workload.NewMutationGen(opts.W, workload.MutInsert,
+			opts.Ingest.InsertRate, opts.Ingest.InsertSchedule, 0, rng.Stream(opts.Seed, 21))
+		aux = append(aux, serve.AuxFunc(func(s *des.Sim, until des.Time) { g.Start(s, until, ing.Submit) }))
+	}
+	if opts.Ingest.DeleteRate > 0 || opts.Ingest.DeleteSchedule != nil {
+		g := workload.NewMutationGen(opts.W, workload.MutDelete,
+			opts.Ingest.DeleteRate, opts.Ingest.DeleteSchedule, 0, rng.Stream(opts.Seed, 22))
+		aux = append(aux, serve.AuxFunc(func(s *des.Sim, until des.Time) { g.Start(s, until, ing.Submit) }))
+	}
+
+	// The compaction arm runs the adaptive controller with the ingester
+	// bound as its compactor; construction mirrors RunAdaptive.
+	var ctrl *adapt.Controller
+	if opts.Ingest.Compaction {
+		est, err := hitrate.NewEstimator(prof)
+		if err != nil {
+			return nil, err
+		}
+		perf, err := perfmodel.Fit(profiler.ProfileLatency(cpuModel, profiler.DefaultBatches()))
+		if err != nil {
+			return nil, err
+		}
+		mu0 := d.mu0
+		if mu0 == 0 {
+			if mu0, err = bareCapacity(opts.Node, opts.Model, opts.Node.NumGPUs, opts.Shape); err != nil {
+				return nil, err
+			}
+		}
+		mon := opts.Monitor
+		def := update.DefaultMonitorConfig()
+		if mon.WindowRequests == 0 {
+			rate := opts.Rate
+			if opts.RateSchedule != nil {
+				rate = opts.RateSchedule.MaxRate()
+			}
+			if mon.WindowRequests = int(rate * 10); mon.WindowRequests < 100 {
+				mon.WindowRequests = 100
+			}
+		}
+		if mon.SLOThreshold == 0 {
+			mon.SLOThreshold = def.SLOThreshold
+		}
+		if mon.HitRateDivergence == 0 {
+			mon.HitRateDivergence = def.HitRateDivergence
+		}
+		ctrl, err = adapt.NewController(adapt.Config{
+			Monitor:          mon,
+			ProfileQueries:   opts.ProfileQueries,
+			Epsilon:          opts.Epsilon,
+			EscalateSkew:     opts.Ingest.EscalateSkew,
+			EscalateResidual: opts.Ingest.EscalateResidual,
+		}, adapt.Inputs{
+			Sim:       &sim,
+			W:         opts.W,
+			Node:      opts.Node,
+			SLOTotal:  sloTotal,
+			SLOSearch: opts.SLOSearch,
+			Perf:      perf,
+			Mu0:       mu0,
+			MemKV:     nodeKVBytes(opts.Node, opts.Model),
+			Expected:  est.MeanHitRate(d.rho),
+			Seed:      opts.Seed + 13,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	pool := &workload.Pool{}
+	coll := serve.NewCollector()
+	retr, gen := stageBuilders(&sim, opts.Options, d, cpuModel, store)
+	terminal := serve.Tee(coll.Done, pool.Release)
+	if ctrl != nil {
+		terminal = serve.Tee(coll.Done, ctrl.Observe, pool.Release)
+	}
+	pipe, err := serve.Compose(&sim, terminal, serve.Admit(coll), retr, gen)
+	if err != nil {
+		return nil, err
+	}
+	if ctrl != nil {
+		hs, ok := pipe.Retrieval().Engine.(retrieval.HotSwapper)
+		if !ok {
+			return nil, fmt.Errorf("rag: engine %s is not hot-swappable", pipe.Retrieval().Engine.Name())
+		}
+		ctrl.Bind(hs)
+		ctrl.BindCompactor(ing)
+	}
+
+	defer installDrift(&sim, opts.Options)()
+	arr := arrivalsFor(opts.Options)
+	arr.SetPool(pool)
+	sec := beginServeSection()
+	pipe.RunAux(arr, opts.Duration, opts.Drain, aux...)
+	wall, allocs, bytes := sec.end()
+
+	res := &LiveResult{
+		Result: Result{
+			Kind: opts.Kind, Rate: opts.Rate, SLOTotal: sloTotal,
+			ServeWall: wall, ServeAllocs: allocs, ServeBytes: bytes,
+			Rho: d.rho, PlanBytes: d.planBytes, Mu0: d.mu0, Partition: d.partition,
+			Requests:  coll.Requests(),
+			Generated: coll.Admitted(),
+			AvgBatch:  pipe.Retrieval().AvgBatch(),
+			LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
+			Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+		},
+		FreshnessSLO:  opts.Ingest.FreshnessSLO,
+		Mutations:     ing.Log(),
+		Reencodes:     ing.Reencodes(),
+		Compactions:   ing.Compactions(),
+		SizeSkew:      store.SizeSkew(),
+		ResidualRatio: store.ResidualRatio(),
+	}
+	res.Freshness = metrics.SummarizeFreshness(res.Mutations, opts.Ingest.FreshnessSLO, des.Time(opts.Warmup))
+	if ctrl != nil {
+		res.Rebuilds = ctrl.Rebuilds()
+	}
+	return res, nil
+}

@@ -79,7 +79,7 @@ func runClusterResilient(opts Options, replicas int, policy serve.Policy) (*Clus
 	for i := range reps {
 		i := i
 		rep := serve.NewReplica()
-		retr, gen := stageBuilders(&sim, opts, d, cpuModel)
+		retr, gen := stageBuilders(&sim, opts, d, cpuModel, nil)
 		pipe, err := serve.Compose(&sim,
 			func(req *workload.Request) { router.Complete(i, req) },
 			retr, gen)

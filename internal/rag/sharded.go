@@ -90,7 +90,7 @@ func runClusterSharded(opts Options, replicas int, policy serve.Policy) (*Cluste
 	for i := 0; i < replicas; i++ {
 		sim := x.ReplicaSim(i)
 		repColl := serve.NewCollector()
-		retr, gen := stageBuilders(sim, opts, d, cpuModel)
+		retr, gen := stageBuilders(sim, opts, d, cpuModel, nil)
 		// Terminal: snapshot the record on the replica, then ship the
 		// request home — the notice must come last because ownership
 		// moves back to the front with it.

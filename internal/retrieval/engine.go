@@ -61,15 +61,45 @@ type HotSwapper interface {
 	SetShardRefreshing(shard int, on bool)
 }
 
+// LiveCost prices scan work against a live (mutating) corpus overlay:
+// the frozen Workload tables plus per-cluster deltas for raw pending
+// appends, encoded appends, and unpurged tombstones (see
+// internal/ingest.Store). A nil LiveCost keeps engines on the frozen
+// Workload path, bit-identical to a build without streaming ingest.
+type LiveCost interface {
+	ScanBytes(q dataset.QueryID, clusters []int) int64
+	ScanBytesAll(q dataset.QueryID) int64
+}
+
 // Config carries what every engine needs.
 type Config struct {
 	Sim      *des.Sim
 	W        *dataset.Workload
 	CPUModel costmodel.SearchModel
 	Forward  func(*workload.Request)
+	// Live, when set, overlays streaming-ingest scan costs on W's frozen
+	// tables; nil means the corpus is frozen.
+	Live LiveCost
 	// MaxBatch caps dynamic batch size (default 64, the bound the
 	// paper's HedraRAG comparison also uses).
 	MaxBatch int
+}
+
+// scanBytes prices one query's scan over the given clusters through
+// the live overlay when one is installed.
+func (c *Config) scanBytes(q dataset.QueryID, clusters []int) int64 {
+	if c.Live != nil {
+		return c.Live.ScanBytes(q, clusters)
+	}
+	return c.W.ScanBytes(q, clusters)
+}
+
+// scanBytesFull is scanBytes over a query's full probe set.
+func (c *Config) scanBytesFull(q dataset.QueryID) int64 {
+	if c.Live != nil {
+		return c.Live.ScanBytesAll(q)
+	}
+	return c.W.ScanBytesAll(q)
 }
 
 func (c *Config) maxBatch() int {
@@ -359,7 +389,7 @@ func (b *batcher) scanBytesAll(batch []*workload.Request) (per []int64, total in
 	}
 	per = b.scanBuf[:len(batch)]
 	for i, req := range batch {
-		per[i] = b.cfg.W.ScanBytesAll(req.Query)
+		per[i] = b.cfg.scanBytesFull(req.Query)
 		total += per[i]
 	}
 	return per, total

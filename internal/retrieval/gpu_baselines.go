@@ -86,11 +86,11 @@ func (e *GPUSharded) runBatch(batch []*workload.Request) {
 			if len(resident) == 0 {
 				continue
 			}
-			shardBytes[g] += w.ScanBytes(req.Query, resident)
+			shardBytes[g] += e.cfg.scanBytes(req.Query, resident)
 		}
-		miss := w.ScanBytes(req.Query, cpuClusters)
+		miss := e.cfg.scanBytes(req.Query, cpuClusters)
 		missTotal += miss
-		req.HitRate = servedHitRate(w.ScanBytesAll(req.Query), miss)
+		req.HitRate = servedHitRate(e.cfg.scanBytesFull(req.Query), miss)
 	}
 
 	end := tCQ

@@ -115,12 +115,12 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 				cpuClusters = append(cpuClusters, resident...)
 				continue
 			}
-			shardBytes[g] += w.ScanBytes(req.Query, resident)
+			shardBytes[g] += e.cfg.scanBytes(req.Query, resident)
 			shardBlocks[g] += len(resident) * e.blockScale
 		}
-		cpuWork[i] = w.ScanBytes(req.Query, cpuClusters)
+		cpuWork[i] = e.cfg.scanBytes(req.Query, cpuClusters)
 		missTotal += cpuWork[i]
-		req.HitRate = servedHitRate(w.ScanBytesAll(req.Query), cpuWork[i])
+		req.HitRate = servedHitRate(e.cfg.scanBytesFull(req.Query), cpuWork[i])
 	}
 
 	// GPU shard kernels start once CQ delivers the cluster lists.

@@ -19,6 +19,10 @@ type TenantSlot struct {
 	W        *dataset.Workload
 	Plan     *splitter.Plan
 	CPUModel costmodel.SearchModel
+	// Live, when set, overlays this tenant's streaming-ingest scan costs
+	// on W's frozen tables; nil means the tenant's corpus is frozen.
+	// Per-slot because each tenant mutates (or doesn't) independently.
+	Live LiveCost
 	// Priority orders the shared CPU cold scan within a batch (lower
 	// scans first): the CPU serializes miss work, and the §IV-B2
 	// callback mechanism completes each query at its prefix, so putting
@@ -30,6 +34,23 @@ type TenantSlot struct {
 	// thread-block count (NProbe/PhysNProbe), per tenant because the
 	// probe geometry is a corpus property.
 	blockScale int
+}
+
+// scanBytes prices a scan over clusters through the tenant's live
+// overlay when one is installed.
+func (s *TenantSlot) scanBytes(q dataset.QueryID, clusters []int) int64 {
+	if s.Live != nil {
+		return s.Live.ScanBytes(q, clusters)
+	}
+	return s.W.ScanBytes(q, clusters)
+}
+
+// scanBytesFull is scanBytes over the query's full probe set.
+func (s *TenantSlot) scanBytesFull(q dataset.QueryID) int64 {
+	if s.Live != nil {
+		return s.Live.ScanBytesAll(q)
+	}
+	return s.W.ScanBytesAll(q)
 }
 
 // MultiTenant is the hybrid engine generalized to N tenants sharing
@@ -142,12 +163,12 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 			if len(resident) == 0 {
 				continue
 			}
-			shardBytes[g] += s.W.ScanBytes(req.Query, resident)
+			shardBytes[g] += s.scanBytes(req.Query, resident)
 			shardBlocks[g] += len(resident) * s.blockScale
 		}
-		cpuWork[i] = s.W.ScanBytes(req.Query, cpuClusters)
+		cpuWork[i] = s.scanBytes(req.Query, cpuClusters)
 		missByTenant[e.slot(req)] += cpuWork[i]
-		req.HitRate = servedHitRate(s.W.ScanBytesAll(req.Query), cpuWork[i])
+		req.HitRate = servedHitRate(s.scanBytesFull(req.Query), cpuWork[i])
 	}
 
 	// GPU shard kernels start once CQ delivers the cluster lists; one

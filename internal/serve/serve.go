@@ -113,6 +113,31 @@ func (p *Pipeline) Generation() *Generation {
 // Run drives the arrival source into the pipeline for the given virtual
 // window and then lets the simulation drain.
 func (p *Pipeline) Run(arr *Arrivals, duration, drain time.Duration) {
+	p.RunAux(arr, duration, drain)
+}
+
+// Aux is an auxiliary event source started alongside the request
+// arrivals — e.g. a streaming-ingest mutation generator. Start must
+// schedule the source's events on sim, bounded by the until horizon.
+type Aux interface {
+	Start(sim *des.Sim, until des.Time)
+}
+
+// AuxFunc adapts a function to the Aux interface.
+type AuxFunc func(sim *des.Sim, until des.Time)
+
+// Start implements Aux.
+func (f AuxFunc) Start(sim *des.Sim, until des.Time) { f(sim, until) }
+
+// RunAux is Run with auxiliary sources sharing the pipeline's timeline:
+// each aux source starts before the first arrival fires, bounded by the
+// same generation horizon, and the drain window lets both request and
+// aux events settle. With no aux sources it is exactly Run — same event
+// sequence, bit-identical results.
+func (p *Pipeline) RunAux(arr *Arrivals, duration, drain time.Duration, aux ...Aux) {
+	for _, a := range aux {
+		a.Start(p.Sim, des.Time(duration))
+	}
 	arr.Start(p.Sim, des.Time(duration), p.Submit)
 	p.Sim.RunUntil(des.Time(duration + drain))
 }

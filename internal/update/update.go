@@ -187,6 +187,43 @@ func EstimateRebuild(node hw.Node, spec dataset.Spec, plan *splitter.Plan, calib
 	}
 }
 
+// InsertTime prices applying one live insert at logical scale: routing
+// the vector through coarse quantization (one single-query CQ pass —
+// the same centroid scan a query pays) plus the append-buffer write.
+func InsertTime(node hw.Node, spec dataset.Spec) time.Duration {
+	sm := costmodel.NewSearchModel(node.CPU, spec)
+	return sm.CQTime(1) + time.Millisecond
+}
+
+// DeleteTime prices applying one live delete: an ID lookup plus a
+// tombstone bit set — constant host work, independent of scale.
+func DeleteTime() time.Duration { return time.Millisecond }
+
+// ReencodeTime prices folding pending raw vectors into PQ codes: the
+// encoder streams each raw vector against the per-subspace codebooks,
+// whose distance computations cost several passes' worth of memory
+// traffic over the raw bytes rather than one. logicalVectors is the
+// pending count at paper scale.
+func ReencodeTime(node hw.Node, spec dataset.Spec, logicalVectors int64) time.Duration {
+	const base = 5 * time.Millisecond // scheduling + list splice
+	if logicalVectors <= 0 {
+		return base
+	}
+	const encodePasses = 8
+	raw := logicalVectors * int64(spec.Dim) * 4
+	return base + costmodel.SplitTime(node.CPU, raw*encodePasses)
+}
+
+// CompactionTime prices one cheap-compaction cycle: re-encode the
+// pending buffers plus an incremental rewrite that drops purged
+// tombstoned codes from the affected lists — the per-cluster
+// maintenance action that substitutes for a full re-partition while
+// skew stays low.
+func CompactionTime(node hw.Node, spec dataset.Spec, pendingLogical, purgedLogical int64) time.Duration {
+	purge := costmodel.SplitTime(node.CPU, purgedLogical*int64(spec.CodeBytes))
+	return ReencodeTime(node, spec, pendingLogical) + purge
+}
+
 // Validate sanity-checks a timing against the paper's deployability
 // claims: the full cycle completes within ~a minute and per-shard
 // loading within ten seconds.

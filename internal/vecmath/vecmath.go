@@ -300,6 +300,29 @@ func (b *BruteForcer) Clone() *BruteForcer {
 	return &BruteForcer{rows: b.rows, norms: b.norms, dim: b.dim}
 }
 
+// ScanMaskedInto pushes every live row into an external collector
+// under ids[i], skipping rows whose positional bit is set in dead
+// (bit i of dead[i/64]; an empty bitmap masks nothing). This is the
+// append-buffer scan of a live cluster: distances are reconstructed as
+// the true squared L2 (qnorm + norm score, clamped at zero), so they
+// merge into the same TopK as the PQ scan's approximate squared
+// distances. The scan allocates nothing.
+func (b *BruteForcer) ScanMaskedInto(top *TopK, q []float32, ids []int32, dead []uint64) {
+	qn := Norm2(q)
+	dim := b.dim
+	masked := len(dead) > 0
+	for i := 0; i*dim < len(b.rows); i++ {
+		if masked && dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		d := qn + b.norms[i] - 2*Dot(q, b.rows[i*dim:(i+1)*dim])
+		if d < 0 {
+			d = 0
+		}
+		top.Push(int(ids[i]), d)
+	}
+}
+
 // AppendTopK appends the k nearest rows to q (ascending distance) to
 // dst and returns it. Neighbor distances are reconstructed as
 // qnorm + score, clamped at zero; with a dst of sufficient capacity the

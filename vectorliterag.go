@@ -65,6 +65,9 @@ type (
 	RebuildRecord = adapt.RebuildRecord
 	// AttainmentWindow is one bucket of an attainment-over-time series.
 	AttainmentWindow = metrics.Window
+	// Freshness summarizes a live-ingest run's time-to-searchable — the
+	// freshness twin of the TTFT summary.
+	Freshness = metrics.Freshness
 	// Tier is an SLO service class (GoldTier, SilverTier, BronzeTier)
 	// ordering both the joint allocator's weighting and the
 	// FairScheduler's dispatch priority.
@@ -303,6 +306,10 @@ type ServeOptions struct {
 	Model ModelSpec
 	// Duration is the virtual arrival window (default 120 s).
 	Duration time.Duration
+	// Drain extends the run past the arrival window so queued work —
+	// requests, pending mutations, an in-flight background rebuild —
+	// can finish (default 120 s).
+	Drain time.Duration
 	// Shape defaults to the paper's 1024/256 geometry.
 	Shape Shape
 	// SLOSearch overrides the dataset SLO; SLOGen overrides the measured
@@ -368,6 +375,7 @@ func ragOptions(opts ServeOptions) rag.Options {
 	ro := rag.Options{
 		Node: opts.Node, Model: opts.Model, W: opts.Workload,
 		Kind: opts.System, Rate: opts.Rate, Duration: opts.Duration,
+		Drain: opts.Drain,
 		Shape: opts.Shape, SLOSearch: opts.SLOSearch, SLOGen: opts.SLOGen,
 		DisableDispatcher: opts.DisableDispatcher, Seed: opts.Seed,
 		Drift: opts.Drift, RateSchedule: opts.RateSchedule,
@@ -453,6 +461,124 @@ func ServeAdaptive(opts AdaptiveServeOptions) (*AdaptiveReport, error) {
 		ExpectedHitRate: res.ExpectedHitRate,
 		Rebuilds:        res.Rebuilds,
 		Pending:         res.Pending,
+	}, nil
+}
+
+// LiveIngestOptions configures the streaming-ingest side of a live
+// serving run: insert/delete mutation streams on the serving timeline,
+// the background re-encode cadence, and the freshness SLO.
+type LiveIngestOptions struct {
+	// InsertRate and DeleteRate are constant mutation rates in
+	// mutations per virtual second.
+	InsertRate float64
+	DeleteRate float64
+	// InsertSchedule / DeleteSchedule drive the streams as time-varying
+	// (inhomogeneous Poisson) processes, overriding the constant rates.
+	InsertSchedule RateSchedule
+	DeleteSchedule RateSchedule
+	// ReencodeEvery is the background fold cadence: pending raw-vector
+	// appends re-encode into PQ codes every such interval (default 25s).
+	ReencodeEvery time.Duration
+	// FreshnessSLO is the time-to-searchable budget (default 500ms).
+	FreshnessSLO time.Duration
+	// Compaction lets the adaptive controller answer drift triggers
+	// with a cheap re-encode + tombstone purge, escalating to the full
+	// re-partition only past the skew thresholds (VLiteRAG only).
+	Compaction bool
+	// EscalateSkew / EscalateResidual tune the compaction-vs-rebuild
+	// thresholds (zero keeps the defaults; negative disables the
+	// compaction shortcut).
+	EscalateSkew     float64
+	EscalateResidual float64
+}
+
+// LiveServeOptions configures a live-corpus serving run.
+type LiveServeOptions struct {
+	ServeOptions
+	Ingest LiveIngestOptions
+	// Monitor tunes the compaction controller's drift detection (only
+	// used with Ingest.Compaction).
+	Monitor MonitorConfig
+	// TimelineBucket sets the attainment-over-time resolution (default
+	// 30s).
+	TimelineBucket time.Duration
+}
+
+// LiveReport is the outcome of one live-corpus serving run: the usual
+// serving report plus the freshness summary, with the Timeline's
+// windows carrying per-window insert counts and freshness attainment
+// next to the request attainment.
+type LiveReport struct {
+	Report
+	// Freshness aggregates time-to-searchable over the run's mutations.
+	Freshness Freshness
+	// FreshnessSLO echoes the budget Freshness was computed against.
+	FreshnessSLO time.Duration
+	// Mutations counts applied mutations; Reencodes counts background
+	// folds; Compactions counts controller-driven compaction cycles.
+	Mutations   int
+	Reencodes   int
+	Compactions int
+	// SizeSkew and ResidualRatio are the drift trackers' final readings
+	// (live cluster-size skew over the built partition's; insert
+	// residual norm over the corpus baseline).
+	SizeSkew      float64
+	ResidualRatio float64
+	// Rebuilds is the compaction controller's cycle record (empty
+	// without Compaction); compaction cycles carry Compaction == true.
+	Rebuilds []RebuildRecord
+}
+
+// ServeLive runs the end-to-end pipeline over a live, mutating corpus:
+// insert/delete streams feed a serial ingest station on the same
+// simulated timeline, new vectors serve from brute-force-scanned
+// append buffers until the periodic re-encode folds them into PQ
+// codes, deletes serve through tombstone bitmaps, and every engine
+// scan is priced through the live cost overlay. With no ingest
+// configured it is exactly Serve.
+func ServeLive(opts LiveServeOptions) (*LiveReport, error) {
+	lo := rag.LiveOptions{
+		Options: ragOptions(opts.ServeOptions),
+		Ingest: rag.IngestOptions{
+			InsertRate:       opts.Ingest.InsertRate,
+			DeleteRate:       opts.Ingest.DeleteRate,
+			InsertSchedule:   opts.Ingest.InsertSchedule,
+			DeleteSchedule:   opts.Ingest.DeleteSchedule,
+			ReencodeEvery:    opts.Ingest.ReencodeEvery,
+			FreshnessSLO:     opts.Ingest.FreshnessSLO,
+			Compaction:       opts.Ingest.Compaction,
+			EscalateSkew:     opts.Ingest.EscalateSkew,
+			EscalateResidual: opts.Ingest.EscalateResidual,
+		},
+		Monitor: opts.Monitor,
+	}
+	res, err := rag.RunLive(lo)
+	if err != nil {
+		return nil, err
+	}
+	bucket := opts.TimelineBucket
+	if bucket <= 0 {
+		bucket = defaultTimelineBucket
+	}
+	wins := metrics.Timeline(res.Requests, res.SLOTotal, bucket)
+	metrics.AnnotateFreshness(wins, res.Mutations, res.FreshnessSLO, bucket)
+	return &LiveReport{
+		Report: Report{
+			Summary:  res.Summary,
+			SLOTotal: res.SLOTotal,
+			Rho:      res.Rho,
+			AvgBatch: res.AvgBatch,
+			Mu0:      res.Mu0,
+			Timeline: wins,
+		},
+		Freshness:     res.Freshness,
+		FreshnessSLO:  res.FreshnessSLO,
+		Mutations:     len(res.Mutations),
+		Reencodes:     res.Reencodes,
+		Compactions:   res.Compactions,
+		SizeSkew:      res.SizeSkew,
+		ResidualRatio: res.ResidualRatio,
+		Rebuilds:      res.Rebuilds,
 	}, nil
 }
 

@@ -146,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 22 {
-		t.Fatalf("got %d experiments, want 22: %v", len(names), names)
+	if len(names) != 23 {
+		t.Fatalf("got %d experiments, want 23: %v", len(names), names)
 	}
 	_, err := vlr.RunExperiment("nope", true)
 	if err == nil {
@@ -271,5 +271,102 @@ func TestServeTenantsAPI(t *testing.T) {
 	// Validation propagates.
 	if _, err := vlr.ServeTenants(vlr.MultiTenantServeOptions{}); err == nil {
 		t.Fatal("empty tenant set accepted")
+	}
+}
+
+func TestServeLiveAPI(t *testing.T) {
+	w := smallWorkload(t, vlr.Orcas1K)
+	opts := vlr.ServeOptions{
+		Workload: w, System: vlr.VLiteRAG, Rate: 15, Seed: 1,
+		Duration: 40 * time.Second, Drain: 20 * time.Second,
+	}
+	rep, err := vlr.ServeLive(vlr.LiveServeOptions{
+		ServeOptions: opts,
+		Ingest: vlr.LiveIngestOptions{
+			InsertRate: 3, DeleteRate: 1,
+			ReencodeEvery: 10 * time.Second, FreshnessSLO: 500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.N == 0 || rep.Summary.Attainment <= 0 {
+		t.Fatalf("empty report %+v", rep.Summary)
+	}
+	if rep.Freshness.Inserts == 0 || rep.Freshness.Deletes == 0 {
+		t.Fatalf("no mutations recorded: %+v", rep.Freshness)
+	}
+	if rep.Freshness.TTS.P50 <= 0 || rep.FreshnessSLO != 500*time.Millisecond {
+		t.Fatalf("freshness summary wrong: %+v (SLO %v)", rep.Freshness, rep.FreshnessSLO)
+	}
+	// Freshness excludes warmup arrivals; the raw count covers them all.
+	if rep.Mutations < rep.Freshness.Inserts+rep.Freshness.Deletes {
+		t.Fatalf("mutation count %d below freshness window's %d+%d",
+			rep.Mutations, rep.Freshness.Inserts, rep.Freshness.Deletes)
+	}
+	if rep.Reencodes == 0 || rep.SizeSkew <= 0 || rep.ResidualRatio <= 0 {
+		t.Fatalf("live trackers empty: reencodes %d, skew %v, residual %v",
+			rep.Reencodes, rep.SizeSkew, rep.ResidualRatio)
+	}
+	inserts := 0
+	for _, win := range rep.Timeline {
+		inserts += win.Inserts
+	}
+	if inserts == 0 {
+		t.Fatal("timeline windows carry no insert annotations")
+	}
+	// No ingest configured ⇒ exactly Serve.
+	frozen, err := vlr.ServeLive(vlr.LiveServeOptions{ServeOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := vlr.Serve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen.Summary != plain.Summary || frozen.Mutations != 0 {
+		t.Fatalf("frozen live run differs from Serve: %+v vs %+v", frozen.Summary, plain.Summary)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if got := vlr.Systems(); len(got) != 4 {
+		t.Fatalf("Systems() = %v", got)
+	}
+	if got := vlr.AllSystems(); len(got) != 5 {
+		t.Fatalf("AllSystems() = %v", got)
+	}
+	fs, err := vlr.ParseFaults("crash@20s:r0:10s")
+	if err != nil || len(fs) != 1 || fs[0].Kind != vlr.CrashFault {
+		t.Fatalf("ParseFaults: %v, %v", fs, err)
+	}
+	if _, err := vlr.ParseFaults("nonsense"); err == nil {
+		t.Fatal("bad fault grammar accepted")
+	}
+	rf := vlr.RandomFaults(7, 3, time.Minute, 4)
+	if len(rf) != 4 {
+		t.Fatalf("RandomFaults produced %d events", len(rf))
+	}
+	rf2 := vlr.RandomFaults(7, 3, time.Minute, 4)
+	for i := range rf {
+		if rf[i] != rf2[i] {
+			t.Fatal("RandomFaults not deterministic per seed")
+		}
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	out, err := vlr.RunExperimentCSV("ingest", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arm,attainment") || !strings.Contains(out, "streaming+compaction") {
+		t.Fatalf("CSV output malformed: %q", out)
+	}
+	if _, err := vlr.RunExperimentCSV("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := vlr.RunExperimentCSV("tab1", true); err == nil {
+		t.Fatal("experiment without CSV exporter accepted")
 	}
 }
