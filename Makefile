@@ -9,9 +9,9 @@ FUZZTIME ?= 5s
 # Coverage ratchet: `make cover-check` fails below this total (the
 # measured baseline at the time the gate was added was 76.6%; the
 # resilience layer raised it to 77.3%, the streaming-ingest layer to
-# 79.4%). Raise it when coverage improves; never lower it to make CI
-# pass.
-COVER_MIN ?= 78.0
+# 79.4%, and the mixed-precision layer to 79.9%). Raise it when
+# coverage improves; never lower it to make CI pass.
+COVER_MIN ?= 78.5
 
 .PHONY: verify build test vet lint race bench bench-search bench-serve bench-smoke scaling-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
@@ -65,6 +65,7 @@ bench-smoke:
 	$(GO) run ./cmd/vliterag run -exp bench-serve -quick
 	$(GO) run ./cmd/vliterag run -exp faults -quick
 	$(GO) run ./cmd/vliterag run -exp ingest -quick
+	$(GO) run ./cmd/vliterag run -exp precision -quick
 
 # Wall-clock scaling assertion for the parallel sharded engine: a
 # replicated cluster run must finish >=1.5x faster on 4 workers than on
@@ -90,6 +91,10 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzScanCodesIDs$$' -fuzztime=$(FUZZTIME) ./internal/pq
 	$(GO) test -run=NONE -fuzz='^FuzzScanCodesMasked$$' -fuzztime=$(FUZZTIME) ./internal/pq
 	$(GO) test -run=NONE -fuzz='^FuzzScanCodesIDsMasked$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzScanSQ$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzScanSQIDs$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzScanSQMasked$$' -fuzztime=$(FUZZTIME) ./internal/pq
+	$(GO) test -run=NONE -fuzz='^FuzzScanSQIDsMasked$$' -fuzztime=$(FUZZTIME) ./internal/pq
 	$(GO) test -run=NONE -fuzz='^FuzzTopK$$' -fuzztime=$(FUZZTIME) ./internal/vecmath
 
 # Per-package coverage plus the total.

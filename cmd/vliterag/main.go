@@ -237,6 +237,9 @@ func serveCmd(args []string) error {
 	ingestRate := fs.Float64("ingest-rate", 4, "insert rate in vectors/s (with -ingest)")
 	deleteRate := fs.Float64("delete-rate", 1, "delete rate in vectors/s (with -ingest)")
 	reencodeEvery := fs.Duration("reencode-every", 25*time.Second, "background PQ re-encode cadence (with -ingest)")
+	precision := fs.Bool("precision", false, "vLiteRAG joint placement x precision: SQ8-upgrade hot clusters within leftover HBM, demote coldest clusters to the modeled NVMe tier")
+	sqBudget := fs.Float64("sq-budget", 0, "SQ8 upgrade budget as a fraction of leftover HBM (with -precision; 0 = default 0.10)")
+	nvmeShare := fs.Float64("nvme-share", 0, "coldest access share demoted to NVMe (with -precision; 0 = default 0.02)")
 	prof := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -291,6 +294,12 @@ func serveCmd(args []string) error {
 	if *ingest && *tenants > 0 {
 		return fmt.Errorf("-tenants is its own serving mode; drop -ingest")
 	}
+	if *precision && vlr.System(*system) != vlr.VLiteRAG {
+		return fmt.Errorf("-precision refines the vLiteRAG placement, not %s", *system)
+	}
+	if (*sqBudget != 0 || *nvmeShare != 0) && !*precision {
+		return fmt.Errorf("-sq-budget/-nvme-share tune the -precision refinement; add -precision")
+	}
 	if *tenants > 0 {
 		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo,
 			*replicas, *workers, *netDelay, vlr.RoutePolicy(*policy), prof)
@@ -322,6 +331,9 @@ func serveCmd(args []string) error {
 		Node: node, Model: m, Duration: *dur, Seed: *seed,
 		SLOSearch: *slo, Drift: drift, RateSchedule: sched,
 		Workers: *workers, NetDelay: *netDelay,
+	}
+	if *precision {
+		so.Precision = &vlr.PrecisionOptions{SQBudgetFrac: *sqBudget, NVMeColdShare: *nvmeShare}
 	}
 	var rep *vlr.Report
 	var perReplica []vlr.ReplicaReport
@@ -383,6 +395,10 @@ func serveCmd(args []string) error {
 	fmt.Printf("  breakdown       queue %v  search %v  llm-wait %v  prefill %v\n",
 		s.Breakdown.Queueing, s.Breakdown.Search, s.Breakdown.LLMWait, s.Breakdown.Prefill)
 	fmt.Printf("  retrieval       rho %.3f  avg batch %.1f\n", rep.Rho, rep.AvgBatch)
+	if *precision {
+		fmt.Printf("  precision       %d SQ8 clusters  %d NVMe clusters  recall gain +%.3f pts\n",
+			rep.SQClusters, rep.NVMeClusters, 100*rep.RecallGain)
+	}
 	for i, r := range perReplica {
 		if resRep != nil {
 			// Resilient runs report per-replica routing only: retries and

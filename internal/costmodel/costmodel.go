@@ -37,6 +37,21 @@ const FastScanSpeedup = 5.0
 // the two at the same order of magnitude, build somewhat smaller).
 const LUTBuildFraction = 0.35
 
+// SQStreamEfficiency is the fraction of raw HBM bandwidth an SQ8
+// streaming scan kernel sustains. Unlike the PQ kernel — whose
+// LUT-gather inner loop is bound far below DRAM speed, hence the
+// separate calibrated GPU.ScanBWBytes — the SQ8 distance kernel reads
+// codes coalesced with no table gathers, the access pattern that
+// approaches peak memory bandwidth on modern GPUs; 0.5 leaves room for
+// the multiply-accumulate and top-k maintenance.
+const SQStreamEfficiency = 0.5
+
+// SQBlockCostFraction discounts the per-thread-block scheduling cost
+// for SQ8 scans: the PQ BlockCost includes staging the per-query LUT
+// into shared memory for every block, which the SQ8 kernel does not do
+// (it only loads the per-dim min/max vectors once per query).
+const SQBlockCostFraction = 0.25
+
 // cqThreadsPerQuery bounds intra-query parallelism of coarse
 // quantization (graph-traversal-style search parallelizes worse than
 // LUT scans).
@@ -151,6 +166,41 @@ func (g GPUScanModel) ShardScanTime(totalBytes int64, blocks int) time.Duration 
 	sec := g.GPU.KernelLaunch +
 		float64(blocks)*g.GPU.BlockCost +
 		float64(totalBytes)/g.GPU.ScanBWBytes
+	return dur(sec)
+}
+
+// ShardScanTimeSQ prices the SQ8 counterpart of ShardScanTime: the
+// same launch and per-block scheduling structure, but blocks are
+// cheaper (no LUT staging, see SQBlockCostFraction) and bytes stream
+// at SQStreamEfficiency of raw HBM bandwidth instead of the
+// gather-bound PQ scan rate. totalBytes is bytes of SQ8 codes, which
+// run ~4x the PQ bytes for the same vectors.
+func (g GPUScanModel) ShardScanTimeSQ(totalBytes int64, blocks int) time.Duration {
+	if totalBytes <= 0 && blocks <= 0 {
+		return 0
+	}
+	sec := g.GPU.KernelLaunch +
+		float64(blocks)*g.GPU.BlockCost*SQBlockCostFraction +
+		float64(totalBytes)/(SQStreamEfficiency*g.GPU.MemBWBytes)
+	return dur(sec)
+}
+
+// NVMeScanTime prices fetching cold PQ clusters from the SSD tier so
+// the CPU can scan them: each cluster is one sequential read paying
+// the page-read latency once (subsequent pages of the same cluster
+// stream behind it), and the total bytes — rounded up to page
+// granularity per cluster — stream at the drive's sequential rate.
+// This is *additive* to the CPU LUT time for those bytes: the codes
+// must land in DRAM before the fast-scan kernel can touch them.
+func NVMeScanTime(n hw.NVMe, totalBytes int64, clusters int) time.Duration {
+	if totalBytes <= 0 || clusters <= 0 || n.ReadBWBytes <= 0 {
+		return 0
+	}
+	pages := (totalBytes + n.PageBytes - 1) / n.PageBytes
+	if pages < int64(clusters) {
+		pages = int64(clusters) // at least one page read per cluster
+	}
+	sec := float64(clusters)*n.PageLatency + float64(pages*n.PageBytes)/n.ReadBWBytes
 	return dur(sec)
 }
 

@@ -1,0 +1,73 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"vectorliterag/internal/hw"
+)
+
+func TestShardScanTimeSQZero(t *testing.T) {
+	g := GPUScanModel{GPU: hw.H100()}
+	if got := g.ShardScanTimeSQ(0, 0); got != 0 {
+		t.Fatalf("empty SQ kernel time = %v", got)
+	}
+}
+
+func TestSQStreamsFasterThanPQGather(t *testing.T) {
+	// The point of the codec upgrade: SQ8 codes are ~4x the bytes but the
+	// gather-free streaming kernel beats the LUT-gather PQ scan even at
+	// that handicap, so upgrades shorten GPU busy windows.
+	g := GPUScanModel{GPU: hw.H100()}
+	bytes := int64(100 << 20)
+	blocks := 1024
+	pq := g.ShardScanTime(bytes, blocks)
+	sq := g.ShardScanTimeSQ(4*bytes, blocks)
+	if sq >= pq {
+		t.Fatalf("SQ scan of 4x bytes (%v) not below PQ scan (%v)", sq, pq)
+	}
+	// And per-block overhead is cheaper too: equal bytes, more blocks.
+	if g.ShardScanTimeSQ(bytes, 2048) >= g.ShardScanTime(bytes, 2048) {
+		t.Fatal("SQ per-block cost not below PQ at equal bytes")
+	}
+}
+
+func TestShardScanTimeSQMonotone(t *testing.T) {
+	g := GPUScanModel{GPU: hw.H100()}
+	if g.ShardScanTimeSQ(2<<20, 16) >= g.ShardScanTimeSQ(64<<20, 16) {
+		t.Fatal("SQ scan not monotone in bytes")
+	}
+	if g.ShardScanTimeSQ(2<<20, 16) >= g.ShardScanTimeSQ(2<<20, 512) {
+		t.Fatal("SQ scan not monotone in blocks")
+	}
+}
+
+func TestNVMeScanTimeZeroAndValidation(t *testing.T) {
+	n := hw.DataCenterNVMe()
+	if NVMeScanTime(n, 0, 0) != 0 || NVMeScanTime(n, 1<<20, 0) != 0 || NVMeScanTime(n, 0, 3) != 0 {
+		t.Fatal("degenerate NVMe scans not free")
+	}
+	if NVMeScanTime(hw.NVMe{}, 1<<20, 1) != 0 {
+		t.Fatal("zero-bandwidth device did not price to zero")
+	}
+}
+
+func TestNVMeScanTimePageRounding(t *testing.T) {
+	n := hw.DataCenterNVMe()
+	// One byte still pays a full page read plus the per-cluster latency.
+	got := NVMeScanTime(n, 1, 1)
+	want := time.Duration((n.PageLatency + float64(n.PageBytes)/n.ReadBWBytes) * float64(time.Second))
+	if got != want {
+		t.Fatalf("one-byte fetch = %v, want one page %v", got, want)
+	}
+	// Each cluster pays its own seek: same bytes, more clusters, more time.
+	if NVMeScanTime(n, 8<<20, 2) >= NVMeScanTime(n, 8<<20, 16) {
+		t.Fatal("per-cluster page latency not billed")
+	}
+	// And at least one page per cluster even when bytes round to fewer.
+	few := NVMeScanTime(n, 1, 8)
+	wantMin := time.Duration((8*n.PageLatency + float64(8*n.PageBytes)/n.ReadBWBytes) * float64(time.Second))
+	if few != wantMin {
+		t.Fatalf("8-cluster minimum = %v, want %v", few, wantMin)
+	}
+}

@@ -39,6 +39,23 @@ type ServeBenchRow struct {
 	// a parallel speedup.
 	Workers    int `json:"workers"`
 	GoMaxProcs int `json:"gomaxprocs"`
+	// Attainment and RecallGainPts record the serving-quality side of
+	// the row, so BENCH_serve.json carries recall-vs-attainment points
+	// alongside throughput. Both are omitted for rows that predate the
+	// fields; RecallGainPts is nonzero only for precision-refined runs.
+	Attainment    float64 `json:"attainment,omitempty"`
+	RecallGainPts float64 `json:"recall_gain_pts,omitempty"`
+}
+
+// serveRunStats is one serving run's measurement, as reported by a
+// serveBenchCase closure.
+type serveRunStats struct {
+	n      int
+	wall   time.Duration
+	allocs uint64
+	bytes  uint64
+	att    float64
+	gain   float64 // recall points
 }
 
 // ServeBenchResult is the bench-serve sweep: one row per serving
@@ -65,7 +82,7 @@ type serveBenchCase struct {
 	simSec  float64
 	workers int // worker goroutines executing the run (1 = sequential)
 	reps    int // 0 = the sweep default
-	run     func() (int, time.Duration, uint64, uint64, error)
+	run     func() (serveRunStats, error)
 }
 
 // serveBenchCases assembles the four serving scenarios. The tenants
@@ -85,6 +102,8 @@ func serveBenchCases(cfg Config) ([]serveBenchCase, error) {
 	}
 	cluster := single
 	cluster.Rate = 60
+	precision := cluster
+	precision.Precision = &rag.PrecisionOptions{}
 	adaptive := rag.AdaptiveOptions{Options: single}
 	adaptive.Rate = 20
 	adaptive.Drift = []dataset.DriftEvent{{At: 40 * time.Second, Rotate: w.DefaultDriftRotation()}}
@@ -93,33 +112,48 @@ func serveBenchCases(cfg Config) ([]serveBenchCase, error) {
 		return nil, err
 	}
 	cases := []serveBenchCase{
-		{name: "single_vliterag_30rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "single_vliterag_30rps", simSec: simSec, workers: 1, run: func() (serveRunStats, error) {
 			r, err := rag.Run(single)
 			if err != nil {
-				return 0, 0, 0, 0, err
+				return serveRunStats{}, err
 			}
-			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+			return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+				bytes: r.ServeBytes, att: r.Summary.Attainment}, nil
 		}},
-		{name: "cluster_x2_least_loaded_60rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "cluster_x2_least_loaded_60rps", simSec: simSec, workers: 1, run: func() (serveRunStats, error) {
 			r, err := rag.RunCluster(cluster, 2, "least-loaded")
 			if err != nil {
-				return 0, 0, 0, 0, err
+				return serveRunStats{}, err
 			}
-			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+			return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+				bytes: r.ServeBytes, att: r.Summary.Attainment}, nil
 		}},
-		{name: "adaptive_drift_20rps", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
+		// The same cluster with the (tier, codec) refinement: the row pairs
+		// its recall gain with attainment, so BENCH_serve.json tracks the
+		// quality trade alongside the throughput trajectory.
+		{name: "cluster_x2_precision_60rps", simSec: simSec, workers: 1, run: func() (serveRunStats, error) {
+			r, err := rag.RunCluster(precision, 2, "least-loaded")
+			if err != nil {
+				return serveRunStats{}, err
+			}
+			return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+				bytes: r.ServeBytes, att: r.Summary.Attainment, gain: 100 * r.RecallGain}, nil
+		}},
+		{name: "adaptive_drift_20rps", simSec: simSec, workers: 1, run: func() (serveRunStats, error) {
 			r, err := rag.RunAdaptive(adaptive)
 			if err != nil {
-				return 0, 0, 0, 0, err
+				return serveRunStats{}, err
 			}
-			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+			return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+				bytes: r.ServeBytes, att: r.Summary.Attainment}, nil
 		}},
-		{name: "tenants_quick_fair", simSec: simSec, workers: 1, run: func() (int, time.Duration, uint64, uint64, error) {
+		{name: "tenants_quick_fair", simSec: simSec, workers: 1, run: func() (serveRunStats, error) {
 			r, err := rag.RunMultiTenant(tenants)
 			if err != nil {
-				return 0, 0, 0, 0, err
+				return serveRunStats{}, err
 			}
-			return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+			return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+				bytes: r.ServeBytes, att: r.Attainment}, nil
 		}},
 	}
 	return append(cases, fleetBenchCases(cfg, single)...), nil
@@ -163,12 +197,13 @@ func fleetBenchCases(cfg Config, single rag.Options) []serveBenchCase {
 			simSec:  simSec,
 			workers: w,
 			reps:    1, // fleet rows are long; schedule is deterministic, wall noise amortizes
-			run: func() (int, time.Duration, uint64, uint64, error) {
+			run: func() (serveRunStats, error) {
 				r, err := rag.RunCluster(opts, replicas, "least-loaded")
 				if err != nil {
-					return 0, 0, 0, 0, err
+					return serveRunStats{}, err
 				}
-				return r.Generated, r.ServeWall, r.ServeAllocs, r.ServeBytes, nil
+				return serveRunStats{n: r.Generated, wall: r.ServeWall, allocs: r.ServeAllocs,
+					bytes: r.ServeBytes, att: r.Summary.Attainment}, nil
 			},
 		})
 	}
@@ -197,21 +232,23 @@ func BenchServe(cfg Config) (*ServeBenchResult, error) {
 		}
 		var best ServeBenchRow
 		for i := 0; i < crep; i++ {
-			n, wall, allocs, bytes, err := c.run()
+			s, err := c.run()
 			if err != nil {
 				return nil, fmt.Errorf("bench-serve %s: %w", c.name, err)
 			}
 			row := ServeBenchRow{
 				Config:        c.name,
-				Requests:      n,
+				Requests:      s.n,
 				SimSeconds:    c.simSec,
-				WallSeconds:   wall.Seconds(),
-				SimReqPerSec:  float64(n) / wall.Seconds(),
-				WallPerSimSec: wall.Seconds() / c.simSec,
-				AllocsPerReq:  float64(allocs) / float64(n),
-				BytesPerReq:   float64(bytes) / float64(n),
+				WallSeconds:   s.wall.Seconds(),
+				SimReqPerSec:  float64(s.n) / s.wall.Seconds(),
+				WallPerSimSec: s.wall.Seconds() / c.simSec,
+				AllocsPerReq:  float64(s.allocs) / float64(s.n),
+				BytesPerReq:   float64(s.bytes) / float64(s.n),
 				Workers:       c.workers,
 				GoMaxProcs:    runtime.GOMAXPROCS(0),
+				Attainment:    s.att,
+				RecallGainPts: s.gain,
 			}
 			if i == 0 || row.WallSeconds < best.WallSeconds {
 				best = row
@@ -259,7 +296,7 @@ func (r *ServeBenchResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "End-to-end serving benchmarks (%s/%s, GOMAXPROCS=%d)\n", r.GOOS, r.GOARCH, r.GoMaxProcs)
 	b.WriteString("wall time covers the simulation section (arrivals + event loop), best repetition\n")
-	t := &table{header: []string{"config", "workers", "requests", "sim-req/s", "wall/sim-s", "allocs/req", "B/req", "vs baseline"}}
+	t := &table{header: []string{"config", "workers", "requests", "sim-req/s", "wall/sim-s", "allocs/req", "B/req", "attain", "recall +pts", "vs baseline"}}
 	for _, row := range r.Rows {
 		speed := "n/a"
 		if base := r.baselineFor(row.Config); base != nil && base.SimReqPerSec > 0 {
@@ -272,6 +309,8 @@ func (r *ServeBenchResult) Render() string {
 			fmt.Sprintf("%.6f", row.WallPerSimSec),
 			fmt.Sprintf("%.2f", row.AllocsPerReq),
 			fmt.Sprintf("%.1f", row.BytesPerReq),
+			f3(row.Attainment),
+			f2(row.RecallGainPts),
 			speed)
 	}
 	b.WriteString(t.String())
@@ -299,11 +338,13 @@ func (r *ServeBenchResult) CSV() string {
 				fmt.Sprintf("%.8f", row.WallPerSimSec),
 				fmt.Sprintf("%.2f", row.AllocsPerReq),
 				fmt.Sprintf("%.1f", row.BytesPerReq),
+				fmt.Sprintf("%.4f", row.Attainment),
+				fmt.Sprintf("%.4f", row.RecallGainPts),
 			})
 		}
 	}
 	emit("baseline", r.Baseline)
 	emit("current", r.Rows)
 	return writeCSV([]string{"phase", "config", "workers", "gomaxprocs", "requests", "sim_seconds", "wall_seconds",
-		"sim_req_per_sec", "wall_per_sim_sec", "allocs_per_req", "bytes_per_req"}, rows)
+		"sim_req_per_sec", "wall_per_sim_sec", "allocs_per_req", "bytes_per_req", "attainment", "recall_gain_pts"}, rows)
 }

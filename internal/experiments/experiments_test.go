@@ -17,7 +17,8 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults", "ingest"}
+		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults", "ingest",
+		"precision"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -516,7 +517,8 @@ func TestBenchServeShape(t *testing.T) {
 	}
 	want := map[string]bool{
 		"single_vliterag_30rps": false, "cluster_x2_least_loaded_60rps": false,
-		"adaptive_drift_20rps": false, "tenants_quick_fair": false,
+		"cluster_x2_precision_60rps": false,
+		"adaptive_drift_20rps":       false, "tenants_quick_fair": false,
 		// Quick mode's sharded fleet: the same schedule executed
 		// sequentially and on 2 workers, so CI exercises the parallel
 		// engine end to end on every commit.
@@ -540,6 +542,19 @@ func TestBenchServeShape(t *testing.T) {
 		}
 		if strings.HasPrefix(row.Config, "fleet_") {
 			fleetReqs = append(fleetReqs, row.Requests)
+		}
+		if row.Attainment < 0 || row.Attainment > 1 {
+			t.Errorf("%s: attainment %.4f out of range", row.Config, row.Attainment)
+		}
+		// Only the precision-refined row carries a recall gain; it pairs
+		// the gain with its attainment so the JSON records the quality
+		// trade, not throughput alone.
+		if row.Config == "cluster_x2_precision_60rps" {
+			if row.RecallGainPts <= 0 || row.Attainment <= 0 {
+				t.Errorf("precision row missing quality fields: %+v", row)
+			}
+		} else if row.RecallGainPts != 0 {
+			t.Errorf("%s: unexpected recall gain %.4f on an unrefined run", row.Config, row.RecallGainPts)
 		}
 	}
 	for name, seen := range want {
@@ -828,6 +843,106 @@ func TestIngestDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if got := r.CSV(); got != ref {
 			t.Errorf("workers=%d: ingest CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
+		}
+	}
+}
+
+// precisionQuick caches the quick-mode run for all precision tests.
+var precisionQuick *PrecisionResult
+
+func precisionQuickResult(t *testing.T) *PrecisionResult {
+	t.Helper()
+	if precisionQuick == nil {
+		r, err := Precision(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		precisionQuick = r
+	}
+	return precisionQuick
+}
+
+// TestPrecisionHeadline: the tentpole claim. At the same HBM budget the
+// (tier, codec) refinement must hold placement-only attainment — the
+// SQ8 streaming kernel shortens retrieval busy windows, so it in fact
+// gains — while buying recall points; the recall delta must never fall
+// more than 2 points. The HBM-only baseline keeps the whole index
+// resident and is untouched by the refinement.
+func TestPrecisionHeadline(t *testing.T) {
+	r := precisionQuickResult(t)
+	for _, rate := range r.Rates() {
+		hbm, place, prec := r.Arm("hbm-only", rate), r.Arm("placement", rate), r.Arm("placement+precision", rate)
+		if hbm == nil || place == nil || prec == nil {
+			t.Fatalf("arms missing at rate %.1f: %+v", rate, r.Arms)
+		}
+		if hbm.Rho != 1 || hbm.SQ != 0 || hbm.NVMe != 0 || hbm.Gain != 0 {
+			t.Errorf("hbm-only arm is not the untouched baseline: %+v", *hbm)
+		}
+		if place.SQ != 0 || place.NVMe != 0 || place.Gain != 0 {
+			t.Errorf("placement-only arm carries precision state: %+v", *place)
+		}
+		if prec.SQ == 0 {
+			t.Errorf("@%.1f: refinement upgraded no clusters to SQ8", rate)
+		}
+		if prec.NVMe == 0 {
+			t.Errorf("@%.1f: refinement demoted no clusters to NVMe", rate)
+		}
+		if prec.Att < place.Att {
+			t.Errorf("@%.1f: precision attainment %.4f below placement-only %.4f at equal budget",
+				rate, prec.Att, place.Att)
+		}
+		if prec.Gain < -2 {
+			t.Errorf("@%.1f: recall loss %.2f pts exceeds the 2-point bound", rate, prec.Gain)
+		}
+		if prec.Gain <= 0 {
+			t.Errorf("@%.1f: SQ8 upgrades bought no recall: %.4f pts", rate, prec.Gain)
+		}
+		if prec.Rho != place.Rho {
+			t.Errorf("@%.1f: refinement moved the placement split: rho %.4f vs %.4f",
+				rate, prec.Rho, place.Rho)
+		}
+		// Honest accounting: the SQ8 bytes live in GPU memory, so the
+		// refined plan must report more resident bytes, never fewer.
+		if prec.PlanGB <= place.PlanGB {
+			t.Errorf("@%.1f: refined plan %.2f GB not above placement-only %.2f GB",
+				rate, prec.PlanGB, place.PlanGB)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"hbm-only", "placement+precision", "recall +pts", "same HBM budget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestPrecisionGoldenPinned: the quick-mode artifact is bit-identical
+// across runs with the same seed; the golden pins it.
+func TestPrecisionGoldenPinned(t *testing.T) {
+	got := precisionQuickResult(t).CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "precision_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("precision quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPrecisionDeterministicAcrossWorkers: every arm runs on the
+// sharded cluster engine (NetDelay is set explicitly, so workers=1
+// takes the same conservative-lookahead schedule), and the merged
+// timeline is a pure function of the options — the artifact must be
+// bit-identical for every Workers value.
+func TestPrecisionDeterministicAcrossWorkers(t *testing.T) {
+	ref := precisionQuickResult(t).CSV()
+	for _, workers := range []int{1, 2, 4} {
+		r, err := precisionWithWorkers(quick(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.CSV(); got != ref {
+			t.Errorf("workers=%d: precision CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
 		}
 	}
 }

@@ -58,6 +58,9 @@ func Registry() map[string]Runner {
 		"tenants": func(c Config) (Renderer, error) { return Tenants(c) },
 		"faults":  func(c Config) (Renderer, error) { return Faults(c) },
 		"ingest":  func(c Config) (Renderer, error) { return Ingest(c) },
+		"precision": func(c Config) (Renderer, error) {
+			return Precision(c)
+		},
 	}
 }
 

@@ -60,11 +60,27 @@ type GPU struct {
 	Reserve int64
 }
 
+// NVMe models the node-local SSD tier that can hold the coldest PQ
+// clusters. A cold scan pays one page-read latency per page touched
+// plus the streaming read time; both are sequential-read figures, since
+// an IVF cluster scan reads each cluster's code block contiguously.
+type NVMe struct {
+	Name string
+	// ReadBWBytes is sustained sequential read bandwidth.
+	ReadBWBytes float64
+	// PageLatency is the per-page-read service latency (queue depth 1,
+	// the latency-critical path of a synchronous cluster fetch).
+	PageLatency float64
+	// PageBytes is the read granularity a cluster scan is billed in.
+	PageBytes int64
+}
+
 // Node is one evaluation machine.
 type Node struct {
 	Name    string
 	CPU     CPU
 	GPU     GPU
+	NVMe    NVMe
 	NumGPUs int
 	// ContentionFactor scales LLM iteration time while a retrieval
 	// kernel is resident on the same GPU: t' = t * (1 + f*overlap).
@@ -132,14 +148,26 @@ func L40S() GPU {
 	}
 }
 
+// DataCenterNVMe is the node-local SSD model shared by both nodes:
+// a PCIe gen4 datacenter drive class (~6.8 GB/s sequential read,
+// ~80 µs read latency, 4 KiB pages).
+func DataCenterNVMe() NVMe {
+	return NVMe{
+		Name:        "PCIe4 NVMe",
+		ReadBWBytes: 6.8e9,
+		PageLatency: 80e-6,
+		PageBytes:   4 << 10,
+	}
+}
+
 // H100Node is the large-model machine (Qwen3-32B, Llama3-70B).
 func H100Node() Node {
-	return Node{Name: "H100 node", CPU: Xeon8462Y(), GPU: H100(), NumGPUs: 8, ContentionFactor: 0.9}
+	return Node{Name: "H100 node", CPU: Xeon8462Y(), GPU: H100(), NVMe: DataCenterNVMe(), NumGPUs: 8, ContentionFactor: 0.9}
 }
 
 // L40SNode is the small-model machine (Llama3-8B).
 func L40SNode() Node {
-	return Node{Name: "L40S node", CPU: Xeon6426Y(), GPU: L40S(), NumGPUs: 8, ContentionFactor: 0.9}
+	return Node{Name: "L40S node", CPU: Xeon6426Y(), GPU: L40S(), NVMe: DataCenterNVMe(), NumGPUs: 8, ContentionFactor: 0.9}
 }
 
 // WithGPUs returns a copy of the node restricted to n GPUs with CPU

@@ -3,8 +3,9 @@ package metrics
 // JainIndex computes Jain's fairness index over per-tenant values
 // (typically SLO attainments): (Σx)² / (n·Σx²). It is 1 when every
 // tenant fares equally and approaches 1/n as one tenant monopolizes
-// the good outcomes. An empty or all-zero input returns 0 (nothing was
-// served, so no fairness can be claimed).
+// the good outcomes. An empty input returns 0 (no tenants, no fairness
+// claim); an all-zero input returns 1 — equal shares are perfectly
+// fair even when the equal share is nothing.
 func JainIndex(values []float64) float64 {
 	if len(values) == 0 {
 		return 0
@@ -15,7 +16,7 @@ func JainIndex(values []float64) float64 {
 		sumSq += v * v
 	}
 	if sumSq == 0 {
-		return 0
+		return 1
 	}
 	return sum * sum / (float64(len(values)) * sumSq)
 }

@@ -12,7 +12,10 @@ func TestJainIndex(t *testing.T) {
 		want   float64
 	}{
 		{"empty", nil, 0},
-		{"all zero", []float64{0, 0, 0}, 0},
+		// Equal-even-if-zero shares are perfectly fair: an all-zero
+		// attainment vector means every tenant fared identically.
+		{"all zero", []float64{0, 0, 0}, 1},
+		{"single zero", []float64{0}, 1},
 		{"equal", []float64{0.9, 0.9, 0.9}, 1},
 		{"single", []float64{0.5}, 1},
 		{"monopoly", []float64{1, 0, 0, 0}, 0.25},

@@ -1,0 +1,165 @@
+package partition
+
+import (
+	"testing"
+
+	"vectorliterag/internal/dataset"
+	"vectorliterag/internal/profiler"
+	"vectorliterag/internal/splitter"
+)
+
+// precFixture builds a plan plus synthetic recall deltas: gain decays
+// with hotness rank, with a zero stretch so the greedy must skip.
+func precFixture(t *testing.T) (fixture, *splitter.Plan, []float64) {
+	t.Helper()
+	f := setup(t, dataset.Orcas1K)
+	plan, err := splitter.Build(f.prof, 0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := make([]float64, len(f.prof.Counts))
+	for r, c := range f.prof.HotOrder {
+		d := profiler.MaxSQRecallGain - 0.002*float64(r)
+		if d < 0 {
+			d = 0
+		}
+		deltas[c] = d
+	}
+	return f, plan, deltas
+}
+
+func TestAssignPrecisionValidation(t *testing.T) {
+	f, plan, deltas := precFixture(t)
+	good := PrecisionInputs{Prof: f.prof, Plan: plan, RecallDeltas: deltas, SQRatio: 4}
+	bad := good
+	bad.Prof = nil
+	if _, err := AssignPrecision(bad); err == nil {
+		t.Error("nil profile accepted")
+	}
+	bad = good
+	bad.Plan = nil
+	if _, err := AssignPrecision(bad); err == nil {
+		t.Error("nil plan accepted")
+	}
+	bad = good
+	bad.SQRatio = 1
+	if _, err := AssignPrecision(bad); err == nil {
+		t.Error("SQRatio <= 1 accepted")
+	}
+	bad = good
+	bad.NVMeColdShare = 1
+	if _, err := AssignPrecision(bad); err == nil {
+		t.Error("NVMeColdShare >= 1 accepted")
+	}
+	bad = good
+	bad.NVMeColdShare = -0.1
+	if _, err := AssignPrecision(bad); err == nil {
+		t.Error("negative NVMeColdShare accepted")
+	}
+}
+
+func TestAssignPrecisionDomains(t *testing.T) {
+	f, plan, deltas := precFixture(t)
+	prec, err := AssignPrecision(PrecisionInputs{
+		Prof: f.prof, Plan: plan, RecallDeltas: deltas,
+		SQRatio: 4, SQBudgetBytes: 1 << 40, NVMeColdShare: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq, nv int
+	var extra int64
+	for c := range f.prof.Counts {
+		if prec.IsSQ(c) {
+			sq++
+			if !plan.IsHot(c) {
+				t.Errorf("cold cluster %d upgraded to SQ8", c)
+			}
+			extra += int64(float64(f.prof.W.ClusterBytes(c)) * 3)
+		}
+		if prec.IsNVMe(c) {
+			nv++
+			if plan.IsHot(c) {
+				t.Errorf("hot cluster %d demoted to NVMe", c)
+			}
+		}
+		if prec.IsSQ(c) && prec.IsNVMe(c) {
+			t.Errorf("cluster %d both SQ and NVMe", c)
+		}
+	}
+	if sq != prec.SQClusters || nv != prec.NVMeClusters {
+		t.Fatalf("counts drifted: %d/%d marks vs %d/%d recorded", sq, nv, prec.SQClusters, prec.NVMeClusters)
+	}
+	if sq == 0 {
+		t.Fatal("unbounded budget upgraded nothing")
+	}
+	if nv == 0 {
+		t.Fatal("10%% cold share demoted nothing")
+	}
+	if extra != prec.SQExtraBytes {
+		t.Fatalf("extra bytes %d, recorded %d", extra, prec.SQExtraBytes)
+	}
+	if prec.RecallGain <= 0 || prec.RecallGain > profiler.MaxSQRecallGain {
+		t.Fatalf("planning recall gain %v outside (0, %v]", prec.RecallGain, profiler.MaxSQRecallGain)
+	}
+}
+
+func TestAssignPrecisionRespectsBudget(t *testing.T) {
+	f, plan, deltas := precFixture(t)
+	// A budget big enough for some but not all upgrades.
+	var smallest int64 = 1 << 62
+	for _, c := range plan.HotClusters {
+		if b := f.prof.W.ClusterBytes(c) * 3; b < smallest {
+			smallest = b
+		}
+	}
+	budget := smallest * 2
+	prec, err := AssignPrecision(PrecisionInputs{
+		Prof: f.prof, Plan: plan, RecallDeltas: deltas,
+		SQRatio: 4, SQBudgetBytes: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec.SQExtraBytes > budget {
+		t.Fatalf("spent %d over budget %d", prec.SQExtraBytes, budget)
+	}
+	if prec.SQClusters == 0 {
+		t.Fatal("budget covering the smallest upgrade bought nothing")
+	}
+	// Zero budget and zero cold share: the refinement is empty.
+	empty, err := AssignPrecision(PrecisionInputs{
+		Prof: f.prof, Plan: plan, RecallDeltas: deltas, SQRatio: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.SQClusters != 0 || empty.NVMeClusters != 0 || empty.RecallGain != 0 {
+		t.Fatalf("zero-budget refinement not empty: %+v", empty)
+	}
+}
+
+func TestAssignPrecisionDeterministic(t *testing.T) {
+	f, plan, deltas := precFixture(t)
+	in := PrecisionInputs{
+		Prof: f.prof, Plan: plan, RecallDeltas: deltas,
+		SQRatio: 4, SQBudgetBytes: 1 << 30, NVMeColdShare: 0.05,
+	}
+	a, err := AssignPrecision(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignPrecision(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SQClusters != b.SQClusters || a.NVMeClusters != b.NVMeClusters ||
+		a.SQExtraBytes != b.SQExtraBytes || a.RecallGain != b.RecallGain {
+		t.Fatalf("assignment not deterministic: %+v vs %+v", a, b)
+	}
+	for c := range a.SQ {
+		if a.SQ[c] != b.SQ[c] || a.NVMe[c] != b.NVMe[c] {
+			t.Fatalf("cluster %d marks differ across runs", c)
+		}
+	}
+}

@@ -169,6 +169,158 @@ func FuzzScanCodesIDsMasked(f *testing.F) {
 	})
 }
 
+// fuzzSQ deterministically derives a ScalarQuantizer, a query, a code
+// block, and a top-k size from raw fuzz bytes. The quantizer is built
+// directly (not via TrainSQ) so the fuzzer controls every per-dim
+// range, including degenerate and inverted ones — Distance is
+// well-defined for all of them, and the abandon path only relies on
+// per-dim terms being squares (non-negative).
+func fuzzSQ(data []byte) (q *ScalarQuantizer, query []float32, codes []byte, k int, ok bool) {
+	if len(data) < 4 {
+		return nil, nil, nil, 0, false
+	}
+	dim := int(data[0])%16 + 1
+	k = int(data[1])%9 + 1
+	body := data[2:]
+	q = &ScalarQuantizer{Dim: dim, min: make([]float32, dim), max: make([]float32, dim)}
+	query = make([]float32, dim)
+	for d := 0; d < dim; d++ {
+		lo := float32(int(body[d%len(body)]) - 128)
+		span := float32(body[(d+7)%len(body)]) / 4
+		q.min[d] = lo
+		q.max[d] = lo + span // span 0 = degenerate dim, also legal
+		query[d] = float32(int(body[(d+13)%len(body)])-128) / 8
+	}
+	nCodes := len(body) / dim
+	if nCodes == 0 {
+		return nil, nil, nil, 0, false
+	}
+	if nCodes > 200 {
+		nCodes = 200
+	}
+	codes = body[:nCodes*dim]
+	return q, query, codes, k, true
+}
+
+// refScanSQ is the naive float reference: every candidate fully
+// evaluated with ScalarQuantizer.Distance and pushed in index order —
+// the semantics ScanSQ's unrolling and early abandonment must preserve
+// bit for bit.
+func refScanSQ(q *ScalarQuantizer, query []float32, codes []byte, push func(i int, d float32)) {
+	cs := q.Dim
+	for i := 0; i*cs < len(codes); i++ {
+		push(i, q.Distance(query, codes[i*cs:(i+1)*cs]))
+	}
+}
+
+// FuzzScanSQ: the early-abandon SQ8 block scan must fill the collector
+// bit-identically to a naive full evaluation, for any quantizer
+// ranges, query, code block, dim, and k.
+func FuzzScanSQ(f *testing.F) {
+	f.Add([]byte("\x03\x02the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte("\x0f\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("\x0b\x08\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7\xf6\xf5\xf4\xf3\xf2\xf1\xf0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, query, codes, k, ok := fuzzSQ(data)
+		if !ok {
+			t.Skip()
+		}
+		const base = 37
+		want := vecmath.NewTopK(k)
+		refScanSQ(q, query, codes, func(i int, d float32) { want.Push(base+i, d) })
+		got := vecmath.NewTopK(k)
+		q.ScanSQ(query, codes, base, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
+// FuzzScanSQIDs: the inverted-list SQ8 scan must match the naive
+// reference bit for bit.
+func FuzzScanSQIDs(f *testing.F) {
+	f.Add([]byte("\x07\x03pack my box with five dozen liquor jugs"))
+	f.Add([]byte("\x04\x05abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, query, codes, k, ok := fuzzSQ(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / q.Dim
+		ids := make([]int32, n)
+		for i := range ids {
+			// Non-monotone IDs so ordering bugs cannot hide.
+			ids[i] = int32((i*2654435761 + 11) % 100003)
+		}
+		want := vecmath.NewTopK(k)
+		refScanSQ(q, query, codes, func(i int, d float32) { want.Push(int(ids[i]), d) })
+		got := vecmath.NewTopK(k)
+		q.ScanSQIDs(query, codes, ids, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
+// FuzzScanSQMasked: the tombstone-masked SQ8 block scan must fill the
+// collector bit-identically to a naive masked full evaluation — every
+// live candidate fully evaluated and pushed in index order, every dead
+// one skipped — and an all-zero mask must equal no mask.
+func FuzzScanSQMasked(f *testing.F) {
+	f.Add([]byte("\x03\x02the quick brown fox jumps over the lazy dog"))
+	f.Add([]byte("\x07\x03sixty zippers were quickly picked from the woven jute bag"))
+	f.Add([]byte("\x0b\x08\xff\xfe\xfd\xfc\xfb\xfa\xf9\xf8\xf7\xf6\xf5\xf4\xf3\xf2\xf1\xf0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, query, codes, k, ok := fuzzSQ(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / q.Dim
+		dead := fuzzMask(data, n)
+		const base = 37
+		want := vecmath.NewTopK(k)
+		refScanSQ(q, query, codes, func(i int, d float32) {
+			if !isDead(dead, i) {
+				want.Push(base+i, d)
+			}
+		})
+		got := vecmath.NewTopK(k)
+		q.ScanSQMasked(query, codes, base, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+		// An all-zero mask must be indistinguishable from no mask.
+		clear(dead)
+		want.Reset(k)
+		refScanSQ(q, query, codes, func(i int, d float32) { want.Push(base+i, d) })
+		got.Reset(k)
+		q.ScanSQMasked(query, codes, base, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
+// FuzzScanSQIDsMasked: the tombstone-masked inverted-list SQ8 scan
+// must match the naive masked reference bit for bit.
+func FuzzScanSQIDsMasked(f *testing.F) {
+	f.Add([]byte("\x07\x03pack my box with five dozen liquor jugs"))
+	f.Add([]byte("\x04\x05abcdefghijklmnopqrstuvwxyz0123456789"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, query, codes, k, ok := fuzzSQ(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(codes) / q.Dim
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32((i*2654435761 + 11) % 100003)
+		}
+		dead := fuzzMask(data, n)
+		want := vecmath.NewTopK(k)
+		refScanSQ(q, query, codes, func(i int, d float32) {
+			if !isDead(dead, i) {
+				want.Push(int(ids[i]), d)
+			}
+		})
+		got := vecmath.NewTopK(k)
+		q.ScanSQIDsMasked(query, codes, ids, dead, got)
+		neighborsEqual(t, got.Sorted(), want.Sorted())
+	})
+}
+
 // FuzzScanCodesIDs: the inverted-list scan (including the M=8
 // specialized kernel) must match the naive reference bit for bit.
 func FuzzScanCodesIDs(f *testing.F) {

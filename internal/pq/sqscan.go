@@ -1,0 +1,190 @@
+package pq
+
+import "vectorliterag/internal/vecmath"
+
+// Optimized SQ8 scan kernels — the scalar-quantized counterparts of
+// LUT.ScanCodes and friends. They exist for the mixed-precision hot
+// tier: clusters stored as SQ8 are scanned straight from their byte
+// codes (no per-query LUT build), which on a real GPU is a gather-free
+// streaming kernel running near DRAM bandwidth. Here the kernels carry
+// the same contract as the PQ family: candidate distances accumulate
+// in dimension order exactly as ScalarQuantizer.Distance does, pushes
+// happen in the same index order as the naive ScanCodes, and early
+// abandonment only skips candidates a full evaluation would have
+// rejected — so the collector's final contents are bit-identical to a
+// naive full scan (the fuzz targets pin this).
+
+// distanceSQAbandon accumulates the asymmetric SQ distance for one
+// code but gives up as soon as the partial sum reaches bound: per-dim
+// terms are squares, so partial sums are monotone and a prefix ≥ bound
+// proves a collector whose k-th best is bound would reject the
+// candidate. Checks happen every eight dimensions to keep branches off
+// the accumulate path. Accumulation order matches Distance exactly.
+func (q *ScalarQuantizer) distanceSQAbandon(query []float32, code []byte, bound float32) (float32, bool) {
+	var sum float32
+	n := q.Dim
+	d := 0
+	for ; d+8 <= n; d += 8 {
+		for k := d; k < d+8; k++ {
+			t := float32(code[k]) / 255
+			rec := q.min[k] + t*(q.max[k]-q.min[k])
+			diff := query[k] - rec
+			sum += diff * diff
+		}
+		if sum >= bound {
+			return sum, false
+		}
+	}
+	for ; d < n; d++ {
+		t := float32(code[d]) / 255
+		rec := q.min[d] + t*(q.max[d]-q.min[d])
+		diff := query[d] - rec
+		sum += diff * diff
+	}
+	return sum, sum < bound
+}
+
+// ScanSQ scans a contiguous SQ8 code block, pushing candidates with
+// indices base+i — the optimized replacement for the naive ScanCodes:
+// a fill phase while the collector is short, then early abandonment
+// against the collector's k-th best. The abandon bound is read once
+// per group of four candidates; it only shrinks as pushes land, so
+// abandoning against the slightly stale bound is conservative and the
+// collector's contents stay bit-identical to a full evaluation.
+func (q *ScalarQuantizer) ScanSQ(query []float32, codes []byte, base int, top *vecmath.TopK) {
+	cs := q.Dim
+	n := len(codes) / cs
+	i := 0
+	// Fill phase: no k-th best exists yet, so every candidate is pushed.
+	for ; i < n; i++ {
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(base+i, q.Distance(query, codes[i*cs:(i+1)*cs]))
+	}
+	for ; i+4 <= n; i += 4 {
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+1)*cs:(i+2)*cs], bound); ok {
+			top.Push(base+i+1, d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+2)*cs:(i+3)*cs], bound); ok {
+			top.Push(base+i+2, d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+3)*cs:(i+4)*cs], bound); ok {
+			top.Push(base+i+3, d)
+		}
+	}
+	for ; i < n; i++ {
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+	}
+}
+
+// ScanSQIDs is ScanSQ for an inverted list: candidate i is pushed
+// under ids[i] instead of base+i. Kept as a specialized copy rather
+// than an index-mapping closure, matching ScanCodesIDs.
+func (q *ScalarQuantizer) ScanSQIDs(query []float32, codes []byte, ids []int32, top *vecmath.TopK) {
+	cs := q.Dim
+	n := len(codes) / cs
+	i := 0
+	for ; i < n; i++ {
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(int(ids[i]), q.Distance(query, codes[i*cs:(i+1)*cs]))
+	}
+	for ; i+4 <= n; i += 4 {
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+1)*cs:(i+2)*cs], bound); ok {
+			top.Push(int(ids[i+1]), d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+2)*cs:(i+3)*cs], bound); ok {
+			top.Push(int(ids[i+2]), d)
+		}
+		if d, ok := q.distanceSQAbandon(query, codes[(i+3)*cs:(i+4)*cs], bound); ok {
+			top.Push(int(ids[i+3]), d)
+		}
+	}
+	for ; i < n; i++ {
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+	}
+}
+
+// ScanSQMasked is ScanSQ with a positional tombstone bitmap: bit i of
+// dead (dead[i/64]>>(i%64)&1) marks candidate position i as deleted,
+// and masked positions are skipped without evaluation — the contract
+// streaming-ingest tombstones rely on, identical to ScanCodesMasked's.
+// A nil or empty bitmap falls through to the unmasked scan. Live
+// candidates see the identical accumulate/abandon/push sequence as a
+// naive masked full evaluation. The mask test already breaks the
+// straight-line accumulate path, so the steady phase skips the 4-way
+// unroll, exactly as the PQ masked scans do.
+func (q *ScalarQuantizer) ScanSQMasked(query []float32, codes []byte, base int, dead []uint64, top *vecmath.TopK) {
+	if len(dead) == 0 {
+		q.ScanSQ(query, codes, base, top)
+		return
+	}
+	cs := q.Dim
+	n := len(codes) / cs
+	i := 0
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(base+i, q.Distance(query, codes[i*cs:(i+1)*cs]))
+	}
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(base+i, d)
+		}
+	}
+}
+
+// ScanSQIDsMasked is ScanSQIDs with a positional tombstone bitmap (see
+// ScanSQMasked for the mask contract): masked list positions are
+// skipped, live ones push under ids[i].
+func (q *ScalarQuantizer) ScanSQIDsMasked(query []float32, codes []byte, ids []int32, dead []uint64, top *vecmath.TopK) {
+	if len(dead) == 0 {
+		q.ScanSQIDs(query, codes, ids, top)
+		return
+	}
+	cs := q.Dim
+	n := len(codes) / cs
+	i := 0
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if _, full := top.Worst(); full {
+			break
+		}
+		top.Push(int(ids[i]), q.Distance(query, codes[i*cs:(i+1)*cs]))
+	}
+	for ; i < n; i++ {
+		if dead[uint(i)>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		bound, _ := top.Worst()
+		if d, ok := q.distanceSQAbandon(query, codes[i*cs:(i+1)*cs], bound); ok {
+			top.Push(int(ids[i]), d)
+		}
+	}
+}

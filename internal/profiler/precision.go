@@ -1,0 +1,113 @@
+package profiler
+
+import (
+	"fmt"
+
+	"vectorliterag/internal/pq"
+)
+
+// MaxSQRecallGain caps the modeled per-cluster recall gain (in recall
+// points) of storing a cluster as SQ8 instead of PQ. SQ8 keeps one
+// byte per dimension where the PQ configuration spends one byte per
+// Dim/M dimensions, so its reconstruction error is a fraction of PQ's;
+// published IVF comparisons put the recall gap between SQ8 and
+// byte-per-4-dims PQ at mid-single-digit recall points on recall@10,
+// which is where this cap sits.
+const MaxSQRecallGain = 0.05
+
+// sqDeltaSampleVecs bounds the per-cluster member sample the
+// distortion comparison reads.
+const sqDeltaSampleVecs = 32
+
+// SQRecallDeltas estimates, per physical cluster, the recall gain (in
+// recall points, 0..MaxSQRecallGain) from storing that cluster's
+// vectors as SQ8 codes instead of PQ codes.
+//
+// The estimate is a distortion comparison on the physical corpus: for
+// a deterministic stride-sample of each cluster's members, the squared
+// reconstruction error under the index's trained PQ codebooks and
+// under an SQ8 quantizer trained on the same corpus. A cluster's delta
+// scales with how much of the PQ distortion SQ8 removes, relative to
+// the corpus-mean PQ distortion — clusters the PQ codebooks already
+// represent well have little recall to win back, while clusters far
+// from the codebook centers (where PQ's subspace centroids are
+// stretched) gain the most. The asymmetric LUT distance of a vector to
+// its own code is exactly its squared reconstruction error, so both
+// codecs are measured by the same kernels the scans use.
+//
+// The result is deterministic: sampling is by fixed stride in
+// inverted-list order and every accumulation runs in cluster order.
+func SQRecallDeltas(p *AccessProfile) ([]float64, error) {
+	w := p.W
+	dim := w.Index.Dim()
+	sq, err := pq.TrainSQ(w.Data, dim)
+	if err != nil {
+		return nil, fmt.Errorf("profiler: %w", err)
+	}
+	quant := w.Index.Quantizer()
+	nlist := w.Index.NList()
+
+	var lut pq.LUT
+	pqCode := make([]byte, quant.CodeSize())
+	sqCode := make([]byte, sq.CodeSize())
+	msePQ := make([]float64, nlist)
+	mseSQ := make([]float64, nlist)
+	var meanPQ float64
+	var sampled int
+	for c := 0; c < nlist; c++ {
+		ids := w.Index.ClusterIDs(c)
+		if len(ids) == 0 {
+			continue
+		}
+		stride := len(ids)/sqDeltaSampleVecs + 1
+		var ePQ, eSQ float64
+		n := 0
+		for j := 0; j < len(ids); j += stride {
+			v := w.Data[int(ids[j])*dim : (int(ids[j])+1)*dim]
+			quant.Encode(v, pqCode)
+			quant.BuildLUTInto(v, &lut)
+			ePQ += float64(lut.Distance(pqCode))
+			sq.Encode(v, sqCode)
+			eSQ += float64(sq.Distance(v, sqCode))
+			n++
+		}
+		msePQ[c] = ePQ / float64(n)
+		mseSQ[c] = eSQ / float64(n)
+		meanPQ += ePQ
+		sampled += n
+	}
+	if sampled == 0 {
+		return nil, fmt.Errorf("profiler: empty index")
+	}
+	meanPQ /= float64(sampled)
+
+	deltas := make([]float64, nlist)
+	for c := range deltas {
+		if msePQ[c] <= 0 {
+			continue
+		}
+		rel := (msePQ[c] - mseSQ[c]) / meanPQ
+		if rel < 0 {
+			rel = 0
+		}
+		if rel > 1 {
+			rel = 1
+		}
+		deltas[c] = MaxSQRecallGain * rel
+	}
+	return deltas, nil
+}
+
+// RecallDeltasByRank reorders per-cluster deltas into the profile's
+// hot order — deltas[r] is then the recall gain of upgrading the r-th
+// hottest cluster, the layout the multi-tenant allocator's precision
+// pass consumes (tenant.PrecisionOptions.RecallDelta).
+func (p *AccessProfile) RecallDeltasByRank(deltas []float64) []float64 {
+	out := make([]float64, len(p.HotOrder))
+	for r, c := range p.HotOrder {
+		if c < len(deltas) {
+			out[r] = deltas[c]
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package profiler
+
+import (
+	"testing"
+
+	"vectorliterag/internal/dataset"
+)
+
+func TestSQRecallDeltasDomain(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, err := CollectAccess(w, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := SQRecallDeltas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != w.Index.NList() {
+		t.Fatalf("got %d deltas for %d clusters", len(deltas), w.Index.NList())
+	}
+	var positive int
+	for c, d := range deltas {
+		if d < 0 || d > MaxSQRecallGain {
+			t.Fatalf("cluster %d delta %v outside [0, %v]", c, d, MaxSQRecallGain)
+		}
+		if d > 0 {
+			positive++
+		}
+	}
+	// SQ8 keeps a byte per dimension against PQ's byte per subspace, so
+	// on any non-degenerate corpus some clusters must have recall to win.
+	if positive == 0 {
+		t.Fatal("no cluster shows an SQ8 recall gain")
+	}
+}
+
+func TestSQRecallDeltasDeterministic(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, err := CollectAccess(w, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SQRecallDeltas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SQRecallDeltas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a {
+		if a[c] != b[c] {
+			t.Fatalf("cluster %d delta differs across runs: %v vs %v", c, a[c], b[c])
+		}
+	}
+}
+
+func TestRecallDeltasByRank(t *testing.T) {
+	w := smallWorkload(t, dataset.Orcas1K)
+	p, err := CollectAccess(w, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := SQRecallDeltas(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRank := p.RecallDeltasByRank(deltas)
+	if len(byRank) != len(p.HotOrder) {
+		t.Fatalf("got %d ranked deltas for %d hot-order entries", len(byRank), len(p.HotOrder))
+	}
+	for r, c := range p.HotOrder {
+		if byRank[r] != deltas[c] {
+			t.Fatalf("rank %d (cluster %d): %v != %v", r, c, byRank[r], deltas[c])
+		}
+	}
+}

@@ -117,6 +117,11 @@ func decide(opts Options, prof *profiler.AccessProfile, cpuModel costmodel.Searc
 		if err != nil {
 			return nil, err
 		}
+		if opts.Kind == VLiteRAG && opts.Precision != nil {
+			if err := attachPrecision(opts, prof, plan, memKV); err != nil {
+				return nil, err
+			}
+		}
 		d.plan = plan
 		d.planBytes = plan.TotalBytes()
 		return d, nil
@@ -124,6 +129,36 @@ func decide(opts Options, prof *profiler.AccessProfile, cpuModel costmodel.Searc
 	default:
 		return nil, fmt.Errorf("rag: unknown kind %q", opts.Kind)
 	}
+}
+
+// attachPrecision runs the (tier, codec) refinement on a freshly built
+// vLiteRAG plan: per-cluster SQ8 recall deltas from the profile, the
+// upgrade budget as a fraction of the HBM the placement loop left to
+// the KV pool, and the greedy assignment of partition.AssignPrecision.
+// The refinement's extra bytes fold into the plan's shard accounting,
+// so the KV pool downstream pays for them.
+func attachPrecision(opts Options, prof *profiler.AccessProfile, plan *splitter.Plan, memKV int64) error {
+	deltas, err := profiler.SQRecallDeltas(prof)
+	if err != nil {
+		return err
+	}
+	leftover := memKV - plan.TotalBytes()
+	if leftover < 0 {
+		leftover = 0
+	}
+	prec, err := partition.AssignPrecision(partition.PrecisionInputs{
+		Prof:          prof,
+		Plan:          plan,
+		RecallDeltas:  deltas,
+		SQRatio:       float64(opts.W.Spec.Dim) / float64(opts.W.Spec.CodeBytes),
+		SQBudgetBytes: int64(opts.Precision.SQBudgetFrac * float64(leftover)),
+		NVMeColdShare: opts.Precision.NVMeColdShare,
+	})
+	if err != nil {
+		return err
+	}
+	plan.AttachPrecision(prec)
+	return nil
 }
 
 // stageBuilders instantiates one replica of the decision: fresh GPU
@@ -176,6 +211,7 @@ func stageBuilders(sim *des.Sim, opts Options, d *decision, cpuModel costmodel.S
 			Forward:  forward,
 			Live:     live,
 			MaxBatch: opts.MaxBatch,
+			NVMe:     opts.Node.NVMe,
 		}), nil
 	})
 	gen = serve.GenerationStage(func() (*llm.Cluster, error) {
@@ -293,6 +329,13 @@ func Run(opts Options) (*Result, error) {
 		AvgBatch:  pipe.Retrieval().AvgBatch(),
 		LLMGPUs:   pipe.Generation().GPUs(opts.Model.TP),
 		Summary:   coll.Summarize(sloTotal, des.Time(opts.Warmup)),
+	}
+	if d.plan != nil && d.plan.Prec != nil {
+		res.SQClusters = d.plan.Prec.SQClusters
+		res.NVMeClusters = d.plan.Prec.NVMeClusters
+		if rr, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
+			res.RecallGain = rr.RecallGain()
+		}
 	}
 	return res, nil
 }
@@ -418,7 +461,7 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 		},
 		Policy: policy,
 	}
-	var batchSum float64
+	var batchSum, gainSum float64
 	for i, rep := range reps {
 		pipe := rep.Pipeline()
 		rr := ReplicaResult{
@@ -430,9 +473,17 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 		res.PerReplica = append(res.PerReplica, rr)
 		res.LLMGPUs += rr.LLMGPUs
 		batchSum += rr.AvgBatch * float64(rr.Submitted)
+		if g, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
+			gainSum += g.RecallGain() * float64(rr.Submitted)
+		}
 	}
 	if res.Generated > 0 {
 		res.AvgBatch = batchSum / float64(res.Generated)
+		res.RecallGain = gainSum / float64(res.Generated)
+	}
+	if d.plan != nil && d.plan.Prec != nil {
+		res.SQClusters = d.plan.Prec.SQClusters
+		res.NVMeClusters = d.plan.Prec.NVMeClusters
 	}
 	return res, nil
 }

@@ -89,7 +89,17 @@ type Options struct {
 	// Plan, when set for VLiteRAG, serves an existing split plan as-is
 	// instead of re-profiling and re-partitioning — "build once, serve
 	// many", and the way a stale plan is represented in drift studies.
+	// A prebuilt plan carries (or omits) its own precision refinement;
+	// Precision is not re-applied to it.
 	Plan *splitter.Plan
+	// Precision, when non-nil for VLiteRAG, extends Algorithm 1's
+	// placement decision with the joint (tier, codec) refinement: hot
+	// clusters upgraded from PQ to SQ8 within a bounded HBM budget, and
+	// the coldest CPU-resident clusters demoted to the modeled NVMe
+	// tier. Nil preserves the classic all-PQ, two-tier placement bit for
+	// bit. Rejected for every other Kind — the baselines have no
+	// placement decision to refine.
+	Precision *PrecisionOptions
 
 	// Workers selects how many worker goroutines a *sharded* cluster run
 	// spreads its shards over (0 = all cores). It changes wall-clock
@@ -124,6 +134,40 @@ type Options struct {
 	Resilience *serve.ResilienceConfig
 }
 
+// PrecisionOptions configures the placement x precision refinement.
+// Zero values take the documented defaults; negatives are rejected.
+type PrecisionOptions struct {
+	// SQBudgetFrac bounds the HBM the SQ8 upgrades may consume, as a
+	// fraction of the memory the placement loop left between the plan
+	// and the KV bound (default 0.10). The upgrades spend only this
+	// leftover, so the placement decision itself is never displaced.
+	SQBudgetFrac float64
+	// NVMeColdShare demotes the coldest CPU-resident clusters carrying
+	// at most this share of profiled accesses to the NVMe tier
+	// (default 0.02).
+	NVMeColdShare float64
+}
+
+// normalize fills defaults and validates.
+func (p *PrecisionOptions) normalize() error {
+	if p.SQBudgetFrac < 0 {
+		return fmt.Errorf("rag: negative precision SQBudgetFrac %v", p.SQBudgetFrac)
+	}
+	if p.SQBudgetFrac > 1 {
+		return fmt.Errorf("rag: precision SQBudgetFrac %v exceeds 1", p.SQBudgetFrac)
+	}
+	if p.NVMeColdShare < 0 || p.NVMeColdShare >= 1 {
+		return fmt.Errorf("rag: precision NVMeColdShare %v outside [0,1)", p.NVMeColdShare)
+	}
+	if p.SQBudgetFrac == 0 {
+		p.SQBudgetFrac = 0.10
+	}
+	if p.NVMeColdShare == 0 {
+		p.NVMeColdShare = 0.02
+	}
+	return nil
+}
+
 // resilient reports whether this run takes the failure-aware path.
 func (opts *Options) resilient() bool {
 	return len(opts.Faults) > 0 || opts.Resilience != nil
@@ -144,6 +188,14 @@ func (opts *Options) normalize() (sloTotal time.Duration, err error) {
 	}
 	if err := dataset.ValidateDrift(opts.Drift); err != nil {
 		return 0, fmt.Errorf("rag: %w", err)
+	}
+	if opts.Precision != nil {
+		if opts.Kind != VLiteRAG {
+			return 0, fmt.Errorf("rag: precision refinement applies to %s only, not %s", VLiteRAG, opts.Kind)
+		}
+		if err := opts.Precision.normalize(); err != nil {
+			return 0, err
+		}
 	}
 	if opts.Duration == 0 {
 		opts.Duration = 120 * time.Second
@@ -199,6 +251,13 @@ type Result struct {
 	LLMGPUs   int
 	Partition *partition.Result // nil for non-partitioned systems
 	Generated int
+
+	// Precision-refinement outcome (zero on runs without Precision set):
+	// the served mean per-query recall gain from SQ8 upgrades, and the
+	// cluster counts the refinement chose per tier/codec.
+	RecallGain   float64
+	SQClusters   int
+	NVMeClusters int
 }
 
 // capCache memoizes bare LLM capacity per deployment, since every rate

@@ -130,7 +130,7 @@ func runClusterSharded(opts Options, replicas int, policy serve.Policy) (*Cluste
 		Workers:  workers,
 		NetDelay: opts.NetDelay,
 	}
-	var batchSum float64
+	var batchSum, gainSum float64
 	for i, pipe := range pipes {
 		rr := ReplicaResult{
 			Submitted: x.Submitted(i),
@@ -141,9 +141,17 @@ func runClusterSharded(opts Options, replicas int, policy serve.Policy) (*Cluste
 		res.PerReplica = append(res.PerReplica, rr)
 		res.LLMGPUs += rr.LLMGPUs
 		batchSum += rr.AvgBatch * float64(rr.Submitted)
+		if g, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
+			gainSum += g.RecallGain() * float64(rr.Submitted)
+		}
 	}
 	if res.Generated > 0 {
 		res.AvgBatch = batchSum / float64(res.Generated)
+		res.RecallGain = gainSum / float64(res.Generated)
+	}
+	if d.plan != nil && d.plan.Prec != nil {
+		res.SQClusters = d.plan.Prec.SQClusters
+		res.NVMeClusters = d.plan.Prec.NVMeClusters
 	}
 	return res, nil
 }
@@ -213,6 +221,7 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 				Sim:      sim,
 				Forward:  forward,
 				MaxBatch: opts.MaxBatch,
+				NVMe:     opts.Node.NVMe,
 			}, slots, states, gm)
 		})
 		gen := serve.GenerationStage(func() (*llm.Cluster, error) {
@@ -291,15 +300,19 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 		Workers:     workers,
 		NetDelay:    opts.NetDelay,
 	}
-	var batchSum float64
+	var batchSum, gainSum float64
 	for r, pipe := range pipes {
 		sub := x.Submitted(r)
 		res.PerReplicaSubmitted = append(res.PerReplicaSubmitted, sub)
 		res.LLMGPUs += pipe.Generation().GPUs(opts.Model.TP)
 		batchSum += pipe.Retrieval().AvgBatch() * float64(sub)
+		if g, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
+			gainSum += g.RecallGain() * float64(sub)
+		}
 	}
 	if res.Generated > 0 {
 		res.AvgBatch = batchSum / float64(res.Generated)
+		res.RecallGain = gainSum / float64(res.Generated)
 	}
 	atts := make([]float64, len(opts.Tenants))
 	var okWeighted float64

@@ -12,6 +12,7 @@ import (
 	"vectorliterag/internal/hw"
 	"vectorliterag/internal/llm"
 	"vectorliterag/internal/metrics"
+	"vectorliterag/internal/partition"
 	"vectorliterag/internal/perfmodel"
 	"vectorliterag/internal/profiler"
 	"vectorliterag/internal/retrieval"
@@ -76,6 +77,13 @@ type MultiTenantOptions struct {
 	ProfileQueries int
 	// SLOGen overrides the measured generation-stage SLO.
 	SLOGen time.Duration
+	// Precision, when non-nil, extends the joint allocator with the
+	// (tier, codec) refinement: leftover HBM budget upgrades each
+	// tenant's hottest placed clusters from PQ to SQ8 (tier-weighted
+	// marginal recall per byte), and each tenant's coldest CPU-resident
+	// clusters demote to the modeled NVMe tier. Nil keeps the classic
+	// placement-only allocation bit for bit.
+	Precision *PrecisionOptions
 
 	// Replicas > 1 serves the tenants on R identical multi-tenant nodes
 	// behind a front-end router, on the parallel sharded engine. Each
@@ -117,6 +125,9 @@ type MultiTenantResult struct {
 	Fairness float64
 	// Attainment is the request-weighted aggregate attainment.
 	Attainment float64
+	// RecallGain is the served mean per-query recall gain from SQ8
+	// upgrades across all tenants (zero without Precision).
+	RecallGain float64
 	Mu0        float64
 	MuLLM      float64
 	// BudgetBytes / UsedBytes are the joint allocator's index budget
@@ -202,6 +213,11 @@ func (opts *MultiTenantOptions) normalizeMT() ([]time.Duration, error) {
 		}
 		opts.SLOGen = slo
 	}
+	if opts.Precision != nil {
+		if err := opts.Precision.normalize(); err != nil {
+			return nil, err
+		}
+	}
 	slos := make([]time.Duration, len(opts.Tenants))
 	for i := range opts.Tenants {
 		slos[i] = opts.Tenants[i].SLOSearch + opts.SLOGen
@@ -258,12 +274,42 @@ func decideTenants(opts *MultiTenantOptions) (*tenantDecision, error) {
 		profs[i] = prof
 		d.cpuModels = append(d.cpuModels, cm)
 	}
-	alloc, err := tenant.JointAllocate(tenant.Inputs{
-		Tenants:   inputs,
-		MemKV:     nodeKVBytes(opts.Node, opts.Model),
-		Mu0:       mu0,
-		FloorFrac: opts.FloorFrac,
-	})
+	ti := tenant.Inputs{
+		Tenants: inputs,
+		MemKV:   nodeKVBytes(opts.Node, opts.Model),
+		Mu0:     mu0,
+	}
+	// This layer keeps zero-means-default semantics; the tenant package
+	// itself honors explicit zeros through its pointer fields.
+	if opts.FloorFrac != 0 {
+		ti.FloorFrac = tenant.Float(opts.FloorFrac)
+	}
+	// Precision refinement: per-tenant recall deltas by hot rank feed the
+	// allocator's upgrade pass. The allocator prices every upgrade at the
+	// largest tenant ratio, so mixed-geometry lineups are billed
+	// conservatively.
+	var deltas [][]float64
+	if opts.Precision != nil {
+		deltas = make([][]float64, len(opts.Tenants))
+		byRank := make([][]float64, len(opts.Tenants))
+		var maxRatio float64
+		for i, tc := range opts.Tenants {
+			dl, err := profiler.SQRecallDeltas(profs[i])
+			if err != nil {
+				return nil, fmt.Errorf("rag: tenant %s: %w", tc.Name, err)
+			}
+			deltas[i] = dl
+			byRank[i] = profs[i].RecallDeltasByRank(dl)
+			if r := float64(tc.W.Spec.Dim) / float64(tc.W.Spec.CodeBytes); r > maxRatio {
+				maxRatio = r
+			}
+		}
+		ti.Precision = &tenant.PrecisionOptions{
+			SQBytesRatio: maxRatio,
+			RecallDelta:  byRank,
+		}
+	}
+	alloc, err := tenant.JointAllocate(ti)
 	if err != nil {
 		return nil, err
 	}
@@ -273,9 +319,67 @@ func decideTenants(opts *MultiTenantOptions) (*tenantDecision, error) {
 		if err != nil {
 			return nil, fmt.Errorf("rag: tenant %s: %w", opts.Tenants[i].Name, err)
 		}
+		if opts.Precision != nil {
+			if err := attachTenantPrecision(opts, profs[i], plan, deltas[i], alloc.Allocations[i], i); err != nil {
+				return nil, fmt.Errorf("rag: tenant %s: %w", opts.Tenants[i].Name, err)
+			}
+		}
 		d.plans = append(d.plans, plan)
 	}
 	return d, nil
+}
+
+// attachTenantPrecision materializes the joint allocator's codec
+// decision on one tenant's plan: the NVMe demotion runs the shared
+// coldest-suffix rule (partition.AssignPrecision with a zero SQ
+// budget), then the allocator's chosen SQ set overlays it. The
+// upgrade pass advances through each tenant's hot ranks in order,
+// skipping zero-delta clusters without upgrading them, so the chosen
+// set is exactly the first SQClusters positive-delta hot ranks.
+func attachTenantPrecision(opts *MultiTenantOptions, prof *profiler.AccessProfile, plan *splitter.Plan, deltas []float64, al tenant.Allocation, idx int) error {
+	ratio := float64(opts.Tenants[idx].W.Spec.Dim) / float64(opts.Tenants[idx].W.Spec.CodeBytes)
+	prec, err := partition.AssignPrecision(partition.PrecisionInputs{
+		Prof:          prof,
+		Plan:          plan,
+		RecallDeltas:  deltas,
+		SQRatio:       ratio,
+		SQBudgetBytes: 0,
+		NVMeColdShare: opts.Precision.NVMeColdShare,
+	})
+	if err != nil {
+		return err
+	}
+	left := al.SQClusters
+	for _, c := range prof.HotOrder {
+		if left == 0 {
+			break
+		}
+		if !plan.IsHot(c) {
+			break
+		}
+		if c >= len(deltas) || deltas[c] <= 0 {
+			continue
+		}
+		prec.SQ[c] = true
+		prec.SQClusters++
+		prec.SQExtraBytes += int64(float64(prof.W.ClusterBytes(c)) * (ratio - 1))
+		left--
+	}
+	// Planning-time gain estimate over the final SQ set (AssignPrecision
+	// computed it before the overlay).
+	var gain, work float64
+	for c := range prec.SQ {
+		w := float64(prof.Counts[c]) * float64(prof.W.ClusterBytes(c))
+		work += w
+		if prec.SQ[c] {
+			gain += w * deltas[c]
+		}
+	}
+	if work > 0 {
+		prec.RecallGain = gain / work
+	}
+	plan.AttachPrecision(prec)
+	return nil
 }
 
 // RunMultiTenant executes one multi-tenant evaluation point: N tenants
@@ -339,6 +443,7 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 			Sim:      &sim,
 			Forward:  forward,
 			MaxBatch: opts.MaxBatch,
+			NVMe:     opts.Node.NVMe,
 		}, slots, states, gm)
 	})
 	gen := serve.GenerationStage(func() (*llm.Cluster, error) {
@@ -404,6 +509,9 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 		Requests:    all,
 		AvgBatch:    pipe.Retrieval().AvgBatch(),
 		LLMGPUs:     pipe.Generation().GPUs(opts.Model.TP),
+	}
+	if g, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
+		res.RecallGain = g.RecallGain()
 	}
 	atts := make([]float64, len(opts.Tenants))
 	var okWeighted float64

@@ -28,6 +28,7 @@ import (
 	"vectorliterag/internal/costmodel"
 	"vectorliterag/internal/dataset"
 	"vectorliterag/internal/des"
+	"vectorliterag/internal/hw"
 	"vectorliterag/internal/splitter"
 	"vectorliterag/internal/workload"
 )
@@ -83,6 +84,19 @@ type Config struct {
 	// MaxBatch caps dynamic batch size (default 64, the bound the
 	// paper's HedraRAG comparison also uses).
 	MaxBatch int
+	// NVMe is the node's SSD model, consulted only when a plan carries
+	// a precision refinement with NVMe-demoted clusters; the zero value
+	// is fine otherwise.
+	NVMe hw.NVMe
+}
+
+// RecallReporter is implemented by engines that serve mixed-precision
+// plans: RecallGain reports the mean modeled per-query recall gain
+// (recall points) realized by SQ8-upgraded clusters over the requests
+// served so far. Engines serving a plan without a precision refinement
+// report 0.
+type RecallReporter interface {
+	RecallGain() float64
 }
 
 // scanBytes prices one query's scan over the given clusters through

@@ -39,6 +39,14 @@ type Hybrid struct {
 	cpuWork     []int64
 	cpuDone     []des.Time
 	route       splitter.RouteScratch
+	// sqBytes/sqBlocks are the per-shard SQ8 kernel work areas, used
+	// only when the plan carries a precision refinement.
+	sqBytes  []int64
+	sqBlocks []int
+	// recallSum/recallN accumulate the served recall gain of
+	// SQ-upgraded clusters (work-weighted per query, see RecallGain).
+	recallSum float64
+	recallN   int
 }
 
 // NewHybrid wires the hybrid engine. The i-th shard of the plan must
@@ -92,6 +100,16 @@ func (e *Hybrid) ShardRefreshing(g int) bool {
 	return g >= 0 && g < len(e.refreshing) && e.refreshing[g]
 }
 
+// RecallGain implements RecallReporter: the mean per-query modeled
+// recall gain from SQ8-upgraded clusters, zero on plans without a
+// precision refinement.
+func (e *Hybrid) RecallGain() float64 {
+	if e.recallN == 0 {
+		return 0
+	}
+	return e.recallSum / float64(e.recallN)
+}
+
 func (e *Hybrid) runBatch(batch []*workload.Request) {
 	sim := e.cfg.Sim
 	w := e.cfg.W
@@ -99,13 +117,28 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	cq := e.cfg.CPUModel.CQTime(b)
 	tCQ := sim.Now() + e.slowAt(des.Time(cq))
 
-	// Route every query through the mapping tables.
+	// Route every query through the mapping tables. A precision-refined
+	// plan splits resident clusters by codec — PQ clusters feed the LUT
+	// kernel, SQ8 clusters the streaming kernel (pq.ScanSQ's modeled
+	// counterpart) — and tallies the NVMe-resident share of the CPU
+	// remainder; a nil refinement keeps the classic single-codec path
+	// byte for byte.
+	prec := e.plan.Prec
 	shardBytes := resize(&e.shardBytes, e.plan.NumShards)
 	shardBlocks := resize(&e.shardBlocks, e.plan.NumShards)
 	cpuWork := resize(&e.cpuWork, b)
+	var sqBytes []int64
+	var sqBlocks []int
+	var nvmeBytes int64
+	var nvmeClusters int
+	if prec != nil {
+		sqBytes = resize(&e.sqBytes, e.plan.NumShards)
+		sqBlocks = resize(&e.sqBlocks, e.plan.NumShards)
+	}
 	var missTotal int64
 	for i, req := range batch {
 		perShard, cpuClusters := e.plan.RouteInto(&e.route, degradeProbes(w.Probes(req.Query), req.Degrade))
+		var gain float64
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
@@ -115,22 +148,59 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 				cpuClusters = append(cpuClusters, resident...)
 				continue
 			}
-			shardBytes[g] += e.cfg.scanBytes(req.Query, resident)
-			shardBlocks[g] += len(resident) * e.blockScale
+			if prec == nil {
+				shardBytes[g] += e.cfg.scanBytes(req.Query, resident)
+				shardBlocks[g] += len(resident) * e.blockScale
+				continue
+			}
+			for j, c := range resident {
+				bb := e.cfg.scanBytes(req.Query, resident[j:j+1])
+				if prec.IsSQ(c) {
+					sqBytes[g] += int64(float64(bb) * prec.SQRatio)
+					sqBlocks[g] += e.blockScale
+					gain += float64(bb) * prec.Delta(c)
+				} else {
+					shardBytes[g] += bb
+					shardBlocks[g] += e.blockScale
+				}
+			}
+		}
+		if prec != nil {
+			for j, c := range cpuClusters {
+				if prec.IsNVMe(c) {
+					nvmeBytes += e.cfg.scanBytes(req.Query, cpuClusters[j:j+1])
+					nvmeClusters++
+				}
+			}
 		}
 		cpuWork[i] = e.cfg.scanBytes(req.Query, cpuClusters)
 		missTotal += cpuWork[i]
-		req.HitRate = servedHitRate(e.cfg.scanBytesFull(req.Query), cpuWork[i])
+		full := e.cfg.scanBytesFull(req.Query)
+		req.HitRate = servedHitRate(full, cpuWork[i])
+		if prec != nil {
+			if full > 0 {
+				e.recallSum += gain / float64(full)
+			}
+			e.recallN++
+		}
 	}
 
-	// GPU shard kernels start once CQ delivers the cluster lists.
+	// GPU shard kernels start once CQ delivers the cluster lists; a
+	// shard with both codecs launches the LUT kernel and the SQ8
+	// streaming kernel back to back.
 	gpuReady := tCQ
 	for g := range shardBytes {
-		if shardBytes[g] == 0 && shardBlocks[g] == 0 {
+		var t des.Time
+		if shardBytes[g] != 0 || shardBlocks[g] != 0 {
+			t += des.Time(e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g]))
+		}
+		if prec != nil && (sqBytes[g] != 0 || sqBlocks[g] != 0) {
+			t += des.Time(e.gpuModel.ShardScanTimeSQ(sqBytes[g], sqBlocks[g]))
+		}
+		if t == 0 {
 			continue
 		}
-		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
-		end := tCQ + e.slowAt(des.Time(t))
+		end := tCQ + e.slowAt(t)
 		e.gpus[g].MarkRetrievalBusy(end)
 		if end > gpuReady {
 			gpuReady = end
@@ -141,6 +211,12 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 	// order, so query i's CPU portion completes at the prefix of its
 	// miss work (§IV-B2 callback mechanism).
 	cpuTotal := e.slowAt(des.Time(e.cfg.CPUModel.LUTTime(missTotal, b)))
+	if prec != nil && nvmeClusters > 0 {
+		// SSD-resident cold clusters are fetched into DRAM before the
+		// fast-scan kernel reaches them; the fetch extends the batch
+		// total and is attributed byte-proportionally like the scan.
+		cpuTotal += e.slowAt(des.Time(costmodel.NVMeScanTime(e.cfg.NVMe, nvmeBytes, nvmeClusters)))
+	}
 	cpuDone := resize(&e.cpuDone, b)
 	var prefix int64
 	for i := range batch {

@@ -84,6 +84,14 @@ type MultiTenant struct {
 	missByTenant []int64 // CPU miss bytes per tenant
 	scanOrder    []int   // batch indices in CPU scan order
 	route        splitter.RouteScratch
+	// sqBytes/sqBlocks are the per-GPU SQ8 kernel work areas, used only
+	// when at least one tenant's plan carries a precision refinement.
+	sqBytes  []int64
+	sqBlocks []int
+	// recallSum/recallN accumulate the served recall gain of SQ-upgraded
+	// clusters across all tenants (see Hybrid.RecallGain).
+	recallSum float64
+	recallN   int
 }
 
 // NewMultiTenant wires the shared engine. Every slot's plan must have
@@ -122,6 +130,27 @@ func (e *MultiTenant) Name() string {
 // Slots returns the tenant runtime slots (diagnostics and tests).
 func (e *MultiTenant) Slots() []TenantSlot { return e.slots }
 
+// RecallGain implements RecallReporter: the mean per-query modeled
+// recall gain from SQ8-upgraded clusters across all tenants, zero when
+// no tenant's plan carries a precision refinement.
+func (e *MultiTenant) RecallGain() float64 {
+	if e.recallN == 0 {
+		return 0
+	}
+	return e.recallSum / float64(e.recallN)
+}
+
+// hasPrecision reports whether any tenant's plan carries a precision
+// refinement (decides whether runBatch walks the per-cluster path).
+func (e *MultiTenant) hasPrecision() bool {
+	for i := range e.slots {
+		if e.slots[i].Plan.Prec != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // slot resolves a request's tenant, clamping strays to tenant 0 the
 // same way the FairScheduler does.
 func (e *MultiTenant) slot(req *workload.Request) int {
@@ -151,35 +180,86 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 
 	// Route every query through its tenant's mapping tables. Shard g of
 	// every tenant's plan lives on GPU g, so per-GPU work accumulates
-	// across tenants.
+	// across tenants. When a tenant's plan carries a precision
+	// refinement its clusters split by codec (PQ vs SQ8 kernels) exactly
+	// as on the single-tenant hybrid engine, and its NVMe-demoted cold
+	// clusters bill the shared page-read fetch; tenants without a
+	// refinement keep the classic path.
+	anyPrec := e.hasPrecision()
 	shardBytes := resize(&e.shardBytes, len(e.gpus))
 	shardBlocks := resize(&e.shardBlocks, len(e.gpus))
 	cpuWork := resize(&e.cpuWork, b)
 	missByTenant := resize(&e.missByTenant, len(e.slots))
+	var sqBytes []int64
+	var sqBlocks []int
+	var nvmeBytes int64
+	var nvmeClusters int
+	if anyPrec {
+		sqBytes = resize(&e.sqBytes, len(e.gpus))
+		sqBlocks = resize(&e.sqBlocks, len(e.gpus))
+	}
 	for i, req := range batch {
 		s := &e.slots[e.slot(req)]
+		prec := s.Plan.Prec
 		perShard, cpuClusters := s.Plan.RouteInto(&e.route, degradeProbes(s.W.Probes(req.Query), req.Degrade))
+		var gain float64
 		for g, resident := range perShard {
 			if len(resident) == 0 {
 				continue
 			}
-			shardBytes[g] += s.scanBytes(req.Query, resident)
-			shardBlocks[g] += len(resident) * s.blockScale
+			if prec == nil {
+				shardBytes[g] += s.scanBytes(req.Query, resident)
+				shardBlocks[g] += len(resident) * s.blockScale
+				continue
+			}
+			for j, c := range resident {
+				bb := s.scanBytes(req.Query, resident[j:j+1])
+				if prec.IsSQ(c) {
+					sqBytes[g] += int64(float64(bb) * prec.SQRatio)
+					sqBlocks[g] += s.blockScale
+					gain += float64(bb) * prec.Delta(c)
+				} else {
+					shardBytes[g] += bb
+					shardBlocks[g] += s.blockScale
+				}
+			}
+		}
+		if prec != nil {
+			for j, c := range cpuClusters {
+				if prec.IsNVMe(c) {
+					nvmeBytes += s.scanBytes(req.Query, cpuClusters[j:j+1])
+					nvmeClusters++
+				}
+			}
 		}
 		cpuWork[i] = s.scanBytes(req.Query, cpuClusters)
 		missByTenant[e.slot(req)] += cpuWork[i]
-		req.HitRate = servedHitRate(s.scanBytesFull(req.Query), cpuWork[i])
+		full := s.scanBytesFull(req.Query)
+		req.HitRate = servedHitRate(full, cpuWork[i])
+		if prec != nil {
+			if full > 0 {
+				e.recallSum += gain / float64(full)
+			}
+			e.recallN++
+		}
 	}
 
 	// GPU shard kernels start once CQ delivers the cluster lists; one
-	// kernel per GPU covers every tenant's resident clusters there.
+	// kernel per GPU covers every tenant's resident clusters there, with
+	// a second SQ8 streaming kernel when upgraded clusters landed on it.
 	gpuReady := tCQ
 	for g := range shardBytes {
-		if shardBytes[g] == 0 && shardBlocks[g] == 0 {
+		var t des.Time
+		if shardBytes[g] != 0 || shardBlocks[g] != 0 {
+			t += des.Time(e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g]))
+		}
+		if anyPrec && (sqBytes[g] != 0 || sqBlocks[g] != 0) {
+			t += des.Time(e.gpuModel.ShardScanTimeSQ(sqBytes[g], sqBlocks[g]))
+		}
+		if t == 0 {
 			continue
 		}
-		t := e.gpuModel.ShardScanTime(shardBytes[g], shardBlocks[g])
-		end := tCQ + e.slowAt(des.Time(t))
+		end := tCQ + e.slowAt(t)
 		e.gpus[g].MarkRetrievalBusy(end)
 		if end > gpuReady {
 			gpuReady = end
@@ -199,6 +279,12 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 		}
 	}
 	cpuTotal = e.slowAt(cpuTotal)
+	if anyPrec && nvmeClusters > 0 {
+		// NVMe-demoted cold clusters are fetched into DRAM ahead of the
+		// shared fast-scan; the fetch extends the batch total and is
+		// attributed byte-proportionally like the scan itself.
+		cpuTotal += e.slowAt(des.Time(costmodel.NVMeScanTime(e.cfg.NVMe, nvmeBytes, nvmeClusters)))
+	}
 	cpuDone := resize(&e.cpuDone, b)
 	scanOrder := resize(&e.scanOrder, b)
 	for i := range scanOrder {

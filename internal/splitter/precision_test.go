@@ -1,0 +1,63 @@
+package splitter
+
+import "testing"
+
+func TestPrecisionNilSafe(t *testing.T) {
+	var p *Precision
+	if p.IsSQ(0) || p.IsNVMe(0) || p.Delta(0) != 0 {
+		t.Fatal("nil Precision not inert")
+	}
+	q := &Precision{SQ: []bool{true}, NVMe: []bool{false, true}, Deltas: []float64{0.03}}
+	if !q.IsSQ(0) || q.IsSQ(1) || q.IsSQ(-1) {
+		t.Fatal("IsSQ bounds wrong")
+	}
+	if !q.IsNVMe(1) || q.IsNVMe(2) || q.IsNVMe(-1) {
+		t.Fatal("IsNVMe bounds wrong")
+	}
+	if q.Delta(0) != 0.03 || q.Delta(1) != 0 || q.Delta(-1) != 0 {
+		t.Fatal("Delta bounds wrong")
+	}
+}
+
+func TestAttachPrecisionFoldsSQBytes(t *testing.T) {
+	p := profile(t)
+	plan, err := Build(p, 0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int64(nil), plan.ShardBytes...)
+	totalBefore := plan.TotalBytes()
+
+	const ratio = 4.0
+	prec := &Precision{
+		SQ:      make([]bool, len(p.Counts)),
+		NVMe:    make([]bool, len(p.Counts)),
+		SQRatio: ratio,
+	}
+	marked := plan.HotClusters[0]
+	prec.SQ[marked] = true
+	plan.AttachPrecision(prec)
+
+	if plan.Prec != prec {
+		t.Fatal("precision not attached")
+	}
+	extra := int64(float64(p.W.ClusterBytes(marked)) * (ratio - 1))
+	loc := plan.Mapping[marked]
+	if plan.ShardBytes[loc.Shard] != before[loc.Shard]+extra {
+		t.Fatalf("hosting shard bytes %d, want %d + %d", plan.ShardBytes[loc.Shard], before[loc.Shard], extra)
+	}
+	if plan.TotalBytes() != totalBefore+extra {
+		t.Fatalf("TotalBytes %d, want %d", plan.TotalBytes(), totalBefore+extra)
+	}
+	// Unmarked shards untouched.
+	for s := range plan.ShardBytes {
+		if s != loc.Shard && plan.ShardBytes[s] != before[s] {
+			t.Fatalf("shard %d bytes moved without an SQ mark", s)
+		}
+	}
+
+	plan.AttachPrecision(nil)
+	if plan.Prec != nil {
+		t.Fatal("nil attach did not detach")
+	}
+}

@@ -28,7 +28,12 @@ type Plan struct {
 	Shards      [][]int     // Shards[g] lists cluster IDs on GPU g
 	ShardBytes  []int64     // logical bytes resident per shard
 	Mapping     map[int]Loc // cluster ID → shard location
-	hotMask     []bool      // fast membership test
+	// Prec, when non-nil, refines the plan with per-cluster (tier,
+	// codec) assignments (SQ8 on HBM, PQ on NVMe); nil preserves the
+	// classic all-PQ placement bit for bit. Installed via
+	// AttachPrecision so shard byte accounting stays consistent.
+	Prec    *Precision
+	hotMask []bool // fast membership test
 	// shardOf is the dense routing table: shardOf[c] is the hosting
 	// shard + 1, or 0 for CPU-resident clusters. RouteInto consults it
 	// instead of Mapping — cluster IDs are small and dense, and the

@@ -182,6 +182,32 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileRejectsNaN: one NaN sample sorts to an arbitrary
+// position (NaN compares false against everything) and silently
+// corrupts every quantile, so Percentile and PercentileSorted must
+// panic instead of returning poisoned numbers.
+func TestPercentileRejectsNaN(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic on NaN input", name)
+			}
+		}()
+		f()
+	}
+	nan := math.NaN()
+	mustPanic("Percentile(mid NaN)", func() { Percentile([]float64{1, nan, 3}, 0.5) })
+	mustPanic("Percentile(all NaN)", func() { Percentile([]float64{nan, nan}, 0.9) })
+	// PercentileSorted must catch a NaN wherever the sort left it.
+	mustPanic("PercentileSorted(leading NaN)", func() { PercentileSorted([]float64{nan, 1, 2}, 0.5) })
+	mustPanic("PercentileSorted(trailing NaN)", func() { PercentileSorted([]float64{1, 2, nan}, 0) })
+	// Infinities are ordered values, not poison: they must pass.
+	if got := Percentile([]float64{1, 2, math.Inf(1)}, 0); got != 1 {
+		t.Errorf("p0 with +Inf sample = %v, want 1", got)
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	s := []float64{5, 1, 3}
 	Percentile(s, 0.5)

@@ -8,7 +8,9 @@ import (
 
 // Percentile returns the p-quantile (p in [0,1]) of the sample using
 // linear interpolation between order statistics. It panics on an empty
-// sample.
+// sample and on any NaN sample value: NaN compares false against
+// everything, so one NaN sorts to an arbitrary position and silently
+// corrupts every quantile read from the sample.
 func Percentile(sample []float64, p float64) float64 {
 	s := append([]float64(nil), sample...)
 	sort.Float64s(s)
@@ -18,10 +20,15 @@ func Percentile(sample []float64, p float64) float64 {
 // PercentileSorted is Percentile over an already ascending-sorted
 // sample — the allocation-free path: callers that need several
 // quantiles sort one reusable scratch copy and read them all from it.
-// It panics on an empty sample.
+// It panics on an empty sample and on NaN sample values.
 func PercentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: Percentile of empty sample")
+	}
+	for i, v := range sorted {
+		if math.IsNaN(v) {
+			panic(fmt.Sprintf("stats: NaN at sample index %d poisons every quantile", i))
+		}
 	}
 	if p <= 0 {
 		return sorted[0]

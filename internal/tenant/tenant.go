@@ -155,6 +155,13 @@ type Allocation struct {
 	// Feasible reports whether the granted slice meets the tenant's own
 	// search budget under the model (Score == 1).
 	Feasible bool
+	// SQClusters / SQBytes / RecallGain report the precision pass (zero
+	// without Inputs.Precision): how many of the tenant's hottest
+	// clusters were upgraded from PQ to SQ8, the extra HBM those
+	// upgrades cost, and the estimated recall points bought.
+	SQClusters int
+	SQBytes    int64
+	RecallGain float64
 }
 
 // Result is the joint allocation across all tenants.
@@ -170,6 +177,9 @@ type Result struct {
 	// AggregateRate is the summed tenant arrival rate the KV reserve was
 	// sized for.
 	AggregateRate float64
+	// RecallGain is the rate-weighted recall improvement the precision
+	// pass bought across tenants (zero without Inputs.Precision).
+	RecallGain float64
 }
 
 // Inputs parameterizes JointAllocate.
@@ -180,14 +190,29 @@ type Inputs struct {
 	MemKV int64
 	Mu0   float64
 	// FloorFrac is the fraction of each tenant's minimum feasible bytes
-	// guaranteed as a floor before weighted allocation (default 0.25).
-	// Floors scale down proportionally when they exceed the budget.
-	FloorFrac float64
+	// guaranteed as a floor before weighted allocation. Nil selects the
+	// default 0.25; an explicit zero disables floors entirely. Negative
+	// values are rejected. Floors scale down proportionally when they
+	// exceed the budget.
+	FloorFrac *float64
 	// KVHeadroom multiplies the aggregate rate when reserving KV
-	// capacity (default 1.05): the generation stage must retain
-	// throughput for every tenant's stream plus slack for bursts.
-	KVHeadroom float64
+	// capacity. Nil selects the default 1.05 (the generation stage must
+	// retain throughput for every tenant's stream plus slack for
+	// bursts); an explicit zero reserves no KV at all, leaving the
+	// whole pool to the index. Negative values are rejected.
+	KVHeadroom *float64
+	// Precision, when non-nil, lets the greedy choose per-cluster
+	// (tier, codec) pairs: after the placement rounds converge, leftover
+	// budget upgrades each tenant's hottest placed clusters from PQ to
+	// SQ8, ordered across tenants by tier weight × marginal
+	// (attainment + recall) per byte. Nil keeps the classic
+	// placement-only allocation bit for bit.
+	Precision *PrecisionOptions
 }
+
+// Float is a convenience for the optional fields of Inputs:
+// Float(0.25) is an explicit FloorFrac.
+func Float(v float64) *float64 { return &v }
 
 // scoreAt evaluates the attainment proxy for tenant in at k hot
 // clusters: min(1, tau_s / hybridTime(batch, etaMin(k))), with the
@@ -265,20 +290,32 @@ func JointAllocate(in Inputs) (Result, error) {
 		}
 		aggregate += t.Rate
 	}
-	headroom := in.KVHeadroom
-	if headroom == 0 {
-		headroom = 1.05
+	headroom := 1.05
+	if in.KVHeadroom != nil {
+		headroom = *in.KVHeadroom
+		if headroom < 0 {
+			return Result{}, fmt.Errorf("tenant: negative KVHeadroom %v", headroom)
+		}
 	}
-	floorFrac := in.FloorFrac
-	if floorFrac == 0 {
-		floorFrac = 0.25
+	floorFrac := 0.25
+	if in.FloorFrac != nil {
+		floorFrac = *in.FloorFrac
+		if floorFrac < 0 {
+			return Result{}, fmt.Errorf("tenant: negative FloorFrac %v", floorFrac)
+		}
 	}
 
 	res := Result{AggregateRate: aggregate}
 	kvNeeded := headroom * aggregate / in.Mu0
-	if kvNeeded < 1 {
-		res.BudgetBytes = int64(float64(in.MemKV) * (1 - kvNeeded))
+	if kvNeeded >= 1 {
+		// Generation demand alone consumes the whole KV pool: every
+		// tenant would silently get a zero-byte index budget, which is
+		// not an allocation but an overload. Refuse explicitly.
+		return Result{}, fmt.Errorf(
+			"tenant: infeasible: aggregate generation demand %.1f req/s (with %.2fx headroom) meets or exceeds LLM capacity %.1f req/s; no HBM remains for any index",
+			aggregate, headroom, in.Mu0)
 	}
+	res.BudgetBytes = int64(float64(in.MemKV) * (1 - kvNeeded))
 
 	// Phase 1: floors at cluster granularity.
 	n := len(in.Tenants)
@@ -349,7 +386,6 @@ func JointAllocate(in Inputs) (Result, error) {
 	}
 
 	res.UsedBytes = used
-	res.MuLLM = in.Mu0 * kvFraction(in.MemKV, used)
 	for i, t := range in.Tenants {
 		score, etaMin := scoreAt(t, ks[i], aggregate)
 		res.Allocations = append(res.Allocations, Allocation{
@@ -366,6 +402,10 @@ func JointAllocate(in Inputs) (Result, error) {
 			Feasible:   score >= 1,
 		})
 	}
+	// Precision pass: spend what placement left over on PQ→SQ8 upgrades
+	// (no-op and bit-identical without Inputs.Precision).
+	res.RecallGain = upgradePrecision(in, &res, ks)
+	res.MuLLM = in.Mu0 * kvFraction(in.MemKV, res.UsedBytes)
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package tenant
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -129,7 +130,7 @@ func TestJointAllocateTierOrderUnderScarcity(t *testing.T) {
 	// Budget only fits a fraction of the combined feasible sets.
 	full := tenants[0].PrefixBytes[len(tenants[0].PrefixBytes)-1]
 	memKV := full // budget = a slice of one tenant's full index
-	res, err := JointAllocate(Inputs{Tenants: tenants, MemKV: memKV, Mu0: 1000, FloorFrac: 0.1})
+	res, err := JointAllocate(Inputs{Tenants: tenants, MemKV: memKV, Mu0: 1000, FloorFrac: Float(0.1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,21 +181,58 @@ func TestJointAllocateDeterministic(t *testing.T) {
 	}
 }
 
-func TestJointAllocateOverloadZeroBudget(t *testing.T) {
+func TestJointAllocateOverloadIsAnError(t *testing.T) {
 	tenants := threeTenants(t)
-	// Aggregate rate 30 against Mu0 20: generation cannot keep up, so
-	// no HBM may be diverted to index cache.
-	res, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 20})
+	// Aggregate rate 30 against Mu0 20: generation cannot keep up. The
+	// old behavior silently granted every tenant a zero-byte budget;
+	// overload must be an explicit infeasibility error instead.
+	_, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 20})
+	if err == nil {
+		t.Fatal("overloaded node (kvNeeded >= 1) did not error")
+	}
+	if !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("overload error does not say infeasible: %v", err)
+	}
+}
+
+func TestJointAllocateExplicitZeroOptions(t *testing.T) {
+	tenants := threeTenants(t)
+	// An explicit FloorFrac of zero disables floors — it must not be
+	// silently replaced by the 0.25 default.
+	res, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 60, FloorFrac: Float(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.BudgetBytes != 0 || res.UsedBytes != 0 {
-		t.Fatalf("overloaded node still allocated: budget %d used %d", res.BudgetBytes, res.UsedBytes)
-	}
 	for _, a := range res.Allocations {
-		if a.Clusters != 0 {
-			t.Errorf("%s granted %d clusters with zero budget", a.Name, a.Clusters)
+		if a.FloorBytes != 0 {
+			t.Errorf("%s: explicit FloorFrac 0 still granted floor %d", a.Name, a.FloorBytes)
 		}
+	}
+	// An explicit KVHeadroom of zero reserves for the bare rate: the
+	// budget must be strictly larger than under the 1.05 default.
+	def, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 60, KVHeadroom: Float(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.BudgetBytes <= def.BudgetBytes {
+		t.Errorf("explicit KVHeadroom 0 budget %d not above default-headroom budget %d",
+			bare.BudgetBytes, def.BudgetBytes)
+	}
+	// kvNeeded = 0·ΣRate/Mu0 = 0: an explicit zero headroom reserves no
+	// KV at all, so the budget is the whole pool.
+	if want := int64(8 << 30); bare.BudgetBytes != want {
+		t.Errorf("zero-headroom budget %d, want %d", bare.BudgetBytes, want)
+	}
+	// Negative option values are errors, not defaults.
+	if _, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 60, FloorFrac: Float(-0.1)}); err == nil {
+		t.Error("negative FloorFrac accepted")
+	}
+	if _, err := JointAllocate(Inputs{Tenants: tenants, MemKV: 8 << 30, Mu0: 60, KVHeadroom: Float(-1)}); err == nil {
+		t.Error("negative KVHeadroom accepted")
 	}
 }
 
@@ -227,5 +265,83 @@ func TestJointAllocateValidation(t *testing.T) {
 	bad.Est = nil
 	if _, err := JointAllocate(Inputs{Tenants: []Input{bad}, MemKV: 1 << 30, Mu0: 10}); err == nil {
 		t.Error("nil estimator accepted")
+	}
+}
+
+// TestJointAllocatePrecisionNeverLowersAttainment: the tentpole
+// property. The codec-upgrade pass runs strictly after the placement
+// rounds converge and spends only leftover budget, so at equal budget
+// the placement×precision allocation must grant every tenant the same
+// clusters and the same modeled attainment (Score) as placement-only —
+// never less — while staying inside the budget and buying nonnegative
+// recall. Swept over budgets from scarce to plentiful.
+func TestJointAllocatePrecisionNeverLowersAttainment(t *testing.T) {
+	tenants := threeTenants(t)
+	// Synthetic profiler deltas: recall gain decays with hotness rank and
+	// hits zero past rank 24, exercising the zero-delta skip.
+	deltas := make([][]float64, len(tenants))
+	for i := range deltas {
+		d := make([]float64, len(tenants[i].PrefixBytes)-1)
+		for r := range d {
+			d[r] = 0.048 - 0.002*float64(r)
+			if d[r] < 0 {
+				d[r] = 0
+			}
+		}
+		deltas[i] = d
+	}
+	for _, memKV := range []int64{2 << 30, 8 << 30, 32 << 30, 1 << 42} {
+		base := Inputs{Tenants: tenants, MemKV: memKV, Mu0: 60}
+		plain, err := JointAllocate(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined := base
+		refined.Precision = &PrecisionOptions{SQBytesRatio: 4, RecallDelta: deltas}
+		prec, err := JointAllocate(refined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prec.BudgetBytes != plain.BudgetBytes {
+			t.Fatalf("memKV=%d: budgets diverged: %d vs %d", memKV, prec.BudgetBytes, plain.BudgetBytes)
+		}
+		if prec.UsedBytes > prec.BudgetBytes {
+			t.Errorf("memKV=%d: refined spend %d exceeds budget %d", memKV, prec.UsedBytes, prec.BudgetBytes)
+		}
+		if prec.RecallGain < 0 {
+			t.Errorf("memKV=%d: negative aggregate recall gain %v", memKV, prec.RecallGain)
+		}
+		for i := range plain.Allocations {
+			p, q := plain.Allocations[i], prec.Allocations[i]
+			if q.Clusters != p.Clusters {
+				t.Errorf("memKV=%d %s: refinement moved placement: %d vs %d clusters",
+					memKV, q.Name, q.Clusters, p.Clusters)
+			}
+			if q.Score < p.Score {
+				t.Errorf("memKV=%d %s: modeled attainment fell %.4f -> %.4f at equal budget",
+					memKV, q.Name, p.Score, q.Score)
+			}
+			if q.Bytes != p.Bytes+q.SQBytes {
+				t.Errorf("memKV=%d %s: byte accounting broken: %d != %d placement + %d SQ",
+					memKV, q.Name, q.Bytes, p.Bytes, q.SQBytes)
+			}
+			if q.RecallGain < 0 || (q.SQClusters == 0) != (q.SQBytes == 0) {
+				t.Errorf("memKV=%d %s: inconsistent precision fields: %+v", memKV, q.Name, q)
+			}
+		}
+	}
+	// With a plentiful budget the upgrade pass must actually fire.
+	refined := Inputs{Tenants: tenants, MemKV: 1 << 42, Mu0: 60,
+		Precision: &PrecisionOptions{SQBytesRatio: 4, RecallDelta: deltas}}
+	res, err := JointAllocate(refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sq int
+	for _, a := range res.Allocations {
+		sq += a.SQClusters
+	}
+	if sq == 0 || res.RecallGain <= 0 {
+		t.Errorf("plentiful budget bought no upgrades: %d SQ clusters, gain %v", sq, res.RecallGain)
 	}
 }

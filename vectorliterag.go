@@ -89,6 +89,11 @@ type (
 	// ResilienceReport is the failure-handling addendum of a faulted
 	// cluster run.
 	ResilienceReport = rag.ResilienceReport
+	// PrecisionOptions configures the placement × precision refinement
+	// (VLiteRAG only): hot clusters upgraded from PQ to SQ8 within a
+	// bounded HBM budget, the coldest CPU-resident clusters demoted to
+	// the modeled NVMe tier. Zero fields take the documented defaults.
+	PrecisionOptions = rag.PrecisionOptions
 )
 
 // The fault kinds of a scripted storm.
@@ -321,7 +326,13 @@ type ServeOptions struct {
 	// (VLiteRAG only) instead of re-profiling and re-partitioning. This
 	// is how a *stale* plan is evaluated after workload drift.
 	Prebuilt *BuiltSystem
-	Seed     uint64
+	// Precision, when non-nil, turns on the joint placement × precision
+	// refinement (VLiteRAG only): the hottest placed clusters upgrade
+	// from PQ to SQ8 codes within a bounded HBM budget and the coldest
+	// CPU-resident clusters demote to the modeled NVMe tier. Nil keeps
+	// the classic all-PQ, two-tier placement bit for bit.
+	Precision *PrecisionOptions
+	Seed      uint64
 
 	// Drift schedules popularity rotations on the virtual timeline, so a
 	// single run contains the query drift of paper §IV-B3. The workload
@@ -351,6 +362,13 @@ type Report struct {
 	Rho      float64
 	AvgBatch float64
 	Mu0      float64
+	// RecallGain / SQClusters / NVMeClusters report the precision
+	// refinement (zero without ServeOptions.Precision): the served mean
+	// per-query recall gain from SQ8 upgrades and the per-tier cluster
+	// counts the refinement chose.
+	RecallGain   float64
+	SQClusters   int
+	NVMeClusters int
 	// Timeline is the attainment-over-time series at 30-second windows
 	// (ServeAdaptive honors its TimelineBucket override) — flat for a
 	// stationary run, and the degradation/recovery curve under drift.
@@ -384,6 +402,7 @@ func ragOptions(opts ServeOptions) rag.Options {
 	if opts.Prebuilt != nil {
 		ro.Plan = opts.Prebuilt.Plan
 	}
+	ro.Precision = opts.Precision
 	return ro
 }
 
@@ -395,12 +414,15 @@ func Serve(opts ServeOptions) (*Report, error) {
 		return nil, err
 	}
 	return &Report{
-		Summary:  res.Summary,
-		SLOTotal: res.SLOTotal,
-		Rho:      res.Rho,
-		AvgBatch: res.AvgBatch,
-		Mu0:      res.Mu0,
-		Timeline: metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
+		Summary:      res.Summary,
+		SLOTotal:     res.SLOTotal,
+		Rho:          res.Rho,
+		AvgBatch:     res.AvgBatch,
+		Mu0:          res.Mu0,
+		RecallGain:   res.RecallGain,
+		SQClusters:   res.SQClusters,
+		NVMeClusters: res.NVMeClusters,
+		Timeline:     metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
 	}, nil
 }
 
