@@ -9,9 +9,10 @@ FUZZTIME ?= 5s
 # Coverage ratchet: `make cover-check` fails below this total (the
 # measured baseline at the time the gate was added was 76.6%; the
 # resilience layer raised it to 77.3%, the streaming-ingest layer to
-# 79.4%, and the mixed-precision layer to 79.9%). Raise it when
-# coverage improves; never lower it to make CI pass.
-COVER_MIN ?= 78.5
+# 79.4%, and the mixed-precision and overload-control layers to
+# 79.9%). Raise it when coverage improves; never lower it to make CI
+# pass.
+COVER_MIN ?= 79.0
 
 .PHONY: verify build test vet lint race bench bench-search bench-serve bench-smoke scaling-smoke examples-smoke fuzz-smoke cover cover-check cover-ratchet fmt
 
@@ -57,15 +58,16 @@ bench-serve:
 	$(GO) run ./cmd/vliterag run -exp bench-serve
 
 # One-iteration compile-and-run of the search kernel benchmarks, a
-# quick-mode bench-serve pass, and quick faults + ingest runs (the
-# resilience and live-corpus paths end-to-end through the CLI); CI runs
-# this so none of them can rot.
+# quick-mode bench-serve pass, and quick faults + ingest + overload
+# runs (the resilience, live-corpus, and overload-control paths
+# end-to-end through the CLI); CI runs this so none of them can rot.
 bench-smoke:
 	$(GO) test -run=NONE -bench=Search -benchtime=1x ./...
 	$(GO) run ./cmd/vliterag run -exp bench-serve -quick
 	$(GO) run ./cmd/vliterag run -exp faults -quick
 	$(GO) run ./cmd/vliterag run -exp ingest -quick
 	$(GO) run ./cmd/vliterag run -exp precision -quick
+	$(GO) run ./cmd/vliterag run -exp overload -quick
 
 # Wall-clock scaling assertion for the parallel sharded engine: a
 # replicated cluster run must finish >=1.5x faster on 4 workers than on

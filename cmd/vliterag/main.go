@@ -20,6 +20,9 @@
 //	vliterag serve -tenants 3 -tiers gold,silver,bronze -rate 15 \
 //	    -rate-pattern burst            # SLO-tiered multi-tenant serving
 //	vliterag serve -tenants 3 -shared-queue -rate 15 -rate-pattern burst
+//	vliterag serve -tenants 3 -rate 50 -brownout -queue-cap 32 \
+//	    -stage-budgets 350ms:600ms     # overload control: bounded
+//	    # admission plus the tier-biased quality-shedding ladder
 //	vliterag serve -ingest -ingest-rate 4 -delete-rate 1 \
 //	    -reencode-every 25s -rate 30  # live-corpus streaming ingest:
 //	    # mutations, tombstones, and freshness SLOs on the timeline
@@ -237,6 +240,9 @@ func serveCmd(args []string) error {
 	ingestRate := fs.Float64("ingest-rate", 4, "insert rate in vectors/s (with -ingest)")
 	deleteRate := fs.Float64("delete-rate", 1, "delete rate in vectors/s (with -ingest)")
 	reencodeEvery := fs.Duration("reencode-every", 25*time.Second, "background PQ re-encode cadence (with -ingest)")
+	queueCap := fs.Int("queue-cap", 0, "bound each tenant's admission queue, rejecting arrivals past it (with -tenants; 0 = default 64 when -brownout is on)")
+	brownout := fs.Bool("brownout", false, "closed-loop overload control: shed retrieval quality (nprobe, rerank depth, SQ8 precision) when a stage overruns its latency budget (with -tenants)")
+	stageBudgets := fs.String("stage-budgets", "", "per-stage latency budgets as <retrieval>:<generation>, e.g. 350ms:600ms (with -brownout; default: each tenant's own SLOs)")
 	precision := fs.Bool("precision", false, "vLiteRAG joint placement x precision: SQ8-upgrade hot clusters within leftover HBM, demote coldest clusters to the modeled NVMe tier")
 	sqBudget := fs.Float64("sq-budget", 0, "SQ8 upgrade budget as a fraction of leftover HBM (with -precision; 0 = default 0.10)")
 	nvmeShare := fs.Float64("nvme-share", 0, "coldest access share demoted to NVMe (with -precision; 0 = default 0.02)")
@@ -244,13 +250,15 @@ func serveCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	timeoutSet, ingestTuned := false, false
+	timeoutSet, ingestTuned, capSet := false, false, false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "timeout-ms":
 			timeoutSet = true
 		case "ingest-rate", "delete-rate", "reencode-every":
 			ingestTuned = true
+		case "queue-cap":
+			capSet = true
 		}
 	})
 	ing := ingestFlags{
@@ -260,7 +268,15 @@ func serveCmd(args []string) error {
 		reencodeEvery: *reencodeEvery,
 		tuned:         ingestTuned,
 	}
-	if err := validateServeFlags(*rate, *replicas, *workers, *timeoutMS, timeoutSet, ing); err != nil {
+	bo := brownoutFlags{
+		on:          *brownout,
+		queueCap:    *queueCap,
+		capSet:      capSet,
+		budgets:     *stageBudgets,
+		tenants:     *tenants,
+		sharedQueue: *sharedQueue,
+	}
+	if err := validateServeFlags(*rate, *replicas, *workers, *timeoutMS, timeoutSet, ing, bo); err != nil {
 		return err
 	}
 	resilience, err := resilienceFromFlags(*faults, *retry, *hedgeMS, *timeoutMS, *degrade, *replicas)
@@ -302,7 +318,7 @@ func serveCmd(args []string) error {
 	}
 	if *tenants > 0 {
 		return serveTenants(*tenants, *tiers, *sharedQueue, spec, m, node, *rate, *dur, *seed, *pattern, *slo,
-			*replicas, *workers, *netDelay, vlr.RoutePolicy(*policy), prof)
+			*replicas, *workers, *netDelay, vlr.RoutePolicy(*policy), bo, prof)
 	}
 	if err := prof.start(); err != nil {
 		return err
@@ -458,7 +474,7 @@ func printLive(rep *vlr.LiveReport) {
 // the "bursty bronze neighbor" demo — while the others stay steady.
 func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.ModelSpec, node vlr.Node,
 	rate float64, dur time.Duration, seed uint64, pattern string, slo time.Duration,
-	replicas, workers int, netDelay time.Duration, policy vlr.RoutePolicy, prof *profiler) error {
+	replicas, workers int, netDelay time.Duration, policy vlr.RoutePolicy, bo brownoutFlags, prof *profiler) error {
 	if strings.TrimSpace(tiers) == "" {
 		return fmt.Errorf("-tiers is empty")
 	}
@@ -521,6 +537,14 @@ func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.Mo
 		Tenants: specs, Node: node, Model: m,
 		Duration: dur, Seed: seed, SharedQueue: sharedQueue,
 	}
+	if bo.on || bo.capSet {
+		ov := &vlr.OverloadOptions{QueueCap: bo.queueCap, Brownout: bo.on}
+		if bo.budgets != "" {
+			// Validated in validateServeFlags; parse errors cannot reach here.
+			ov.RetrievalBudget, ov.GenerationBudget, _ = parseStageBudgets(bo.budgets)
+		}
+		mto.Overload = ov
+	}
 	if replicas > 1 {
 		mto.Replicas, mto.Policy = replicas, policy
 		mto.Workers, mto.NetDelay = workers, netDelay
@@ -542,9 +566,21 @@ func serveTenants(n int, tiers string, sharedQueue bool, spec vlr.Spec, m vlr.Mo
 		if tr.Met {
 			met = "met "
 		}
-		fmt.Printf("  %-10s %-6s rate %5.1f  rho %.3f  attainment %.3f (target %.2f %s)  TTFT p90 %v  peak queue %d\n",
+		fmt.Printf("  %-10s %-6s rate %5.1f  rho %.3f  attainment %.3f (target %.2f %s)  TTFT p90 %v  peak queue %d",
 			tr.Name, tr.Tier, tr.Rate, tr.Alloc.Rho, tr.Summary.Attainment, tr.Target, met,
 			tr.Summary.TTFT.P90, tr.PeakQueue)
+		if rep.Overload != nil {
+			fmt.Printf("  rejected %d", tr.Rejected)
+		}
+		fmt.Println()
+	}
+	if ov := rep.Overload; ov != nil {
+		fmt.Printf("  overload: queue cap %d  rejected %d total", ov.QueueCap, ov.RejectedTotal)
+		if ov.Brownout {
+			fmt.Printf("  brownout max level %d  %.0f%% of run browned out  mean shed %.2f",
+				ov.MaxLevel, 100*ov.BrownoutShare, ov.MeanShed)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("  aggregate attainment %.3f  Jain fairness %.3f\n", rep.Attainment, rep.Fairness)
 	fmt.Printf("  HBM: index budget %.1f GB, used %.1f GB; LLM throughput %.1f -> %.1f req/s\n",

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	vlr "vectorliterag"
@@ -20,12 +21,46 @@ type ingestFlags struct {
 	tuned         bool
 }
 
+// brownoutFlags carries the overload-control flag group into
+// validation. capSet records whether -queue-cap was explicitly given
+// (an explicit 0 is rejected, the flag never being given means "use
+// the default bound"), tenants/sharedQueue echo the serving mode so
+// the group can insist on the FairScheduler's per-tenant queues.
+type brownoutFlags struct {
+	on          bool
+	queueCap    int
+	capSet      bool
+	budgets     string // raw -stage-budgets value
+	tenants     int
+	sharedQueue bool
+}
+
+// parseStageBudgets splits a -stage-budgets value of the form
+// "<retrieval>:<generation>" (e.g. "350ms:600ms") into the two
+// per-stage latency budgets. Both must parse and be positive.
+func parseStageBudgets(s string) (retr, gen time.Duration, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("serve: -stage-budgets wants <retrieval>:<generation> (e.g. 350ms:600ms), have %q", s)
+	}
+	if retr, err = time.ParseDuration(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("serve: -stage-budgets retrieval budget %q: %v", parts[0], err)
+	}
+	if gen, err = time.ParseDuration(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("serve: -stage-budgets generation budget %q: %v", parts[1], err)
+	}
+	if retr <= 0 || gen <= 0 {
+		return 0, 0, fmt.Errorf("serve: -stage-budgets must both be positive (have %v:%v)", retr, gen)
+	}
+	return retr, gen, nil
+}
+
 // validateServeFlags rejects nonsensical serve parameters up front, in
 // the style of serve.ResolvePolicy's error: name the knob, echo the bad
 // value, state what is accepted. timeoutSet distinguishes an explicit
 // -timeout-ms 0 (rejected — a zero deadline would fail everything) from
 // the flag never being given (timeouts simply stay off).
-func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutSet bool, ing ingestFlags) error {
+func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutSet bool, ing ingestFlags, bo brownoutFlags) error {
 	if rate <= 0 {
 		return fmt.Errorf("serve: -rate must be positive (have %g)", rate)
 	}
@@ -50,6 +85,23 @@ func validateServeFlags(rate float64, replicas, workers, timeoutMS int, timeoutS
 		}
 		if ing.reencodeEvery <= 0 {
 			return fmt.Errorf("serve: -reencode-every must be positive (have %v)", ing.reencodeEvery)
+		}
+	}
+	if bo.capSet && bo.queueCap <= 0 {
+		return fmt.Errorf("serve: -queue-cap must be positive (have %d); omit the flag for the default bound", bo.queueCap)
+	}
+	if bo.budgets != "" && !bo.on {
+		return fmt.Errorf("serve: -stage-budgets tunes the brownout controller's per-stage latency budgets; add -brownout")
+	}
+	if (bo.on || bo.capSet) && bo.tenants <= 0 {
+		return fmt.Errorf("serve: -brownout/-queue-cap bound the per-tenant admission queues and need -tenants")
+	}
+	if (bo.on || bo.capSet) && bo.sharedQueue {
+		return fmt.Errorf("serve: -shared-queue has no per-tenant queues to bound; drop -brownout/-queue-cap")
+	}
+	if bo.budgets != "" {
+		if _, _, err := parseStageBudgets(bo.budgets); err != nil {
+			return err
 		}
 	}
 	return nil

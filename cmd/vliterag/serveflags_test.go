@@ -15,6 +15,7 @@ func TestValidateServeFlags(t *testing.T) {
 		timeoutMS  int
 		timeoutSet bool
 		ingest     ingestFlags
+		brownout   brownoutFlags
 		wantErr    string // substring; "" means valid
 	}{
 		{name: "defaults", rate: 30, replicas: 1, workers: 8},
@@ -42,10 +43,34 @@ func TestValidateServeFlags(t *testing.T) {
 			ingest: ingestFlags{on: true, insertRate: 4}, wantErr: "-reencode-every"},
 		{name: "negative reencode interval", rate: 30, replicas: 1, workers: 8,
 			ingest: ingestFlags{on: true, insertRate: 4, reencodeEvery: -time.Second}, wantErr: "-reencode-every"},
+		{name: "brownout with tenants", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, tenants: 3}},
+		{name: "queue cap with tenants", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{queueCap: 32, capSet: true, tenants: 3}},
+		{name: "full brownout group", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, queueCap: 32, capSet: true, budgets: "350ms:600ms", tenants: 3}},
+		{name: "explicit zero queue cap", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{queueCap: 0, capSet: true, tenants: 3}, wantErr: "-queue-cap"},
+		{name: "negative queue cap", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{queueCap: -4, capSet: true, tenants: 3}, wantErr: "-queue-cap"},
+		{name: "brownout without tenants", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true}, wantErr: "-tenants"},
+		{name: "queue cap without tenants", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{queueCap: 32, capSet: true}, wantErr: "-tenants"},
+		{name: "brownout on the shared queue", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, tenants: 3, sharedQueue: true}, wantErr: "-shared-queue"},
+		{name: "stage budgets without brownout", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{budgets: "350ms:600ms", tenants: 3}, wantErr: "-brownout"},
+		{name: "stage budgets missing a stage", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, budgets: "350ms", tenants: 3}, wantErr: "-stage-budgets"},
+		{name: "stage budgets unparsable", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, budgets: "fast:slow", tenants: 3}, wantErr: "-stage-budgets"},
+		{name: "stage budgets non-positive", rate: 30, replicas: 1, workers: 8,
+			brownout: brownoutFlags{on: true, budgets: "350ms:-1s", tenants: 3}, wantErr: "-stage-budgets"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateServeFlags(tc.rate, tc.replicas, tc.workers, tc.timeoutMS, tc.timeoutSet, tc.ingest)
+			err := validateServeFlags(tc.rate, tc.replicas, tc.workers, tc.timeoutMS, tc.timeoutSet, tc.ingest, tc.brownout)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)
@@ -92,5 +117,18 @@ func TestResilienceFromFlags(t *testing.T) {
 	}
 	if !rc.HedgeAuto || rc.HedgeDelay != 0 {
 		t.Fatalf("config %+v: -hedge-ms -1 should set HedgeAuto", rc)
+	}
+}
+
+func TestParseStageBudgets(t *testing.T) {
+	retr, gen, err := parseStageBudgets("350ms:600ms")
+	if err != nil || retr != 350*time.Millisecond || gen != 600*time.Millisecond {
+		t.Fatalf("350ms:600ms -> %v, %v, %v", retr, gen, err)
+	}
+	if _, _, err := parseStageBudgets("350ms:600ms:1s"); err == nil {
+		t.Fatal("three stages accepted")
+	}
+	if _, _, err := parseStageBudgets(""); err == nil {
+		t.Fatal("empty value accepted")
 	}
 }

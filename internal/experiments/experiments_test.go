@@ -17,8 +17,8 @@ func TestRegistryComplete(t *testing.T) {
 	// the beyond-the-paper studies.
 	want := []string{"fig3", "fig4", "fig5", "fig6", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tab1", "ablations",
-		"cluster", "bench", "bench-serve", "adapt", "tenants", "faults", "ingest",
-		"precision"}
+		"cluster", "bench", "bench-serve", "adapt", "tenants", "overload", "faults",
+		"ingest", "precision"}
 	reg := Registry()
 	for _, id := range want {
 		if _, ok := reg[id]; !ok {
@@ -943,6 +943,111 @@ func TestPrecisionDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if got := r.CSV(); got != ref {
 			t.Errorf("workers=%d: precision CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
+		}
+	}
+}
+
+// overloadQuick caches the quick-mode Overload run (three full sharded
+// multi-tenant simulations under the ramp) for the assertions below.
+var overloadQuick *OverloadResult
+
+func overloadQuickResult(t *testing.T) *OverloadResult {
+	t.Helper()
+	if overloadQuick == nil {
+		r, err := Overload(quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		overloadQuick = r
+	}
+	return overloadQuick
+}
+
+// TestOverloadResilience: the headline overload artifact — at a
+// sustained ≈1.5× capacity ramp, the naive unbounded queue collapses
+// (bronze backlog grows without bound, aggregate attainment craters),
+// bounded admission contains the backlog by rejecting, and the
+// brownout ladder on top of it holds gold at ≥0.90 attainment while
+// buying goodput with recall instead of with dropped requests.
+func TestOverloadResilience(t *testing.T) {
+	r := overloadQuickResult(t)
+	naive, reject, brown := r.Arm("naive-queue"), r.Arm("reject-only"), r.Arm("brownout")
+	if naive == nil || reject == nil || brown == nil {
+		t.Fatalf("arms missing: %+v", r.Arms)
+	}
+	if !naive.Collapsed(r.QueueCap) {
+		t.Fatalf("naive queue did not collapse: attainment %.3f, rows %+v", naive.Attainment, naive.Rows)
+	}
+	if naive.Rejected != 0 {
+		t.Errorf("naive arm rejected %d requests with no admission bound", naive.Rejected)
+	}
+	g := brown.Row("gold")
+	if g == nil || g.Att < 0.90 {
+		t.Fatalf("brownout arm gold attainment below 0.90: %+v", g)
+	}
+	// Bounded admission must actually bound: no per-tenant queue past
+	// the cap, and the bronze surplus visibly refused.
+	for _, a := range []*OverloadArm{reject, brown} {
+		for _, row := range a.Rows {
+			if row.PeakQueue > r.QueueCap {
+				t.Errorf("%s arm %s queue %d exceeds cap %d", a.Name, row.Name, row.PeakQueue, r.QueueCap)
+			}
+		}
+		if a.Rejected == 0 {
+			t.Errorf("%s arm rejected nothing under 1.5x overload", a.Name)
+		}
+	}
+	// The controller must have engaged and stayed engaged through the
+	// sustained overload, shedding real work.
+	if brown.MaxLevel == 0 || brown.TimeInBrownout == 0 || brown.MeanShed == 0 {
+		t.Errorf("brownout controller never engaged: level %d, time %v, shed %.2f",
+			brown.MaxLevel, brown.TimeInBrownout, brown.MeanShed)
+	}
+	// Degrading beats dropping: brownout serves more within-SLO work
+	// than reject-only, and pays for it in recall (the SQ8→PQ rung
+	// hands back some of the precision upgrade's gain).
+	if brown.Goodput <= reject.Goodput {
+		t.Errorf("brownout goodput %.2f did not beat reject-only %.2f", brown.Goodput, reject.Goodput)
+	}
+	if brown.RecallGain >= naive.RecallGain {
+		t.Errorf("brownout recall gain %.4f did not drop below naive %.4f; the precision-fallback rung never fired",
+			brown.RecallGain, naive.RecallGain)
+	}
+	out := r.Render()
+	for _, want := range []string{"naive-queue", "reject-only", "brownout", "overload contained"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestOverloadGoldenPinned: the quick-mode artifact is bit-identical
+// across runs with the same seed; the golden pins it.
+func TestOverloadGoldenPinned(t *testing.T) {
+	got := overloadQuickResult(t).CSV()
+	want, err := os.ReadFile(filepath.Join("testdata", "overload_quick.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("overload quick-mode CSV drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestOverloadDeterministicAcrossWorkers: every arm runs on the
+// sharded cluster engine (NetDelay is set explicitly), per-replica
+// brownout controllers see only replica-local completions, and the
+// merged timeline is a pure function of the options — the artifact
+// must be bit-identical for every Workers value.
+func TestOverloadDeterministicAcrossWorkers(t *testing.T) {
+	ref := overloadQuickResult(t).CSV()
+	for _, workers := range []int{1, 2, 4} {
+		r, err := overloadWithWorkers(quick(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.CSV(); got != ref {
+			t.Errorf("workers=%d: overload CSV diverged:\ngot:\n%s\nwant:\n%s", workers, got, ref)
 		}
 	}
 }

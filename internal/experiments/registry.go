@@ -54,10 +54,11 @@ func Registry() map[string]Runner {
 		"bench-serve": func(c Config) (Renderer, error) {
 			return BenchServe(c)
 		},
-		"adapt":   func(c Config) (Renderer, error) { return Adapt(c) },
-		"tenants": func(c Config) (Renderer, error) { return Tenants(c) },
-		"faults":  func(c Config) (Renderer, error) { return Faults(c) },
-		"ingest":  func(c Config) (Renderer, error) { return Ingest(c) },
+		"adapt":    func(c Config) (Renderer, error) { return Adapt(c) },
+		"tenants":  func(c Config) (Renderer, error) { return Tenants(c) },
+		"overload": func(c Config) (Renderer, error) { return Overload(c) },
+		"faults":   func(c Config) (Renderer, error) { return Faults(c) },
+		"ingest":   func(c Config) (Renderer, error) { return Ingest(c) },
 		"precision": func(c Config) (Renderer, error) {
 			return Precision(c)
 		},

@@ -357,7 +357,7 @@ func TestCompactPurgesEncodedAppends(t *testing.T) {
 			t.Fatalf("survivor %d lost by the rewrite", id)
 		}
 	}
-	if s.Alive(-1) || s.Alive(1 << 30) {
+	if s.Alive(-1) || s.Alive(1<<30) {
 		t.Fatal("out-of-range IDs report alive")
 	}
 }

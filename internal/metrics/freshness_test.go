@@ -22,10 +22,10 @@ func TestSummarizeFreshness(t *testing.T) {
 	muts := []workload.Mutation{
 		mut(1*time.Second, 10*time.Millisecond),
 		mut(2*time.Second, 50*time.Millisecond),
-		mut(3*time.Second, 200*time.Millisecond), // violation
-		{Kind: workload.MutInsert, ArrivalAt: des.Time(4 * time.Second)},  // pending: violation, no percentile
-		{Kind: workload.MutDelete, ArrivalAt: des.Time(5 * time.Second)},  // counted, no searchability
-		mut(0, 5*time.Millisecond), // before cutoff: excluded entirely
+		mut(3*time.Second, 200*time.Millisecond),                         // violation
+		{Kind: workload.MutInsert, ArrivalAt: des.Time(4 * time.Second)}, // pending: violation, no percentile
+		{Kind: workload.MutDelete, ArrivalAt: des.Time(5 * time.Second)}, // counted, no searchability
+		mut(0, 5*time.Millisecond),                                       // before cutoff: excluded entirely
 	}
 	f := SummarizeFreshness(muts, slo, des.Time(500*time.Millisecond))
 	if f.Inserts != 4 || f.Deletes != 1 || f.Pending != 1 {
@@ -66,7 +66,7 @@ func TestAnnotateFreshness(t *testing.T) {
 		mut(40*time.Second, 20*time.Millisecond),
 		{Kind: workload.MutInsert, ArrivalAt: des.Time(45 * time.Second)}, // pending: violation
 		{Kind: workload.MutDelete, ArrivalAt: des.Time(41 * time.Second)}, // ignored
-		mut(100*time.Second, time.Millisecond), // past the timeline: dropped
+		mut(100*time.Second, time.Millisecond),                            // past the timeline: dropped
 	}
 	AnnotateFreshness(wins, muts, slo, width)
 	if wins[0].Inserts != 2 || wins[0].FreshAttainment != 0.5 {

@@ -142,6 +142,34 @@ func Goodput(reqs []workload.Request, slo time.Duration, cutoff, horizon des.Tim
 	return float64(ok) / window
 }
 
+// TenantGoodput is Goodput over a multi-tenant record stream: each
+// request is judged against its own tenant's combined TTFT budget
+// (slos indexed by Request.Tenant; out-of-range tenants use slos[0]).
+// The overload experiment's headline aggregates this across arms,
+// where a single shared SLO would mis-credit bronze completions
+// against gold's budget.
+func TenantGoodput(reqs []workload.Request, slos []time.Duration, cutoff, horizon des.Time) float64 {
+	window := float64(horizon-cutoff) / float64(time.Second)
+	if window <= 0 || len(slos) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range reqs {
+		r := &reqs[i]
+		if r.ArrivalAt < cutoff || r.ArrivalAt >= horizon || r.FirstToken == 0 || r.Done == 0 {
+			continue
+		}
+		slo := slos[0]
+		if r.Tenant >= 0 && r.Tenant < len(slos) {
+			slo = slos[r.Tenant]
+		}
+		if time.Duration(r.TTFT()) <= slo {
+			ok++
+		}
+	}
+	return float64(ok) / window
+}
+
 // quantiles computes the five-number summary: the mean over the sample
 // in collection order (bit-compatible with the historical float
 // summation order), the percentiles from one sorted scratch copy.

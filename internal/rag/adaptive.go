@@ -80,6 +80,9 @@ func RunAdaptive(opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if opts.Kind != VLiteRAG {
 		return nil, fmt.Errorf("rag: adaptive serving requires the hot-swappable vLiteRAG runtime, got %s", opts.Kind)
 	}
+	if opts.Overload != nil {
+		return nil, fmt.Errorf("rag: overload control and the adaptive replan controller would fight over the same latency signal; run one or the other")
+	}
 	sloTotal, err := opts.normalize()
 	if err != nil {
 		return nil, err

@@ -307,11 +307,42 @@ func Run(opts Options) (*Result, error) {
 	pool := &workload.Pool{}
 	coll := serve.NewCollector()
 	retr, gen := stageBuilders(&sim, opts, d, cpuModel, nil)
-	// Terminal sink: finalize the collector record, then recycle the
-	// request — the pool release must come last.
-	pipe, err := serve.Compose(&sim, serve.Tee(coll.Done, pool.Release), serve.Admit(coll), retr, gen)
+
+	// Overload control, when configured, meters the pipeline through a
+	// single-class FairScheduler: bounded admission ahead of retrieval,
+	// the brownout controller stamping dispatches and observing
+	// completions. Nil leaves the classic scheduler-free composition.
+	var rig *overloadRig
+	var sched *serve.FairScheduler
+	if opts.Overload != nil {
+		sched, err = serve.NewFairScheduler([]serve.TenantClass{{Weight: 1, Priority: 0}}, 32)
+		if err != nil {
+			return nil, err
+		}
+		budgets, bias := opts.overloadBudget()
+		rig, err = rigOverload(&sim, opts.Overload, sched, budgets, bias,
+			rejectSink(coll.Abandon, pool.Release))
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Terminal sink: finalize the collector record (and feed the
+	// brownout monitor), then recycle the request — the pool release
+	// must come last.
+	terminal := teeObserve(rig, coll.Done, pool.Release)
+	builders := []serve.Builder{serve.Admit(coll)}
+	if sched != nil {
+		builders = append(builders, serve.Scheduled(sched))
+	}
+	builders = append(builders, retr, gen)
+	pipe, err := serve.Compose(&sim, terminal, builders...)
 	if err != nil {
 		return nil, err
+	}
+	if sched != nil {
+		// Meter the TTFT section as the multi-tenant path does: the slot
+		// frees at first token, completion re-installs the terminal sink.
+		pipe.Generation().Cluster.SetCallbacks(sched.Release, terminal)
 	}
 	defer installDrift(&sim, opts)()
 	arr := arrivalsFor(opts)
@@ -336,6 +367,10 @@ func Run(opts Options) (*Result, error) {
 		if rr, ok := pipe.Retrieval().Engine.(retrieval.RecallReporter); ok {
 			res.RecallGain = rr.RecallGain()
 		}
+	}
+	if rig != nil {
+		res.Overload = rig.report(opts.Overload, 1,
+			des.Time(opts.Duration+opts.Drain), opts.Duration+opts.Drain)
 	}
 	return res, nil
 }
@@ -379,6 +414,9 @@ func RunCluster(opts Options, replicas int, policy serve.Policy) (*ClusterResult
 	}
 	if opts.NetDelay < 0 {
 		return nil, fmt.Errorf("rag: negative NetDelay %v", opts.NetDelay)
+	}
+	if opts.Overload != nil {
+		return nil, fmt.Errorf("rag: overload control runs on single-node Run and multi-tenant serving; cluster runs degrade through the resilient front end instead")
 	}
 	if opts.resilient() {
 		// Failure injection runs on the single shared timeline: crash

@@ -155,6 +155,9 @@ func RunLive(opts LiveOptions) (*LiveResult, error) {
 	if opts.resilient() {
 		return nil, fmt.Errorf("rag: live ingest runs single-node — fault injection needs RunCluster")
 	}
+	if opts.Overload != nil {
+		return nil, fmt.Errorf("rag: overload control is not wired into the live-ingest pipeline; drop Overload or run without ingest")
+	}
 	sloTotal, err := opts.normalize()
 	if err != nil {
 		return nil, err

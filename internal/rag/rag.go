@@ -100,6 +100,15 @@ type Options struct {
 	// bit. Rejected for every other Kind — the baselines have no
 	// placement decision to refine.
 	Precision *PrecisionOptions
+	// Overload, when non-nil, puts a bounded admission queue (and
+	// optionally the brownout controller) in front of the pipeline: the
+	// single-tenant form of the multi-tenant overload control, with one
+	// queue, full tier bias, and the run's own stage SLOs as budgets.
+	// Nil keeps the unmetered pipeline byte for byte. Supported on
+	// single-node Run only — cluster runs route through the resilient
+	// front end, whose degradation machinery overload control would
+	// fight.
+	Overload *OverloadOptions
 
 	// Workers selects how many worker goroutines a *sharded* cluster run
 	// spreads its shards over (0 = all cores). It changes wall-clock
@@ -197,6 +206,11 @@ func (opts *Options) normalize() (sloTotal time.Duration, err error) {
 			return 0, err
 		}
 	}
+	if opts.Overload != nil {
+		if err := opts.Overload.normalize(); err != nil {
+			return 0, err
+		}
+	}
 	if opts.Duration == 0 {
 		opts.Duration = 120 * time.Second
 	}
@@ -258,6 +272,10 @@ type Result struct {
 	RecallGain   float64
 	SQClusters   int
 	NVMeClusters int
+
+	// Overload reports the admission-control and brownout outcome (nil
+	// on runs without Options.Overload).
+	Overload *OverloadReport
 }
 
 // capCache memoizes bare LLM capacity per deployment, since every rate

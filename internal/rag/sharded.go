@@ -201,6 +201,7 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 	}
 	repColls := make([]*serve.Collector, replicas)
 	scheds := make([]*serve.FairScheduler, replicas)
+	rigs := make([]*overloadRig, replicas)
 	pipes := make([]*serve.Pipeline, replicas)
 	for r := 0; r < replicas; r++ {
 		// Each replica node stacks every tenant's shard bytes on its own
@@ -239,12 +240,27 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 			}
 		}
 		repColl := serve.NewCollector()
+		// Overload control is per replica: each node's controller sees
+		// only its own timeline, so the merged schedule stays a pure
+		// function of the options for any worker count. A rejected
+		// request freezes its record on this replica's collector and
+		// ships home with the completion notice (ownership moves with
+		// it, exactly like a served request).
+		var rig *overloadRig
+		if opts.Overload != nil {
+			budgets, bias := opts.overloadBudgets()
+			rig, err = rigOverload(sim, opts.Overload, sched, budgets, bias,
+				rejectSink(repColl.Abandon, x.NoticeSink(r)))
+			if err != nil {
+				return nil, err
+			}
+		}
 		builders := []serve.Builder{serve.Admit(repColl)}
 		if sched != nil {
 			builders = append(builders, serve.Scheduled(sched))
 		}
 		builders = append(builders, retr, gen)
-		terminal := serve.Tee(repColl.Done, x.NoticeSink(r))
+		terminal := teeObserve(rig, repColl.Done, x.NoticeSink(r))
 		pipe, err := serve.Compose(sim, terminal, builders...)
 		if err != nil {
 			return nil, err
@@ -257,6 +273,7 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 		x.BindReplica(r, pipe.Submit)
 		repColls[r] = repColl
 		scheds[r] = sched
+		rigs[r] = rig
 		pipes[r] = pipe
 	}
 
@@ -324,8 +341,14 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 			SLOTotal: slos[i], Alloc: d.alloc.Allocations[i], Summary: sum,
 		}
 		for _, sched := range scheds {
-			if sched != nil && sched.PeakQueue(i) > tr.PeakQueue {
+			if sched == nil {
+				continue
+			}
+			if sched.PeakQueue(i) > tr.PeakQueue {
 				tr.PeakQueue = sched.PeakQueue(i)
+			}
+			if opts.Overload != nil {
+				tr.Rejected += sched.Rejected(i)
 			}
 		}
 		res.Tenants = append(res.Tenants, tr)
@@ -336,6 +359,10 @@ func runMultiTenantSharded(opts MultiTenantOptions) (*MultiTenantResult, error) 
 	res.Fairness = metrics.JainIndex(atts)
 	if total > 0 {
 		res.Attainment = okWeighted / float64(total)
+	}
+	if opts.Overload != nil {
+		res.Overload = mergeOverloadReports(opts.Overload, rigs, len(opts.Tenants),
+			des.Time(opts.Duration+opts.Drain), opts.Duration+opts.Drain)
 	}
 	return res, nil
 }

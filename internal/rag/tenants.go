@@ -84,6 +84,12 @@ type MultiTenantOptions struct {
 	// clusters demote to the modeled NVMe tier. Nil keeps the classic
 	// placement-only allocation bit for bit.
 	Precision *PrecisionOptions
+	// Overload, when non-nil, bounds each tenant's admission queue and
+	// optionally runs the brownout controller: per-tenant stage budgets
+	// from each tenant's own SLOs, shed fractions biased by tier so
+	// bronze sheds first and gold last. Requires the FairScheduler —
+	// rejected with SharedQueue. Nil keeps every path byte-identical.
+	Overload *OverloadOptions
 
 	// Replicas > 1 serves the tenants on R identical multi-tenant nodes
 	// behind a front-end router, on the parallel sharded engine. Each
@@ -116,6 +122,9 @@ type TenantResult struct {
 	// (zero in the shared-queue baseline, which has no per-tenant
 	// queues).
 	PeakQueue int
+	// Rejected counts the tenant's arrivals refused at admission (zero
+	// without Overload; summed across replicas in a sharded run).
+	Rejected int
 }
 
 // MultiTenantResult is one multi-tenant evaluation point.
@@ -154,6 +163,10 @@ type MultiTenantResult struct {
 	Workers             int
 	NetDelay            time.Duration
 	PerReplicaSubmitted []int
+
+	// Overload reports the admission-control and brownout outcome (nil
+	// without MultiTenantOptions.Overload).
+	Overload *OverloadReport
 }
 
 // normalizeMT fills defaults and validates the option set, returning
@@ -215,6 +228,14 @@ func (opts *MultiTenantOptions) normalizeMT() ([]time.Duration, error) {
 	}
 	if opts.Precision != nil {
 		if err := opts.Precision.normalize(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Overload != nil {
+		if opts.SharedQueue {
+			return nil, fmt.Errorf("rag: overload control needs the fair scheduler's per-tenant queues; it cannot bound the shared-queue baseline")
+		}
+		if err := opts.Overload.normalize(); err != nil {
 			return nil, err
 		}
 	}
@@ -449,12 +470,21 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 	gen := serve.GenerationStage(func() (*llm.Cluster, error) {
 		return llm.NewCluster(&sim, opts.Node, opts.Model, states, llm.DefaultEngineConfig())
 	})
+	var rig *overloadRig
+	if opts.Overload != nil {
+		budgets, bias := opts.overloadBudgets()
+		rig, err = rigOverload(&sim, opts.Overload, sched, budgets, bias,
+			rejectSink(coll.Abandon, pool.Release))
+		if err != nil {
+			return nil, err
+		}
+	}
 	builders := []serve.Builder{serve.Admit(coll)}
 	if sched != nil {
 		builders = append(builders, serve.Scheduled(sched))
 	}
 	builders = append(builders, retr, gen)
-	terminal := serve.Tee(coll.Done, pool.Release)
+	terminal := teeObserve(rig, coll.Done, pool.Release)
 	pipe, err := serve.Compose(&sim, terminal, builders...)
 	if err != nil {
 		return nil, err
@@ -524,6 +554,9 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 		}
 		if sched != nil {
 			tr.PeakQueue = sched.PeakQueue(i)
+			if rig != nil {
+				tr.Rejected = sched.Rejected(i)
+			}
 		}
 		res.Tenants = append(res.Tenants, tr)
 		atts[i] = sum.Attainment
@@ -533,6 +566,10 @@ func RunMultiTenant(opts MultiTenantOptions) (*MultiTenantResult, error) {
 	res.Fairness = metrics.JainIndex(atts)
 	if total > 0 {
 		res.Attainment = okWeighted / float64(total)
+	}
+	if rig != nil {
+		res.Overload = rig.report(opts.Overload, len(opts.Tenants),
+			des.Time(opts.Duration+opts.Drain), opts.Duration+opts.Drain)
 	}
 	return res, nil
 }

@@ -155,7 +155,10 @@ func (e *Hybrid) runBatch(batch []*workload.Request) {
 			}
 			for j, c := range resident {
 				bb := e.cfg.scanBytes(req.Query, resident[j:j+1])
-				if prec.IsSQ(c) {
+				// Brownout precision fallback: a ForcePQ request scans
+				// SQ8-upgraded clusters through the base PQ codec —
+				// cheaper bytes, no recall gain.
+				if prec.IsSQ(c) && !req.ForcePQ {
 					sqBytes[g] += int64(float64(bb) * prec.SQRatio)
 					sqBlocks[g] += e.blockScale
 					gain += float64(bb) * prec.Delta(c)

@@ -214,7 +214,10 @@ func (e *MultiTenant) runBatch(batch []*workload.Request) {
 			}
 			for j, c := range resident {
 				bb := s.scanBytes(req.Query, resident[j:j+1])
-				if prec.IsSQ(c) {
+				// A brownout-stamped ForcePQ request scans SQ8-upgraded
+				// clusters through their base PQ codec: cheaper bytes, no
+				// recall gain — the ladder's precision-fallback rung.
+				if prec.IsSQ(c) && !req.ForcePQ {
 					sqBytes[g] += int64(float64(bb) * prec.SQRatio)
 					sqBlocks[g] += s.blockScale
 					gain += float64(bb) * prec.Delta(c)

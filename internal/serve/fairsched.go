@@ -57,6 +57,21 @@ type FairScheduler struct {
 	maxInflight int
 	next        Sink
 
+	// Bounded admission (overload control): with queueCap > 0, a tenant
+	// whose own queue already holds queueCap requests has new arrivals
+	// rejected at the door instead of enqueued — a rejected request costs
+	// ~0 service time, a queued-then-timed-out one occupies the node
+	// while it ages past its SLO (the metastable regime of faults.go,
+	// reproducible from pure load). Rejections flow to the reject sink
+	// (typically Collector.Abandon so they surface as unserved) and never
+	// touch the in-flight accounting. Caps are per-tenant by
+	// construction: one tenant filling its queue cannot cause another's
+	// rejection.
+	queueCap   int
+	reject     Sink
+	rejected   []int // per-tenant rejection totals (stats)
+	onDispatch func(*workload.Request)
+
 	dispatched []int // per-tenant dispatch totals (stats)
 	peakQueue  []int // per-tenant queue high-water marks (stats)
 }
@@ -122,6 +137,7 @@ func NewFairScheduler(classes []TenantClass, maxInflight int) (*FairScheduler, e
 		lastServed:  make([]int, len(classes)),
 		inflightBy:  make([]int, len(classes)),
 		caps:        make([]int, len(classes)),
+		rejected:    make([]int, len(classes)),
 		dispatched:  make([]int, len(classes)),
 		peakQueue:   make([]int, len(classes)),
 		maxInflight: maxInflight,
@@ -164,10 +180,40 @@ func Scheduled(s *FairScheduler) Builder {
 	}
 }
 
+// SetAdmission bounds every per-tenant queue at cap requests and routes
+// rejected arrivals to the given sink. A non-positive cap disables the
+// bound (the default: unbounded queues, byte-identical to the scheduler
+// before admission control existed). Call before the run starts.
+func (s *FairScheduler) SetAdmission(cap int, reject Sink) {
+	s.queueCap = cap
+	s.reject = reject
+}
+
+// SetOnDispatch installs a hook invoked on each request immediately
+// before it is forwarded downstream — the brownout controller's stamp
+// point, where shed fractions are applied at dispatch time (so a
+// request queued before the controller raised its level still gets the
+// current rung). Call before the run starts.
+func (s *FairScheduler) SetOnDispatch(fn func(*workload.Request)) {
+	s.onDispatch = fn
+}
+
+// Rejected returns how many of tenant t's arrivals were refused at
+// admission.
+func (s *FairScheduler) Rejected(t int) int { return s.rejected[t] }
+
 // Submit implements Stage: enqueue under the request's tenant and
-// dispatch as far as the in-flight bound allows.
+// dispatch as far as the in-flight bound allows. With admission control
+// installed, an arrival to a full tenant queue is rejected instead.
 func (s *FairScheduler) Submit(req *workload.Request) {
 	t := s.clamp(req.Tenant) // untagged requests ride the first class
+	if s.queueCap > 0 && s.queues[t].len() >= s.queueCap {
+		s.rejected[t]++
+		if s.reject != nil {
+			s.reject(req)
+		}
+		return
+	}
 	s.queues[t].push(req)
 	s.queued++
 	if n := s.queues[t].len(); n > s.peakQueue[t] {
@@ -219,6 +265,9 @@ func (s *FairScheduler) dispatch() {
 		s.dispatched[t]++
 		s.inflight++
 		s.inflightBy[t]++
+		if s.onDispatch != nil {
+			s.onDispatch(req)
+		}
 		s.next(req)
 	}
 }

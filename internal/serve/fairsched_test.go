@@ -211,3 +211,124 @@ func TestFairSchedulerValidation(t *testing.T) {
 	// A nil release decrements only the global gauge and must not panic.
 	s.Release(nil)
 }
+
+// rejectRecorder collects requests refused at admission.
+type rejectRecorder struct{ got []*workload.Request }
+
+func (r *rejectRecorder) sink(req *workload.Request) { r.got = append(r.got, req) }
+
+// TestFairSchedulerBoundedAdmission: the queue-cap boundary table —
+// the cap counts queued (not inflight) requests, rejection starts at
+// exactly cap, a drained slot re-admits, and one tenant filling its
+// queue never costs another tenant a slot.
+func TestFairSchedulerBoundedAdmission(t *testing.T) {
+	cases := []struct {
+		name        string
+		queueCap    int
+		maxInflight int
+		// submit[i] = tenant of the i-th submission, in order.
+		submit []int
+		// releases drained after all submissions.
+		releases     int
+		wantSent     int
+		wantRejected map[int]int
+	}{
+		{
+			// Slot 1 dispatches immediately, two queue, the rest bounce.
+			name: "reject starts exactly at cap", queueCap: 2, maxInflight: 1,
+			submit:   []int{0, 0, 0, 0, 0},
+			wantSent: 1, wantRejected: map[int]int{0: 2},
+		},
+		{
+			// cap 0 means unbounded: nothing is ever rejected.
+			name: "zero cap is unbounded", queueCap: 0, maxInflight: 1,
+			submit:   []int{0, 0, 0, 0, 0, 0, 0, 0},
+			wantSent: 1, wantRejected: map[int]int{0: 0},
+		},
+		{
+			// Bronze floods its own queue past the cap; gold's later
+			// arrivals still fill gold's own queue untouched — the cap
+			// is per tenant, not shared.
+			name: "per-tenant isolation", queueCap: 2, maxInflight: 1,
+			submit:   []int{2, 2, 2, 2, 2, 0, 0},
+			wantSent: 1, wantRejected: map[int]int{2: 2, 0: 0},
+		},
+		{
+			// Draining inflight slots admits queued work downstream but
+			// does not retroactively admit what was already refused.
+			name: "drain dispatches the queue", queueCap: 2, maxInflight: 1,
+			submit: []int{0, 0, 0, 0}, releases: 2,
+			wantSent: 3, wantRejected: map[int]int{0: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newSched(t, goldSilverBronze(), tc.maxInflight)
+			rej := &rejectRecorder{}
+			f.s.SetAdmission(tc.queueCap, rej.sink)
+			for i, tenant := range tc.submit {
+				f.s.Submit(&workload.Request{ID: i, Tenant: tenant})
+			}
+			for i := 0; i < tc.releases; i++ {
+				f.release()
+			}
+			if len(f.sent) != tc.wantSent {
+				t.Fatalf("dispatched %d, want %d (order %v)", len(f.sent), tc.wantSent, f.order())
+			}
+			total := 0
+			for tenant, want := range tc.wantRejected {
+				if got := f.s.Rejected(tenant); got != want {
+					t.Errorf("tenant %d rejected %d, want %d", tenant, got, want)
+				}
+				total += want
+			}
+			if len(rej.got) != total {
+				t.Errorf("reject sink saw %d requests, want %d", len(rej.got), total)
+			}
+		})
+	}
+}
+
+// TestFairSchedulerReadmitsAfterDrain: a queue at its cap opens one
+// admission slot per dispatched request — the boundary is live, not
+// latched.
+func TestFairSchedulerReadmitsAfterDrain(t *testing.T) {
+	f := newSched(t, goldSilverBronze(), 1)
+	rej := &rejectRecorder{}
+	f.s.SetAdmission(2, rej.sink)
+	for i := 0; i < 4; i++ { // 1 inflight, 2 queued, 1 rejected
+		f.s.Submit(&workload.Request{ID: i, Tenant: 0})
+	}
+	if f.s.Rejected(0) != 1 {
+		t.Fatalf("rejected %d, want 1", f.s.Rejected(0))
+	}
+	f.release() // a queued request dispatches; the queue drops to 1
+	f.s.Submit(&workload.Request{ID: 4, Tenant: 0})
+	if f.s.Rejected(0) != 1 {
+		t.Fatalf("re-admission failed: rejected %d, want still 1", f.s.Rejected(0))
+	}
+	if f.s.QueueLen(0) != 2 {
+		t.Fatalf("queue length %d, want back at cap 2", f.s.QueueLen(0))
+	}
+}
+
+// TestFairSchedulerOnDispatch: the dispatch hook sees exactly the
+// requests that enter service, never the rejected ones, in dispatch
+// order.
+func TestFairSchedulerOnDispatch(t *testing.T) {
+	f := newSched(t, goldSilverBronze(), 1)
+	rej := &rejectRecorder{}
+	f.s.SetAdmission(1, rej.sink)
+	var stamped []int
+	f.s.SetOnDispatch(func(req *workload.Request) { stamped = append(stamped, req.ID) })
+	for i := 0; i < 4; i++ { // 1 inflight, 1 queued, 2 rejected
+		f.s.Submit(&workload.Request{ID: i, Tenant: 0})
+	}
+	f.release()
+	if want := []int{0, 1}; len(stamped) != 2 || stamped[0] != want[0] || stamped[1] != want[1] {
+		t.Fatalf("hook saw %v, want %v", stamped, want)
+	}
+	if len(rej.got) != 2 {
+		t.Fatalf("reject sink saw %d, want 2", len(rej.got))
+	}
+}

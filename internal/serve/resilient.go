@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vectorliterag/internal/des"
+	"vectorliterag/internal/stats"
 	"vectorliterag/internal/workload"
 )
 
@@ -310,7 +311,10 @@ func (r *ResilientRouter) hedgeDelay() time.Duration {
 	}
 	r.scratch = append(r.scratch[:0], r.samples...)
 	sort.Float64s(r.scratch)
-	p95 := r.scratch[(len(r.scratch)*95)/100]
+	// Interpolated quantile, not scratch[(len*95)/100]: that index is
+	// the sample *maximum* at the 20-sample warmup boundary, which made
+	// the auto delay track the slowest clean attempt instead of the p95.
+	p95 := stats.PercentileSorted(r.scratch, 0.95)
 	if auto := time.Duration(p95 * float64(time.Second)); auto > d {
 		return auto
 	}

@@ -363,3 +363,46 @@ func TestResilientDeterministic(t *testing.T) {
 		t.Fatalf("crashes %d, want 2", s1.Crashes)
 	}
 }
+
+// TestHedgeAutoDelayIsInterpolatedP95 pins the auto-hedge quantile
+// fix: at the 20-sample warmup boundary the naive index
+// scratch[(len*95)/100] is scratch[19] — the sample maximum — which
+// made one straggler drag the auto delay up to its own latency and
+// effectively disabled hedging. The interpolated p95 must sit far
+// below such an outlier.
+func TestHedgeAutoDelayIsInterpolatedP95(t *testing.T) {
+	r := &ResilientRouter{cfg: ResilienceConfig{HedgeAuto: true}}
+	// 19 clean 100 ms attempts and one 10 s straggler — exactly the
+	// warmup boundary where the off-by-one bit.
+	for i := 0; i < 19; i++ {
+		r.samples = append(r.samples, 0.100)
+	}
+	r.samples = append(r.samples, 10.0)
+
+	got := r.hedgeDelay()
+	// Interpolated p95 over the sorted 20: s[18] + 0.05·(s[19]−s[18]).
+	want := time.Duration((0.100 + 0.05*(10.0-0.100)) * float64(time.Second))
+	if diff := got - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("auto delay %v, want interpolated p95 ≈ %v", got, want)
+	}
+	if got >= 10*time.Second {
+		t.Fatalf("auto delay %v tracks the straggler maximum", got)
+	}
+
+	// The fixed HedgeDelay stays a floor under the auto value.
+	r.cfg.HedgeDelay = 2 * time.Second
+	if got := r.hedgeDelay(); got != 2*time.Second {
+		t.Fatalf("floor ignored: %v, want 2s", got)
+	}
+
+	// Pre-warmup (fewer than 20 samples) uses the floor, or 1 s for a
+	// pure-auto configuration.
+	r.samples = r.samples[:10]
+	if got := r.hedgeDelay(); got != 2*time.Second {
+		t.Fatalf("pre-warmup with floor: %v, want 2s", got)
+	}
+	r.cfg.HedgeDelay = 0
+	if got := r.hedgeDelay(); got != time.Second {
+		t.Fatalf("pre-warmup pure auto: %v, want 1s", got)
+	}
+}

@@ -74,6 +74,22 @@ func (t Tier) Priority() int {
 	}
 }
 
+// BrownoutBias returns the tier's multiplier on brownout shed
+// fractions: under overload the controller sheds quality from bronze
+// first and gold last, mirroring how DegradeBias biases capacity-loss
+// degradation. Monotone down the tier order, so at any ladder level a
+// lower tier never holds a better knob setting than a higher one.
+func (t Tier) BrownoutBias() float64 {
+	switch t {
+	case Gold:
+		return 0.4
+	case Silver:
+		return 0.7
+	default:
+		return 1.0
+	}
+}
+
 // Target returns the tier's SLO-attainment objective — the fraction of
 // requests that must meet the combined TTFT budget for the tier to be
 // considered served. These are the per-class targets the isolation

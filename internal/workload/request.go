@@ -42,11 +42,26 @@ type Request struct {
 	Done        des.Time // last output token
 
 	// Degrade is the graceful-degradation shed fraction stamped by the
-	// resilient router under capacity loss: retrieval engines drop the
-	// trailing Degrade fraction of the query's probe list (reduced
-	// nprobe), trading recall for service time. Zero — the value on
-	// every non-resilient path — changes nothing.
+	// resilient router under capacity loss — and, under pure overload,
+	// by the brownout controller's first ladder rung: retrieval engines
+	// drop the trailing Degrade fraction of the query's probe list
+	// (reduced nprobe), trading recall for service time. Zero — the
+	// value on every non-resilient path — changes nothing.
 	Degrade float64
+
+	// KShed is the brownout ladder's second rung: the fraction by which
+	// this request's rerank depth (Shape.TopK) and context-dependent
+	// input tokens were reduced at dispatch. The Shape mutation is what
+	// the LLM engine prices; KShed records the fraction for reporting.
+	// Zero everywhere outside a brownout.
+	KShed float64
+
+	// ForcePQ is the brownout ladder's last rung: when set, clusters the
+	// precision refinement upgraded to SQ8 are scanned through their
+	// base PQ codec for this request — giving back the SQ recall gain in
+	// exchange for the cheaper scan. False everywhere outside a deep
+	// brownout; meaningless (and ignored) without a precision plan.
+	ForcePQ bool
 
 	// HitRate is the work-weighted fraction of this query's scan bytes
 	// actually served from GPU-resident clusters, recorded by the

@@ -94,6 +94,16 @@ type (
 	// bounded HBM budget, the coldest CPU-resident clusters demoted to
 	// the modeled NVMe tier. Zero fields take the documented defaults.
 	PrecisionOptions = rag.PrecisionOptions
+	// OverloadOptions configures overload control: bounded per-tenant
+	// admission queues with early rejection and, optionally, the
+	// closed-loop brownout controller that sheds retrieval quality
+	// (nprobe → rerank depth → SQ8 precision) when a stage overruns its
+	// latency budget. Zero fields take the documented defaults.
+	OverloadOptions = rag.OverloadOptions
+	// OverloadReport is the overload-control addendum of a run:
+	// per-tenant rejections, the deepest brownout level, time in
+	// brownout, and the mean shed fraction.
+	OverloadReport = rag.OverloadReport
 )
 
 // The fault kinds of a scripted storm.
@@ -332,7 +342,13 @@ type ServeOptions struct {
 	// CPU-resident clusters demote to the modeled NVMe tier. Nil keeps
 	// the classic all-PQ, two-tier placement bit for bit.
 	Precision *PrecisionOptions
-	Seed      uint64
+	// Overload, when non-nil, meters the pipeline through a bounded
+	// admission queue and (with Brownout set) the quality-shedding
+	// controller — the single-tenant form of overload control, using
+	// the run's own stage SLOs as latency budgets. Nil keeps the
+	// unmetered pipeline bit for bit.
+	Overload *OverloadOptions
+	Seed     uint64
 
 	// Drift schedules popularity rotations on the virtual timeline, so a
 	// single run contains the query drift of paper §IV-B3. The workload
@@ -373,6 +389,9 @@ type Report struct {
 	// (ServeAdaptive honors its TimelineBucket override) — flat for a
 	// stationary run, and the degradation/recovery curve under drift.
 	Timeline []AttainmentWindow
+	// Overload reports the admission-control and brownout outcome (nil
+	// without ServeOptions.Overload).
+	Overload *OverloadReport
 }
 
 // defaultTimelineBucket is the Report.Timeline resolution.
@@ -403,6 +422,7 @@ func ragOptions(opts ServeOptions) rag.Options {
 		ro.Plan = opts.Prebuilt.Plan
 	}
 	ro.Precision = opts.Precision
+	ro.Overload = opts.Overload
 	return ro
 }
 
@@ -423,6 +443,7 @@ func Serve(opts ServeOptions) (*Report, error) {
 		SQClusters:   res.SQClusters,
 		NVMeClusters: res.NVMeClusters,
 		Timeline:     metrics.Timeline(res.Requests, res.SLOTotal, defaultTimelineBucket),
+		Overload:     res.Overload,
 	}, nil
 }
 
@@ -728,6 +749,17 @@ type MultiTenantServeOptions struct {
 	// baseline a tenant isolation study compares against). The joint
 	// HBM allocation is unchanged.
 	SharedQueue bool
+	// Overload, when non-nil, bounds each tenant's admission queue and
+	// optionally runs the brownout controller (per-tenant stage budgets
+	// from each tenant's own SLOs, shed fractions biased by tier so
+	// bronze sheds first and gold last). Requires the FairScheduler —
+	// incompatible with SharedQueue.
+	Overload *OverloadOptions
+	// Precision, when non-nil, extends the joint allocator with the
+	// hotness-aware precision refinement (SQ8 upgrades within leftover
+	// HBM, coldest clusters to the modeled NVMe tier), shared across
+	// all tenants. The zero value selects the default budgets.
+	Precision *PrecisionOptions
 
 	// Replicas > 1 serves the tenants on R identical multi-tenant nodes
 	// behind a front-end router on the parallel sharded engine; each
@@ -761,6 +793,9 @@ type TenantReport struct {
 	// PeakQueue is the high-water mark of the tenant's admission queue
 	// (zero under SharedQueue).
 	PeakQueue int
+	// Rejected counts the tenant's arrivals refused at admission (zero
+	// without Overload).
+	Rejected int
 }
 
 // MultiTenantReport is the outcome of one multi-tenant serving run.
@@ -769,7 +804,11 @@ type MultiTenantReport struct {
 	// Fairness is Jain's index over per-tenant SLO attainment.
 	Fairness float64
 	// Attainment is the request-weighted aggregate attainment.
-	Attainment  float64
+	Attainment float64
+	// RecallGain is the served mean per-query recall gain from SQ8
+	// upgrades across all tenants (zero without Precision; the
+	// brownout ladder's precision-fallback rung hands part of it back).
+	RecallGain  float64
 	Mu0         float64
 	MuLLM       float64
 	BudgetBytes int64
@@ -781,6 +820,9 @@ type MultiTenantReport struct {
 	Replicas int
 	Workers  int
 	NetDelay time.Duration
+	// Overload reports the admission-control and brownout outcome (nil
+	// without MultiTenantServeOptions.Overload).
+	Overload *OverloadReport
 }
 
 // ServeTenants runs the multi-tenant pipeline in virtual time: the
@@ -801,6 +843,8 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 		Node: opts.Node, Model: opts.Model,
 		Duration: opts.Duration, Shape: opts.Shape, Seed: opts.Seed,
 		SharedQueue: opts.SharedQueue,
+		Overload:    opts.Overload,
+		Precision:   opts.Precision,
 		Replicas:    opts.Replicas, Policy: opts.Policy,
 		Workers: opts.Workers, NetDelay: opts.NetDelay,
 	}
@@ -817,6 +861,7 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 	rep := &MultiTenantReport{
 		Fairness:    res.Fairness,
 		Attainment:  res.Attainment,
+		RecallGain:  res.RecallGain,
 		Mu0:         res.Mu0,
 		MuLLM:       res.MuLLM,
 		BudgetBytes: res.BudgetBytes,
@@ -826,6 +871,7 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 		Replicas:    res.Replicas,
 		Workers:     res.Workers,
 		NetDelay:    res.NetDelay,
+		Overload:    res.Overload,
 	}
 	for _, tr := range res.Tenants {
 		rep.Tenants = append(rep.Tenants, TenantReport{
@@ -836,6 +882,7 @@ func ServeTenants(opts MultiTenantServeOptions) (*MultiTenantReport, error) {
 			Summary:   tr.Summary,
 			Alloc:     tr.Alloc,
 			PeakQueue: tr.PeakQueue,
+			Rejected:  tr.Rejected,
 		})
 	}
 	return rep, nil

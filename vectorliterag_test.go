@@ -146,8 +146,8 @@ func TestCapacity(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	names := vlr.Experiments()
-	if len(names) != 24 {
-		t.Fatalf("got %d experiments, want 24: %v", len(names), names)
+	if len(names) != 25 {
+		t.Fatalf("got %d experiments, want 25: %v", len(names), names)
 	}
 	_, err := vlr.RunExperiment("nope", true)
 	if err == nil {
